@@ -1,0 +1,51 @@
+// Ablation A3 (ours): which Coolest-path metric [17] the baseline uses —
+// accumulated, highest (bottleneck), or mixed. The paper only says Coolest
+// prefers "the most balanced and/or the lowest spectrum utilization" path;
+// this bench shows ADDC's advantage is robust to that modeling choice.
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace crn;
+  harness::BenchScale scale = harness::ResolveBenchScale();
+  harness::PrintBenchHeader(
+      "Ablation A3 — Coolest metric choice",
+      "(ours) ADDC wins against all three Coolest metrics of [17]", scale,
+      std::cout);
+
+  // One shared ADDC reference per repetition (same deployments).
+  std::vector<double> addc_delays;
+  for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
+    const core::Scenario scenario(scale.base, rep);
+    addc_delays.push_back(core::RunAddc(scenario).delay_ms);
+  }
+  const auto addc = core::Summarize(addc_delays);
+  std::cout << "ADDC reference delay: "
+            << harness::FormatMeanStd(addc.mean, addc.stddev, 0) << " ms\n\n";
+
+  harness::Table table({"Coolest metric", "delay (ms)", "vs ADDC", "avg hops",
+                        "max route depth"});
+  for (routing::TemperatureMetric metric :
+       {routing::TemperatureMetric::kAccumulated, routing::TemperatureMetric::kHighest,
+        routing::TemperatureMetric::kMixed}) {
+    std::vector<double> delays, hops;
+    std::int32_t depth = 0;
+    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
+      const core::Scenario scenario(scale.base, rep);
+      const core::CollectionResult result = core::RunCoolest(scenario, metric);
+      delays.push_back(result.delay_ms);
+      hops.push_back(result.avg_hops);
+      depth = std::max(depth, result.max_route_depth);
+    }
+    const auto delay = core::Summarize(delays);
+    table.AddRow({routing::ToString(metric),
+                  harness::FormatMeanStd(delay.mean, delay.stddev, 0),
+                  harness::FormatDouble(delay.mean / addc.mean, 2) + "x",
+                  harness::FormatDouble(core::Summarize(hops).mean, 2),
+                  std::to_string(depth)});
+  }
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 4: the PCR value as a function of P_p, P_s, η_p, η_s for
+// α ∈ {3.0, 4.0}. Defaults per the figure caption: α = 4, P_p = 10, R = 12,
+// η_p = 10 dB, P_s = 10, r = 10, η_s = 10 dB.
+//
+// The paper's claims to verify: (i) the PCR at α = 3 exceeds the PCR at
+// α = 4 everywhere, and (ii) the PCR is non-decreasing in each of P_p, P_s,
+// η_p, η_s. Both c2 variants are printed (DESIGN.md §4): "paper" is what
+// Fig. 4 plots; "corrected" is the constant the concurrency guarantee
+// actually needs.
+#include <iostream>
+#include <vector>
+
+#include "core/pcr.h"
+#include "harness/table.h"
+
+namespace {
+
+using crn::core::C2Variant;
+using crn::core::PcrParams;
+using crn::core::ProperCarrierSensingRange;
+using crn::harness::FormatDouble;
+using crn::harness::Table;
+
+PcrParams Fig4Defaults(double alpha) {
+  PcrParams params;
+  params.pu_power = 10.0;
+  params.su_power = 10.0;
+  params.pu_radius = 12.0;
+  params.su_radius = 10.0;
+  params.eta_p = crn::SirThreshold::FromDb(10.0);
+  params.eta_s = crn::SirThreshold::FromDb(10.0);
+  params.alpha = alpha;
+  return params;
+}
+
+template <typename Setter>
+void SweepTable(const std::string& title, const std::string& parameter,
+                const std::vector<double>& values, Setter&& set) {
+  std::cout << "== Fig. 4: PCR vs " << title << " ==\n";
+  Table table({parameter, "PCR α=3 paper (m)", "PCR α=4 paper (m)",
+               "PCR α=3 corrected (m)", "PCR α=4 corrected (m)"});
+  for (double value : values) {
+    PcrParams p3 = Fig4Defaults(3.0);
+    PcrParams p4 = Fig4Defaults(4.0);
+    set(p3, value);
+    set(p4, value);
+    table.AddRow(
+        {FormatDouble(value, 1),
+         FormatDouble(ProperCarrierSensingRange(p3, C2Variant::kPaper), 2),
+         FormatDouble(ProperCarrierSensingRange(p4, C2Variant::kPaper), 2),
+         FormatDouble(ProperCarrierSensingRange(p3, C2Variant::kCorrected), 2),
+         FormatDouble(ProperCarrierSensingRange(p4, C2Variant::kCorrected), 2)});
+  }
+  table.PrintMarkdown(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Reproduction of Fig. 4 — Cai et al., ICDCS 2012\n"
+            << "# Paper claims: PCR(α=3) > PCR(α=4); PCR non-decreasing in "
+               "P_p, P_s, η_p, η_s\n\n";
+
+  const std::vector<double> powers{5, 10, 15, 20, 25, 30};
+  const std::vector<double> thresholds_db{4, 6, 8, 10, 12, 14, 16};
+
+  SweepTable("P_p (PU power)", "P_p", powers,
+             [](PcrParams& p, double v) { p.pu_power = v; });
+  SweepTable("P_s (SU power)", "P_s", powers,
+             [](PcrParams& p, double v) { p.su_power = v; });
+  SweepTable("η_p (PU SIR threshold, dB)", "η_p (dB)", thresholds_db,
+             [](PcrParams& p, double v) { p.eta_p = crn::SirThreshold::FromDb(v); });
+  SweepTable("η_s (SU SIR threshold, dB)", "η_s (dB)", thresholds_db,
+             [](PcrParams& p, double v) { p.eta_s = crn::SirThreshold::FromDb(v); });
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Fig. 6(f): data-collection delay vs the SU power P_s for ADDC
+// and Coolest. Paper claims: delay increases with P_s (SUs interfere more
+// with each other and must defer more broadly); ADDC ~2.7x lower.
+#include <iostream>
+
+#include "harness/sweep.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace crn;
+  harness::BenchScale scale = harness::ResolveBenchScale();
+  harness::PrintBenchHeader(
+      "Fig. 6(f) — delay vs SU transmission power P_s",
+      "delay increases with P_s; ADDC ~2.7x lower", scale, std::cout);
+
+  // Swept upward from P_s = P_p = 10 for the same reason as Fig. 6(e): the
+  // PCR formula is U-shaped around equal powers.
+  std::vector<harness::SweepPoint> points;
+  for (double power : {10.0, 15.0, 20.0, 25.0, 30.0}) {
+    core::ScenarioConfig config = scale.base;
+    config.su_power = power;
+    points.push_back({harness::FormatDouble(power, 0), config});
+  }
+  harness::RunDelaySweep("Fig. 6(f): delay vs P_s", "P_s", points,
+                         scale.repetitions, std::cout);
+  return 0;
+}

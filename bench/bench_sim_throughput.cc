@@ -1,0 +1,59 @@
+// Microbenchmarks (google-benchmark): raw performance of the simulator
+// substrate — event-queue throughput, unit-disk graph + CDS construction,
+// and end-to-end collection wall time vs network size. These guard against
+// performance regressions that would make the figure benches unusable.
+#include <benchmark/benchmark.h>
+
+#include "core/collection.h"
+#include "core/scenario.h"
+#include "graph/cds_tree.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace crn;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto count = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::int64_t fired = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      simulator.ScheduleAt(i % 1000, sim::EventPriority::kDefault,
+                           [&fired] { ++fired; });
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CdsTreeConstruction(benchmark::State& state) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(
+      static_cast<double>(state.range(0)) / 100.0);
+  const core::Scenario scenario(config, 0);
+  for (auto _ : state) {
+    graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+    benchmark::DoNotOptimize(tree.dominator_count());
+  }
+  state.SetLabel("n=" + std::to_string(config.num_sus));
+}
+BENCHMARK(BM_CdsTreeConstruction)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_AddcCollectionEndToEnd(benchmark::State& state) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(
+      static_cast<double>(state.range(0)) / 100.0);
+  config.audit_stride = 0;  // measure the MAC, not the audit
+  const core::Scenario scenario(config, 0);
+  for (auto _ : state) {
+    const core::CollectionResult result = core::RunAddc(scenario);
+    benchmark::DoNotOptimize(result.delay_ms);
+  }
+  state.SetLabel("n=" + std::to_string(config.num_sus));
+}
+BENCHMARK(BM_AddcCollectionEndToEnd)->Arg(5)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Spectrum-opportunity survey: the planning calculation an operator would
+// run before deploying a secondary network — how the Proper Carrier-sensing
+// Range, the spectrum-opportunity probability p_o (Lemma 7), and the
+// Theorem 1/2 delay bounds respond to the environment, before any packet
+// is simulated.
+//
+// Everything here is closed-form (src/core/pcr.h + src/core/theory.h), so
+// the survey covers parameter grids instantly.
+//
+// Run: ./build/examples/spectrum_survey
+#include <iostream>
+
+#include "core/pcr.h"
+#include "core/theory.h"
+#include "harness/table.h"
+#include "sim/time.h"
+
+int main() {
+  using namespace crn;
+  using core::C2Variant;
+
+  core::PcrParams params;  // Fig. 6 defaults: P = 10, R = r = 10, η = 8 dB
+  params.eta_p = SirThreshold::FromDb(8.0);
+  params.eta_s = SirThreshold::FromDb(8.0);
+
+  const double area = 62500.0;      // 250 x 250 m
+  const std::int64_t num_pus = 400;
+  const std::int64_t num_sus = 2000;
+  const sim::TimeNs slot = sim::kMillisecond;
+
+  std::cout << "Survey area: 250x250 m, N=" << num_pus << " PUs, n=" << num_sus
+            << " SUs, slot 1 ms.\n\n";
+
+  {
+    std::cout << "== How PU activity shapes the opportunity landscape ==\n";
+    harness::Table table({"p_t", "p_o (Lemma 7)", "E[wait] (ms)",
+                          "Theorem 2 delay bound (s)", "capacity bound (·W)"});
+    const double kappa = core::Kappa(params, C2Variant::kPaper);
+    const double pcr = kappa * params.su_radius;
+    for (double pt : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const double p_o =
+          core::SpectrumOpportunityProbability(pcr, num_pus, area, pt);
+      const double delta = core::MaxTreeDegreeBound(num_sus, params.su_radius,
+                                                    area / num_sus);
+      table.AddRow(
+          {harness::FormatDouble(pt, 2), harness::FormatDouble(p_o, 5),
+           harness::FormatDouble(sim::ToMilliseconds(core::ExpectedOpportunityWait(slot, p_o)), 1),
+           harness::FormatDouble(
+               sim::ToSeconds(core::Theorem2DelayBound(num_sus, delta, 15, kappa, slot, p_o)), 1),
+           harness::FormatDouble(core::Theorem2CapacityFraction(kappa, p_o), 6)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "== The cost of sensing-range conservatism ==\n";
+    std::cout << "(p_o is exponential in the sensed area: a 2x aggregate-\n"
+                 "interference margin — the conventional design — costs ~3x\n"
+                 "in opportunities; the corrected-c2 range makes the paper's\n"
+                 "default p_t untenable. This is why §IV-B objective (iii)\n"
+                 "insists the range be as small as possible.)\n";
+    harness::Table table({"range rule", "PCR (m)", "p_o @ p_t=0.3", "E[wait] (ms)"});
+    struct Row {
+      const char* label;
+      double pcr;
+    };
+    const Row rows[] = {
+        {"paper c2 (tight)", core::ProperCarrierSensingRange(params, C2Variant::kPaper)},
+        {"paper c2, 2x margin",
+         core::ProperCarrierSensingRange(params, C2Variant::kPaper, 2.0)},
+        {"corrected c2", core::ProperCarrierSensingRange(params, C2Variant::kCorrected)},
+    };
+    for (const Row& row : rows) {
+      const double p_o =
+          core::SpectrumOpportunityProbability(row.pcr, num_pus, area, 0.3);
+      table.AddRow({row.label, harness::FormatDouble(row.pcr, 1),
+                    harness::FormatDouble(p_o, 7),
+                    harness::FormatDouble(
+                        sim::ToMilliseconds(core::ExpectedOpportunityWait(slot, p_o)), 0)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "== Protection headroom vs throughput: the η_p dial ==\n";
+    harness::Table table({"η_p (dB)", "PCR (m)", "p_o", "capacity bound (·W)"});
+    for (double eta_db : {4.0, 6.0, 8.0, 10.0, 12.0}) {
+      core::PcrParams p = params;
+      p.eta_p = SirThreshold::FromDb(eta_db);
+      const double kappa = core::Kappa(p, C2Variant::kPaper);
+      const double p_o = core::SpectrumOpportunityProbability(
+          kappa * p.su_radius, num_pus, area, 0.3);
+      table.AddRow({harness::FormatDouble(eta_db, 0),
+                    harness::FormatDouble(kappa * p.su_radius, 1),
+                    harness::FormatDouble(p_o, 5),
+                    harness::FormatDouble(core::Theorem2CapacityFraction(kappa, p_o), 6)});
+    }
+    table.PrintMarkdown(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace crn::internal {
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "CRN_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw ContractViolation(out.str());
+}
+
+}  // namespace crn::internal

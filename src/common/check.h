@@ -1,0 +1,67 @@
+// Lightweight runtime-contract macros.
+//
+// CRN_CHECK is always on (it guards logic errors that would silently corrupt
+// a simulation); CRN_DCHECK compiles away in NDEBUG builds and is meant for
+// hot paths. Both throw crn::ContractViolation so tests can assert on
+// misuse and so failures unwind cleanly through RAII types.
+#ifndef CRN_COMMON_CHECK_H_
+#define CRN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace crn {
+
+// Thrown when a CRN_CHECK / CRN_DCHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+// Stream-style message builder: CRN_CHECK(x) << "context " << v;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    FailCheck(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crn
+
+#define CRN_CHECK(cond)                                                   \
+  if (cond) {                                                             \
+  } else /* NOLINT */                                                     \
+    ::crn::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define CRN_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    ::crn::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define CRN_DCHECK(cond) CRN_CHECK(cond)
+#endif
+
+#endif  // CRN_COMMON_CHECK_H_

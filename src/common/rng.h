@@ -1,0 +1,139 @@
+// Deterministic, stream-splittable random number generation.
+//
+// Every piece of randomness in a simulation flows from a single root seed,
+// split into independent named streams (e.g. "deployment", "pu-activity",
+// "backoff"). Two runs with the same root seed are bit-identical regardless
+// of platform, which the integration tests rely on.
+//
+// The generator is xoshiro256** (Blackman & Vigna) seeded via SplitMix64 —
+// small, fast, and with well-studied statistical quality; we deliberately do
+// not use std::mt19937 because its distributions are not
+// implementation-stable across standard libraries.
+#ifndef CRN_COMMON_RNG_H_
+#define CRN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace crn {
+
+// SplitMix64 step; used for seeding and stream derivation.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// 64-bit FNV-1a hash, used to derive independent streams from names.
+constexpr std::uint64_t HashName(std::string_view name) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+    // xoshiro's all-zero state is invalid; SplitMix64 cannot produce four
+    // zero outputs in a row, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      state_[0] = 1;
+    }
+  }
+
+  // Derives an independent generator for the named sub-stream.
+  [[nodiscard]] Rng Stream(std::string_view name) const {
+    return Rng(state_[0] ^ (HashName(name) * 0x9E3779B97F4A7C15ULL));
+  }
+
+  // Derives an independent generator for an indexed sub-stream (e.g. one
+  // per repetition of an experiment).
+  [[nodiscard]] Rng Stream(std::string_view name, std::uint64_t index) const {
+    std::uint64_t mix = HashName(name) + 0x9E3779B97F4A7C15ULL * (index + 1);
+    return Rng(state_[0] ^ SplitMix64(mix));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1): 53 random bits scaled.
+  double UniformDouble() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    CRN_DCHECK(lo <= hi) << "lo=" << lo << " hi=" << hi;
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t UniformInt(std::uint64_t bound) {
+    CRN_DCHECK(bound > 0);
+    // 128-bit multiply keeps the distribution exactly uniform.
+    __uint128_t m = static_cast<__uint128_t>(operator()()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(operator()()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    CRN_DCHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(UniformInt(span));
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace crn
+
+#endif  // CRN_COMMON_RNG_H_

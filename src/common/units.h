@@ -1,0 +1,44 @@
+// Unit helpers shared across the library.
+//
+// Distances are in meters, powers in linear (dimensionless) units matching
+// the paper's P_p / P_s parameters, and SIR thresholds are given in dB in
+// the paper's figures but consumed in linear form by the physical model.
+#ifndef CRN_COMMON_UNITS_H_
+#define CRN_COMMON_UNITS_H_
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crn {
+
+// Converts a decibel quantity to its linear ratio: 8 dB -> 10^{0.8}.
+inline double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+// Converts a linear ratio to decibels.
+inline double LinearToDb(double linear) {
+  CRN_DCHECK(linear > 0.0) << "linear=" << linear;
+  return 10.0 * std::log10(linear);
+}
+
+// Strongly-typed SIR threshold: constructed from either domain and read in
+// linear form by the interference model.
+class SirThreshold {
+ public:
+  static SirThreshold FromDb(double db) { return SirThreshold(DbToLinear(db)); }
+  static SirThreshold FromLinear(double linear) {
+    CRN_CHECK(linear > 0.0) << "SIR threshold must be positive";
+    return SirThreshold(linear);
+  }
+
+  [[nodiscard]] double linear() const { return linear_; }
+  [[nodiscard]] double db() const { return LinearToDb(linear_); }
+
+ private:
+  explicit SirThreshold(double linear) : linear_(linear) {}
+  double linear_;
+};
+
+}  // namespace crn
+
+#endif  // CRN_COMMON_UNITS_H_

@@ -1,0 +1,84 @@
+#include "core/churn.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace crn::core {
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> PlanLocalRepair(
+    const graph::UnitDiskGraph& graph, const graph::BfsLayering& bfs,
+    const std::vector<graph::NodeId>& next_hop, const std::vector<char>& alive,
+    graph::NodeId failed_node) {
+  CRN_CHECK(!alive[failed_node]) << "node " << failed_node << " is still alive";
+  const auto n = graph.node_count();
+
+  // Working routing table: repaired hops land here so later orphans can
+  // route through earlier repairs (the "rounds" below emulate neighbors
+  // gossiping their recovered routes).
+  std::vector<graph::NodeId> working(next_hop);
+
+  // True when u's route under `working` reaches the base station without
+  // touching the departed node, `avoid` (no cycles through the orphan), or
+  // another still-broken node.
+  auto route_is_clean = [&](graph::NodeId u, graph::NodeId avoid) {
+    graph::NodeId cursor = u;
+    std::int32_t steps = 0;
+    while (bfs.level[cursor] != 0) {  // until the base station
+      if (cursor == failed_node || cursor == avoid || !alive[cursor]) return false;
+      cursor = working[cursor];
+      if (++steps > n) return false;
+    }
+    return true;
+  };
+
+  // Orphans: every live node whose current route passes through the
+  // departed node — the entire subtree below it, not just its direct
+  // children. (A node learns this locally the same way: its upstream stops
+  // acknowledging.)
+  std::vector<graph::NodeId> orphans;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!alive[v] || v == failed_node || bfs.level[v] == 0) continue;
+    if (!route_is_clean(v, /*avoid=*/failed_node)) orphans.push_back(v);
+  }
+
+  // Each round, an orphan re-attaches to the (level, id)-smallest live
+  // neighbor that currently has a verified route to the base station;
+  // orphans deeper in the dead subtree succeed in later rounds, once the
+  // boundary has healed — the fixed point of the local gossip. Every
+  // adopted hop has a clean route at adoption time and repaired hops never
+  // change again, so no cycle can form.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> repairs;
+  std::vector<char> repaired(orphans.size(), 0);
+  std::size_t remaining = orphans.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < orphans.size(); ++i) {
+      if (repaired[i]) continue;
+      const graph::NodeId v = orphans[i];
+      graph::NodeId best = graph::kInvalidNode;
+      for (graph::NodeId u : graph.Neighbors(v)) {
+        if (!alive[u] || u == v || u == failed_node) continue;
+        if (!route_is_clean(u, v)) continue;
+        if (best == graph::kInvalidNode ||
+            std::make_pair(bfs.level[u], u) < std::make_pair(bfs.level[best], best)) {
+          best = u;
+        }
+      }
+      if (best == graph::kInvalidNode) continue;  // retry next round
+      working[v] = best;
+      repairs.emplace_back(v, best);
+      repaired[i] = 1;
+      --remaining;
+      progress = true;
+    }
+  }
+  CRN_CHECK(remaining == 0)
+      << remaining << " orphan(s) of node " << failed_node
+      << " have no live neighbor with a clean route; the network around "
+      << "them is partitioned";
+  return repairs;
+}
+
+}  // namespace crn::core

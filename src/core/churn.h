@@ -1,0 +1,31 @@
+// Distributed route repair under SU churn (§I: "some existing SUs might
+// leave the network ... at any time. In this case, centralized and
+// synchronized algorithms cannot adapt").
+//
+// The repair rule is the local decision each orphaned SU can take with
+// one-hop knowledge: re-attach to a live neighbor strictly closer to the
+// base station (smaller BFS level), preferring dominators — the same
+// preference the original tree construction used. Level-monotone
+// re-attachment can never create a routing cycle.
+#ifndef CRN_CORE_CHURN_H_
+#define CRN_CORE_CHURN_H_
+
+#include <vector>
+
+#include "graph/unit_disk_graph.h"
+
+namespace crn::core {
+
+// Computes the repair for every node whose next hop is `failed_node`:
+// each picks its live neighbor with the smallest (BFS level, id) among
+// strictly-lower-level neighbors. Returns (node, new_next_hop) pairs;
+// throws if some orphan has no live lower-level neighbor (the network
+// around it is partitioned — a cascade repair or re-deployment is needed).
+std::vector<std::pair<graph::NodeId, graph::NodeId>> PlanLocalRepair(
+    const graph::UnitDiskGraph& graph, const graph::BfsLayering& bfs,
+    const std::vector<graph::NodeId>& next_hop, const std::vector<char>& alive,
+    graph::NodeId failed_node);
+
+}  // namespace crn::core
+
+#endif  // CRN_CORE_CHURN_H_

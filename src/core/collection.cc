@@ -1,0 +1,264 @@
+#include "core/collection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "core/metrics.h"
+#include "core/theory.h"
+#include "graph/cds_tree.h"
+#include "sim/simulator.h"
+
+namespace crn::core {
+
+namespace {
+
+// Depth of every node in the next-hop forest (steps to the sink).
+std::vector<std::int32_t> RouteDepths(const std::vector<graph::NodeId>& next_hop,
+                                      graph::NodeId sink) {
+  const auto n = static_cast<std::int32_t>(next_hop.size());
+  std::vector<std::int32_t> depth(n, -1);
+  depth[sink] = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    // Walk up until a memoized node, then unwind.
+    std::vector<graph::NodeId> path;
+    graph::NodeId cursor = v;
+    while (depth[cursor] < 0) {
+      path.push_back(cursor);
+      cursor = next_hop[cursor];
+      CRN_CHECK(static_cast<std::int32_t>(path.size()) <= n) << "route cycle";
+    }
+    std::int32_t d = depth[cursor];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+namespace {
+
+mac::MacConfig MakeMacConfig(const ScenarioConfig& config, double sensing_range,
+                             const RunOptions& options) {
+  mac::MacConfig mac_config;
+  mac_config.su_power = config.su_power;
+  mac_config.eta_s = SirThreshold::FromDb(config.eta_s_db);
+  mac_config.eta_p = SirThreshold::FromDb(config.eta_p_db);
+  mac_config.pcr = sensing_range;
+  mac_config.alpha = config.alpha;
+  mac_config.slot = config.slot;
+  mac_config.contention_window = config.contention_window;
+  mac_config.tx_duration = config.slot - config.contention_window;
+  mac_config.fairness_wait = config.fairness_wait;
+  mac_config.audit_stride = config.audit_stride;
+  mac_config.max_sim_time = config.max_sim_time;
+  mac_config.backoff_granularity = options.backoff_granularity;
+  mac_config.sensing_latency = options.sensing_latency;
+  mac_config.slot_aware_defer = options.slot_aware_defer;
+  mac_config.sensing_false_alarm = options.sensing_false_alarm;
+  mac_config.sensing_missed_detection = options.sensing_missed_detection;
+  return mac_config;
+}
+
+}  // namespace
+
+CollectionResult RunWithNextHops(const Scenario& scenario,
+                                 std::vector<graph::NodeId> next_hop,
+                                 const std::string& algorithm_label,
+                                 const RunOptions& options) {
+  const ScenarioConfig& config = scenario.config();
+  const double sensing_range =
+      options.sensing_range > 0.0 ? options.sensing_range : scenario.pcr();
+
+  sim::Simulator simulator;
+  pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
+  const mac::MacConfig mac_config = MakeMacConfig(config, sensing_range, options);
+
+  const std::vector<std::int32_t> depths = RouteDepths(next_hop, scenario.sink());
+
+  mac::CollectionMac mac(simulator, primary, scenario.su_positions(),
+                         scenario.area(), scenario.sink(), std::move(next_hop),
+                         mac_config, scenario.MakeRunRng().Stream("mac"));
+  mac.StartSnapshotCollection();
+  simulator.Run();
+
+  CollectionResult result;
+  result.algorithm = algorithm_label;
+  result.mac = mac.stats();
+  result.completed = mac.finished();
+  result.delay_ms = sim::ToMilliseconds(result.mac.finish_time);
+  if (result.mac.finish_time > 0) {
+    result.capacity_fraction = static_cast<double>(result.mac.delivered) *
+                               static_cast<double>(config.slot) /
+                               static_cast<double>(result.mac.finish_time);
+  }
+  if (result.mac.delivered > 0) {
+    result.avg_hops = static_cast<double>(result.mac.delivered_hops_total) /
+                      static_cast<double>(result.mac.delivered);
+  }
+
+  std::vector<double> delivery_ms;
+  delivery_ms.reserve(mac.delivery_time().size());
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(mac.delivery_time().size()); ++v) {
+    if (v == scenario.sink()) continue;
+    const sim::TimeNs t = mac.delivery_time()[v];
+    if (t >= 0) delivery_ms.push_back(sim::ToMilliseconds(t));
+  }
+  result.jain_delivery_fairness = JainIndex(delivery_ms);
+
+  result.pcr = sensing_range;
+  result.kappa = scenario.kappa();
+  result.theory_po = SpectrumOpportunityProbability(
+      sensing_range, config.num_pus, config.area(), config.pu_activity);
+  result.measured_po = result.mac.measured_spectrum_opportunity();
+  result.max_route_depth = *std::max_element(depths.begin(), depths.end());
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(depths.size()); ++v) {
+    if (v != scenario.sink() && depths[v] == 1) ++result.sink_degree;
+  }
+  return result;
+}
+
+CollectionResult RunAddc(const Scenario& scenario) {
+  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+  const auto n = tree.node_count();
+  std::vector<graph::NodeId> next_hop(n, scenario.sink());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);
+  }
+  CollectionResult result = RunWithNextHops(scenario, std::move(next_hop), "ADDC");
+  result.dominators = tree.dominator_count();
+  result.connectors = tree.connector_count();
+
+  // Paper bounds for this instance. Δ is the maximum tree degree (children
+  // plus the parent edge); Δ_b the base station's degree.
+  const ScenarioConfig& config = scenario.config();
+  const double delta = std::max(1, tree.max_children() + 1);
+  const auto sink_degree =
+      static_cast<std::int64_t>(tree.children(scenario.sink()).size());
+  const double p_o = result.theory_po;
+  if (p_o > 0.0) {
+    result.theorem1_service_bound_ms = sim::ToMilliseconds(
+        Theorem1ServiceBound(delta, scenario.kappa(), config.slot, p_o));
+    result.theorem2_delay_bound_ms = sim::ToMilliseconds(
+        Theorem2DelayBound(config.num_sus, delta, sink_degree, scenario.kappa(),
+                           config.slot, p_o));
+    result.theorem2_capacity_fraction =
+        Theorem2CapacityFraction(scenario.kappa(), p_o);
+  }
+  return result;
+}
+
+CollectionResult RunCoolest(const Scenario& scenario,
+                            routing::TemperatureMetric metric) {
+  const ScenarioConfig& config = scenario.config();
+  RunOptions options;
+  // PU protection is mandatory; lacking Lemma 2/3's tight packing bound the
+  // baseline budgets a safety margin on aggregate interference when sizing
+  // its sensing range (see ScenarioConfig). The ablation knob can override
+  // it to a bare factor·r instead. Its conventional MAC contends in
+  // discrete slots with a carrier-detection lag and no PU-slot awareness.
+  options.sensing_range =
+      config.coolest_sensing_factor > 0.0
+          ? config.coolest_sensing_factor * config.su_radius
+          : ProperCarrierSensingRange(config.MakePcrParams(), config.c2_variant,
+                                      config.baseline_interference_margin);
+  options.backoff_granularity = config.baseline_backoff_granularity;
+  options.sensing_latency = config.baseline_sensing_latency;
+  // A conventional MAC is oblivious to the primary network's slot phase.
+  options.slot_aware_defer = false;
+
+  const pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
+  const std::vector<double> temperatures = routing::NodeTemperatures(
+      scenario.su_positions(), primary, options.sensing_range);
+  std::vector<graph::NodeId> next_hop = routing::CoolestNextHops(
+      scenario.secondary_graph(), temperatures, scenario.sink(), metric);
+  std::string label = std::string("Coolest/") + routing::ToString(metric);
+  return RunWithNextHops(scenario, std::move(next_hop), label, options);
+}
+
+ComparisonResult RunComparison(const ScenarioConfig& config, std::uint64_t repetition,
+                               routing::TemperatureMetric metric) {
+  const Scenario scenario(config, repetition);
+  ComparisonResult result{RunAddc(scenario), RunCoolest(scenario, metric)};
+  return result;
+}
+
+ContinuousResult RunAddcContinuous(const Scenario& scenario, sim::TimeNs interval,
+                                   std::int32_t snapshot_count) {
+  const ScenarioConfig& config = scenario.config();
+  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+  std::vector<graph::NodeId> next_hop(tree.node_count(), scenario.sink());
+  for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
+    next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);
+  }
+
+  sim::Simulator simulator;
+  pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
+  const mac::MacConfig mac_config =
+      MakeMacConfig(config, scenario.pcr(), RunOptions{});
+  mac::CollectionMac mac(simulator, primary, scenario.su_positions(),
+                         scenario.area(), scenario.sink(), next_hop, mac_config,
+                         scenario.MakeRunRng().Stream("mac"));
+  std::vector<graph::NodeId> producers;
+  for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
+    if (v != scenario.sink()) producers.push_back(v);
+  }
+  mac.StartContinuousCollection(producers, interval, snapshot_count);
+  simulator.Run();
+
+  ContinuousResult result;
+  result.aggregate.algorithm = "ADDC/continuous";
+  result.aggregate.mac = mac.stats();
+  result.aggregate.completed = mac.finished();
+  result.aggregate.delay_ms = sim::ToMilliseconds(result.aggregate.mac.finish_time);
+  if (result.aggregate.mac.finish_time > 0) {
+    result.aggregate.capacity_fraction =
+        static_cast<double>(result.aggregate.mac.delivered) *
+        static_cast<double>(config.slot) /
+        static_cast<double>(result.aggregate.mac.finish_time);
+  }
+  result.aggregate.pcr = scenario.pcr();
+  result.aggregate.kappa = scenario.kappa();
+  result.aggregate.theory_po = SpectrumOpportunityProbability(
+      scenario.pcr(), config.num_pus, config.area(), config.pu_activity);
+  result.aggregate.theorem2_capacity_fraction =
+      result.aggregate.theory_po > 0.0
+          ? Theorem2CapacityFraction(scenario.kappa(), result.aggregate.theory_po)
+          : 0.0;
+
+  for (std::int32_t k = 0; k < snapshot_count; ++k) {
+    const sim::TimeNs finish = mac.snapshot_finish_time()[k];
+    const sim::TimeNs created = mac.snapshot_created_time()[k];
+    if (finish >= 0 && created >= 0) {
+      result.snapshot_delay_ms.push_back(sim::ToMilliseconds(finish - created));
+    }
+  }
+  if (!result.snapshot_delay_ms.empty()) {
+    result.mean_snapshot_delay_ms =
+        Summarize(result.snapshot_delay_ms).mean;
+  }
+  // Drift: compare the first and last third of completed rounds.
+  const auto completed = static_cast<std::int32_t>(result.snapshot_delay_ms.size());
+  if (completed >= 3) {
+    const std::int32_t third = completed / 3;
+    double head = 0.0;
+    double tail = 0.0;
+    for (std::int32_t i = 0; i < third; ++i) head += result.snapshot_delay_ms[i];
+    for (std::int32_t i = completed - third; i < completed; ++i) {
+      tail += result.snapshot_delay_ms[i];
+    }
+    head /= third;
+    tail /= third;
+    result.delay_drift_ms_per_round =
+        (tail - head) / static_cast<double>(completed - third);
+  }
+  result.sustainable =
+      result.aggregate.completed && completed == snapshot_count &&
+      result.delay_drift_ms_per_round <
+          0.1 * sim::ToMilliseconds(interval);
+  return result;
+}
+
+}  // namespace crn::core

@@ -1,0 +1,108 @@
+// Collection orchestrators — the library's top-level entry points.
+//
+// RunAddc() executes the paper's full pipeline on one deployed scenario:
+// CDS tree construction (§IV-A), PCR configuration (§IV-B), and the
+// asynchronous CSMA collection of Algorithm 1, returning the measured delay
+// and capacity together with the Theorem 1/2 bounds for the same instance.
+// RunCoolest() runs the baseline of §V on the identical deployment and MAC,
+// differing only in the routing structure.
+#ifndef CRN_CORE_COLLECTION_H_
+#define CRN_CORE_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "mac/collection_mac.h"
+#include "routing/coolest.h"
+#include "sim/time.h"
+
+namespace crn::core {
+
+struct CollectionResult {
+  std::string algorithm;
+  bool completed = false;           // all packets reached the base station
+  double delay_ms = 0.0;            // data-collection delay (§III definition)
+  double capacity_fraction = 0.0;   // achieved rate / W (W = 1 packet/slot)
+  double jain_delivery_fairness = 0.0;  // Jain index over delivery times
+  double avg_hops = 0.0;            // mean per-packet hop count at delivery
+
+  // Spectrum-side diagnostics.
+  double theory_po = 0.0;           // Lemma 7's p_o
+  double measured_po = 0.0;         // slot-boundary sampling during the run
+  double pcr = 0.0;                 // configured carrier-sensing range
+  double kappa = 0.0;
+
+  // Routing-structure diagnostics (tree stats are ADDC-only; Coolest
+  // reports depth of its next-hop forest instead).
+  std::int32_t dominators = 0;
+  std::int32_t connectors = 0;
+  std::int32_t max_route_depth = 0;
+  std::int32_t sink_degree = 0;
+
+  // Paper bounds for this instance (ADDC only; 0 otherwise).
+  double theorem1_service_bound_ms = 0.0;
+  double theorem2_delay_bound_ms = 0.0;
+  double theorem2_capacity_fraction = 0.0;
+
+  mac::MacStats mac;
+};
+
+// Runs ADDC on the given deployed scenario.
+CollectionResult RunAddc(const Scenario& scenario);
+
+// Runs the Coolest-path baseline on the same deployment/MAC.
+CollectionResult RunCoolest(const Scenario& scenario,
+                            routing::TemperatureMetric metric =
+                                routing::TemperatureMetric::kAccumulated);
+
+// MAC-model overrides for a single run (defaults reproduce Algorithm 1).
+struct RunOptions {
+  double sensing_range = 0.0;               // 0 = the scenario's PCR
+  sim::TimeNs backoff_granularity = 0;      // 0 = continuous backoff
+  sim::TimeNs sensing_latency = 0;          // carrier-detection lag
+  bool slot_aware_defer = true;             // false = fire on expiry
+  double sensing_false_alarm = 0.0;         // detector error axes (A5)
+  double sensing_missed_detection = 0.0;
+};
+
+// Shared plumbing: run a CSMA collection over an arbitrary next-hop table.
+// Exposed for tests and custom examples (e.g. hand-crafted routes).
+CollectionResult RunWithNextHops(const Scenario& scenario,
+                                 std::vector<graph::NodeId> next_hop,
+                                 const std::string& algorithm_label,
+                                 const RunOptions& options = {});
+
+// Convenience: build the scenario for (config, repetition) and run both
+// algorithms on the identical deployment.
+struct ComparisonResult {
+  CollectionResult addc;
+  CollectionResult coolest;
+};
+ComparisonResult RunComparison(const ScenarioConfig& config, std::uint64_t repetition,
+                               routing::TemperatureMetric metric =
+                                   routing::TemperatureMetric::kAccumulated);
+
+// --- continuous data collection ---------------------------------------
+// Repeats the snapshot workload every `interval` for `snapshot_count`
+// rounds over the ADDC tree. The offered load is sustainable iff
+// per-snapshot completion delays stabilize instead of growing round over
+// round — the operational meaning of Theorem 2's capacity bound. The
+// smallest sustainable interval ≈ n·B/capacity.
+struct ContinuousResult {
+  CollectionResult aggregate;           // whole-run MAC stats and diagnostics
+  std::vector<double> snapshot_delay_ms;  // completion − creation, per round
+  double mean_snapshot_delay_ms = 0.0;
+  // Linear-drift estimate: (mean delay of last third − first third) per
+  // round; ≈ 0 when the load is inside capacity, strongly positive when the
+  // backlog diverges.
+  double delay_drift_ms_per_round = 0.0;
+  bool sustainable = false;  // completed and drift below 10% of the interval
+};
+ContinuousResult RunAddcContinuous(const Scenario& scenario, sim::TimeNs interval,
+                                   std::int32_t snapshot_count);
+
+}  // namespace crn::core
+
+#endif  // CRN_CORE_COLLECTION_H_

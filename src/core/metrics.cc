@@ -1,0 +1,40 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crn::core {
+
+double JainIndex(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    CRN_CHECK(v >= 0.0) << "Jain index expects non-negative values, got " << v;
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: every flow equally (un)served
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+SampleStats Summarize(std::span<const double> values) {
+  SampleStats stats;
+  stats.count = values.size();
+  if (values.empty()) return stats;
+  stats.min = *std::min_element(values.begin(), values.end());
+  stats.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return stats;
+}
+
+}  // namespace crn::core

@@ -1,0 +1,27 @@
+// Small metric helpers shared by the orchestrators, tests, and benches.
+#ifndef CRN_CORE_METRICS_H_
+#define CRN_CORE_METRICS_H_
+
+#include <span>
+#include <vector>
+
+namespace crn::core {
+
+// Jain's fairness index: (Σx)² / (k·Σx²) over non-negative values; 1.0 is
+// perfectly fair, 1/k is maximally unfair. Empty input yields 1.0.
+double JainIndex(std::span<const double> values);
+
+// Sample mean / unbiased standard deviation / extrema.
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+SampleStats Summarize(std::span<const double> values);
+
+}  // namespace crn::core
+
+#endif  // CRN_CORE_METRICS_H_

@@ -1,0 +1,91 @@
+#include "core/scenario.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "geom/deployment.h"
+
+namespace crn::core {
+
+PcrParams ScenarioConfig::MakePcrParams() const {
+  PcrParams params;
+  params.pu_power = pu_power;
+  params.su_power = su_power;
+  params.pu_radius = pu_radius;
+  params.su_radius = su_radius;
+  params.eta_p = SirThreshold::FromDb(eta_p_db);
+  params.eta_s = SirThreshold::FromDb(eta_s_db);
+  params.alpha = alpha;
+  return params;
+}
+
+pu::PrimaryConfig ScenarioConfig::MakePrimaryConfig() const {
+  pu::PrimaryConfig config;
+  config.count = num_pus;
+  config.power = pu_power;
+  config.radius = pu_radius;
+  config.activity = pu_activity;
+  config.slot = slot;
+  config.process = pu_activity_process;
+  config.mean_burst_slots = pu_mean_burst_slots;
+  return config;
+}
+
+ScenarioConfig ScenarioConfig::PaperDefaults() { return ScenarioConfig{}; }
+
+ScenarioConfig ScenarioConfig::ScaledDefaults(double scale) {
+  CRN_CHECK(scale > 0.0 && scale <= 1.0) << "scale=" << scale;
+  ScenarioConfig config;
+  config.num_sus = static_cast<std::int32_t>(std::lround(config.num_sus * scale));
+  config.num_pus = static_cast<std::int32_t>(std::lround(config.num_pus * scale));
+  config.area_side *= std::sqrt(scale);  // area scales linearly with n and N
+  return config;
+}
+
+Scenario::Scenario(const ScenarioConfig& config, std::uint64_t repetition)
+    : config_(config),
+      repetition_(repetition),
+      area_(geom::Aabb::Square(config.area_side)) {
+  CRN_CHECK(config.num_sus > 0);
+  CRN_CHECK(config.num_pus >= 0);
+  CRN_CHECK(config.area_side > 0.0);
+  CRN_CHECK(config.su_radius > 0.0);
+
+  kappa_ = Kappa(config.MakePcrParams(), config.c2_variant);
+  pcr_ = kappa_ * config.su_radius;
+
+  const Rng root(config.seed);
+  Rng su_rng = root.Stream("su-deployment", repetition);
+  Rng pu_rng = root.Stream("pu-deployment", repetition);
+
+  // Resample the SU layout until the unit-disk graph is connected. At the
+  // paper's densities (~16 expected neighbors) a disconnected draw is rare;
+  // the attempt cap turns a mis-parameterized config into a clear error
+  // instead of a hang.
+  for (std::int32_t attempt = 0;; ++attempt) {
+    CRN_CHECK(attempt < config.max_deployment_attempts)
+        << "could not draw a connected secondary network in "
+        << config.max_deployment_attempts << " attempts; the configured "
+        << "density (n=" << config.num_sus << ", A=" << config.area()
+        << ", r=" << config.su_radius << ") is likely sub-critical";
+    su_positions_.clear();
+    su_positions_.push_back(area_.Center());  // base station
+    auto sus = geom::UniformDeployment(config.num_sus, area_, su_rng);
+    su_positions_.insert(su_positions_.end(), sus.begin(), sus.end());
+    if (geom::IsUnitDiskConnected(su_positions_, area_, config.su_radius)) break;
+  }
+  graph_ = std::make_unique<graph::UnitDiskGraph>(su_positions_, area_,
+                                                  config.su_radius);
+  pu_positions_ = geom::UniformDeployment(config.num_pus, area_, pu_rng);
+}
+
+pu::PrimaryNetwork Scenario::MakePrimaryNetwork() const {
+  return pu::PrimaryNetwork(config_.MakePrimaryConfig(), area_, pu_positions_);
+}
+
+Rng Scenario::MakeRunRng() const {
+  return Rng(config_.seed).Stream("run", repetition_);
+}
+
+}  // namespace crn::core

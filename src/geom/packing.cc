@@ -1,0 +1,67 @@
+#include "geom/packing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace crn::geom {
+
+double Beta(double x) {
+  CRN_CHECK(x >= 0.0);
+  return 2.0 * M_PI * x * x / std::sqrt(3.0) + M_PI * x + 1.0;
+}
+
+double HexLayerMinDistance(std::int64_t l, double separation) {
+  CRN_CHECK(l >= 1);
+  CRN_CHECK(separation > 0.0);
+  if (l == 1) return separation;
+  return std::sqrt(3.0) / 2.0 * static_cast<double>(l) * separation;
+}
+
+std::vector<Vec2> HexPacking(std::int64_t layers, double separation) {
+  CRN_CHECK(layers >= 0);
+  CRN_CHECK(separation > 0.0);
+  std::vector<Vec2> points;
+  // Triangular lattice with spacing `separation`: basis vectors
+  // a = (s, 0), b = (s/2, s·√3/2). Ring k of the lattice has 6k points, all
+  // at distance ≥ (√3/2)·k·s — the canonical densest packing.
+  const Vec2 a{separation, 0.0};
+  const Vec2 b{separation / 2.0, separation * std::sqrt(3.0) / 2.0};
+  for (std::int64_t ring = 1; ring <= layers; ++ring) {
+    // Walk the hexagonal ring: start at ring·a, take `ring` steps along each
+    // of the six lattice directions.
+    const Vec2 directions[6] = {
+        {b.x - a.x, b.y - a.y},  // a -> b
+        {-a.x, -a.y},            // b -> b - a
+        {-b.x, -b.y},            // ...
+        {a.x - b.x, a.y - b.y},
+        {a.x, a.y},
+        {b.x, b.y},
+    };
+    Vec2 cursor = a * static_cast<double>(ring);
+    for (const Vec2& step : directions) {
+      for (std::int64_t i = 0; i < ring; ++i) {
+        points.push_back(cursor);
+        cursor = cursor + step;
+      }
+    }
+  }
+  return points;
+}
+
+double HexInterferenceSum(std::int64_t layers, double separation,
+                          double receiver_offset, double alpha) {
+  CRN_CHECK(layers >= 0);
+  CRN_CHECK(separation > receiver_offset)
+      << "separation=" << separation << " must exceed receiver_offset=" << receiver_offset
+      << " for the layer distances to stay positive";
+  CRN_CHECK(alpha > 2.0);
+  double sum = 0.0;
+  for (std::int64_t l = 1; l <= layers; ++l) {
+    const double d = HexLayerMinDistance(l, separation) - receiver_offset;
+    sum += static_cast<double>(HexLayerCount(l)) * std::pow(d, -alpha);
+  }
+  return sum;
+}
+
+}  // namespace crn::geom

@@ -1,0 +1,47 @@
+// Disk/hexagon packing bounds used throughout the paper's analysis.
+//
+// * Lemma 4 (from Wan et al. [25]): at most beta(r_d) = 2π·r_d²/√3 + π·r_d + 1
+//   points of pairwise distance ≥ 1 fit in a disk of radius r_d. The paper's
+//   β_x is exactly Beta(x).
+// * Lemma 2's interference sum: in the densest ("hexagon") packing of points
+//   with pairwise distance ≥ F around a reference point, layer l ≥ 1 holds
+//   at most 6l points at distance ≥ (√3/2)·l·F (layer 1 at distance ≥ F).
+//   HexLayerInterferenceBound sums P·d^{-α} over that packing — the quantity
+//   the paper bounds with its c2 constant.
+#ifndef CRN_GEOM_PACKING_H_
+#define CRN_GEOM_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace crn::geom {
+
+// Lemma 4 / the paper's β_x: maximum number of points with mutual distance
+// ≥ 1 inside a disk of radius x.
+double Beta(double x);
+
+// Number of points in layer `l` (l ≥ 1) of a worst-case hexagon packing.
+constexpr std::int64_t HexLayerCount(std::int64_t l) { return 6 * l; }
+
+// Lower bound on the distance from the reference point to layer `l` of a
+// hexagon packing with minimum separation F: F for l = 1, (√3/2)·l·F after.
+double HexLayerMinDistance(std::int64_t l, double separation);
+
+// Generates an explicit worst-case hexagonal packing around the origin with
+// the given separation, out to `layers` layers. Used by the property tests
+// that check Lemma 2/3 (R-set ⇒ concurrent set) against an adversarial
+// transmitter placement.
+std::vector<Vec2> HexPacking(std::int64_t layers, double separation);
+
+// Σ_{layers l≥1} 6l · (max(HexLayerMinDistance(l, F) - receiver_offset, eps))^{-α}:
+// a numeric upper bound on aggregate interference from a hexagon packing of
+// unit-power transmitters at a receiver `receiver_offset` away from the
+// reference point, truncated at `layers` layers.
+double HexInterferenceSum(std::int64_t layers, double separation,
+                          double receiver_offset, double alpha);
+
+}  // namespace crn::geom
+
+#endif  // CRN_GEOM_PACKING_H_

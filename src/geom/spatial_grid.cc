@@ -1,0 +1,79 @@
+#include "geom/spatial_grid.h"
+
+#include <cmath>
+#include <utility>
+
+namespace crn::geom {
+
+namespace {
+
+std::int32_t GridDim(double extent, double cell_size) {
+  return std::max<std::int32_t>(1, static_cast<std::int32_t>(std::ceil(extent / cell_size)));
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(std::vector<Vec2> points, Aabb bounds, double cell_size)
+    : points_(std::move(points)), bounds_(bounds), cell_size_(cell_size) {
+  CRN_CHECK(cell_size > 0.0) << "cell_size=" << cell_size;
+  CRN_CHECK(bounds.Width() > 0.0 && bounds.Height() > 0.0);
+  cols_ = GridDim(bounds.Width(), cell_size_);
+  rows_ = GridDim(bounds.Height(), cell_size_);
+
+  const std::int32_t num_cells = cols_ * rows_;
+  std::vector<std::int32_t> counts(num_cells, 0);
+  for (const Vec2& p : points_) {
+    ++counts[CellOf(p)];
+  }
+  cell_start_.assign(num_cells + 1, 0);
+  for (std::int32_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+  cell_points_.resize(points_.size());
+  std::vector<std::int32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(points_.size()); ++i) {
+    cell_points_[cursor[CellOf(points_[i])]++] = i;
+  }
+}
+
+std::vector<std::int32_t> SpatialGrid::QueryDisk(Vec2 center, double radius) const {
+  std::vector<std::int32_t> result;
+  ForEachInDisk(center, radius, [&](std::int32_t index) { result.push_back(index); });
+  return result;
+}
+
+DynamicSpatialGrid::DynamicSpatialGrid(std::vector<Vec2> points, Aabb bounds,
+                                       double cell_size)
+    : points_(std::move(points)), bounds_(bounds), cell_size_(cell_size) {
+  CRN_CHECK(cell_size > 0.0) << "cell_size=" << cell_size;
+  CRN_CHECK(bounds.Width() > 0.0 && bounds.Height() > 0.0);
+  cols_ = GridDim(bounds.Width(), cell_size_);
+  rows_ = GridDim(bounds.Height(), cell_size_);
+  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
+  slot_.assign(points_.size(), -1);
+}
+
+void DynamicSpatialGrid::Insert(std::int32_t index) {
+  CRN_DCHECK(index >= 0 && index < static_cast<std::int32_t>(points_.size()));
+  if (slot_[index] >= 0) return;  // already a member
+  auto& cell = cells_[CellOf(points_[index])];
+  slot_[index] = static_cast<std::int32_t>(cell.size());
+  cell.push_back(index);
+  ++member_count_;
+}
+
+void DynamicSpatialGrid::Erase(std::int32_t index) {
+  CRN_DCHECK(index >= 0 && index < static_cast<std::int32_t>(points_.size()));
+  const std::int32_t pos = slot_[index];
+  if (pos < 0) return;  // not a member
+  auto& cell = cells_[CellOf(points_[index])];
+  // Swap-erase, fixing the slot of the element moved into `pos`.
+  const std::int32_t moved = cell.back();
+  cell[pos] = moved;
+  slot_[moved] = pos;
+  cell.pop_back();
+  slot_[index] = -1;
+  --member_count_;
+}
+
+}  // namespace crn::geom

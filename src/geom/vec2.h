@@ -1,0 +1,57 @@
+// 2-D point/vector type used for node positions throughout the library.
+#ifndef CRN_GEOM_VEC2_H_
+#define CRN_GEOM_VEC2_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace crn::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] constexpr double Dot(Vec2 other) const { return x * other.x + y * other.y; }
+  [[nodiscard]] constexpr double NormSquared() const { return x * x + y * y; }
+  [[nodiscard]] double Norm() const { return std::sqrt(NormSquared()); }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << "(" << v.x << ", " << v.y << ")";
+  }
+};
+
+// Euclidean distance between two points (the paper's D(·,·)).
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+// Squared distance; preferred in hot paths to avoid the sqrt.
+constexpr double DistanceSquared(Vec2 a, Vec2 b) { return (a - b).NormSquared(); }
+
+// Axis-aligned bounding box [min, max] used for deployment areas.
+struct Aabb {
+  Vec2 min;
+  Vec2 max;
+
+  [[nodiscard]] constexpr double Width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double Height() const { return max.y - min.y; }
+  [[nodiscard]] constexpr double Area() const { return Width() * Height(); }
+  [[nodiscard]] constexpr Vec2 Center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+  [[nodiscard]] constexpr bool Contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  // Square area of the given side length anchored at the origin, matching
+  // the paper's "square area with size A".
+  static constexpr Aabb Square(double side) { return {{0.0, 0.0}, {side, side}}; }
+};
+
+}  // namespace crn::geom
+
+#endif  // CRN_GEOM_VEC2_H_

@@ -1,0 +1,100 @@
+#include "graph/unit_disk_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "geom/spatial_grid.h"
+
+namespace crn::graph {
+
+UnitDiskGraph::UnitDiskGraph(std::vector<geom::Vec2> positions, geom::Aabb area,
+                             double radius)
+    : positions_(std::move(positions)), area_(area), radius_(radius) {
+  CRN_CHECK(radius > 0.0);
+  const auto n = static_cast<std::int32_t>(positions_.size());
+  offsets_.assign(n + 1, 0);
+  if (n == 0) return;
+
+  const geom::SpatialGrid grid(positions_, area_, radius_);
+  // First pass: degrees; second pass: fill CSR.
+  std::vector<std::int32_t> degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    grid.ForEachInDisk(positions_[v], radius_, [&](NodeId u) {
+      if (u != v) ++degree[v];
+    });
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+  }
+  adjacency_.resize(offsets_[n]);
+  std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    grid.ForEachInDisk(positions_[v], radius_, [&](NodeId u) {
+      if (u != v) adjacency_[cursor[v]++] = u;
+    });
+    // Sorted neighbor lists make HasEdge O(log d) and iteration
+    // deterministic regardless of grid cell order.
+    std::sort(adjacency_.begin() + offsets_[v], adjacency_.begin() + offsets_[v + 1]);
+  }
+}
+
+bool UnitDiskGraph::HasEdge(NodeId a, NodeId b) const {
+  const auto neighbors = Neighbors(a);
+  return std::binary_search(neighbors.begin(), neighbors.end(), b);
+}
+
+bool UnitDiskGraph::IsConnected(NodeId root) const {
+  const auto n = node_count();
+  if (n == 0) return true;
+  std::vector<char> visited(n, 0);
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  visited[root] = 1;
+  std::int32_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : Neighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        ++reached;
+        frontier.push(u);
+      }
+    }
+  }
+  return reached == n;
+}
+
+BfsLayering BreadthFirstLayering(const UnitDiskGraph& graph, NodeId root) {
+  const auto n = graph.node_count();
+  CRN_CHECK(root >= 0 && root < n);
+  BfsLayering result;
+  result.level.assign(n, -1);
+  result.parent.assign(n, kInvalidNode);
+  result.order.reserve(n);
+
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  result.level[root] = 0;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    result.order.push_back(v);
+    result.max_level = std::max(result.max_level, result.level[v]);
+    for (NodeId u : graph.Neighbors(v)) {
+      if (result.level[u] < 0) {
+        result.level[u] = result.level[v] + 1;
+        result.parent[u] = v;
+        frontier.push(u);
+      }
+    }
+  }
+  CRN_CHECK(static_cast<std::int32_t>(result.order.size()) == n)
+      << "secondary network graph must be connected (paper §III assumption); "
+      << "reached " << result.order.size() << " of " << n << " nodes";
+  return result;
+}
+
+}  // namespace crn::graph

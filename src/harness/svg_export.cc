@@ -1,0 +1,90 @@
+#include "harness/svg_export.h"
+
+#include "common/check.h"
+
+namespace crn::harness {
+
+namespace {
+
+const char* RoleColor(graph::NodeRole role) {
+  switch (role) {
+    case graph::NodeRole::kDominator:
+      return "#1a1a1a";  // black, as in the paper's Fig. 2
+    case graph::NodeRole::kConnector:
+      return "#2a6fdb";  // blue
+    case graph::NodeRole::kDominatee:
+      return "#ffffff";  // white with outline
+  }
+  return "#888888";
+}
+
+}  // namespace
+
+void WriteSvg(std::ostream& out, const graph::UnitDiskGraph& graph,
+              const graph::CdsTree* tree,
+              const std::vector<geom::Vec2>& pu_positions,
+              const SvgOptions& options) {
+  CRN_CHECK(options.pixels_per_meter > 0.0);
+  const geom::Aabb area = graph.area();
+  const double scale = options.pixels_per_meter;
+  const double margin = options.margin_m;
+  const double width = (area.Width() + 2 * margin) * scale;
+  const double height = (area.Height() + 2 * margin) * scale;
+  // SVG y grows downward; flip so the plot reads like the paper's figures.
+  auto px = [&](geom::Vec2 p) { return (p.x - area.min.x + margin) * scale; };
+  auto py = [&](geom::Vec2 p) { return height - (p.y - area.min.y + margin) * scale; };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " " << height
+      << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"#fbfaf7\"/>\n";
+  out << "<rect x=\"" << margin * scale << "\" y=\"" << margin * scale << "\" width=\""
+      << area.Width() * scale << "\" height=\"" << area.Height() * scale
+      << "\" fill=\"none\" stroke=\"#b9b2a4\" stroke-width=\"1\"/>\n";
+
+  if (options.draw_pcr_disk && options.pcr_m > 0.0 && graph.node_count() > 0) {
+    const geom::Vec2 sink = graph.position(0);
+    out << "<circle cx=\"" << px(sink) << "\" cy=\"" << py(sink) << "\" r=\""
+        << options.pcr_m * scale
+        << "\" fill=\"#2a6fdb\" fill-opacity=\"0.06\" stroke=\"#2a6fdb\" "
+           "stroke-opacity=\"0.35\" stroke-dasharray=\"6 4\"/>\n";
+  }
+
+  if (tree != nullptr && options.draw_tree_edges) {
+    out << "<g stroke=\"#8a8377\" stroke-width=\"0.8\" stroke-opacity=\"0.7\">\n";
+    for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+      if (v == tree->root()) continue;
+      const geom::Vec2 a = graph.position(v);
+      const geom::Vec2 b = graph.position(tree->parent(v));
+      out << "<line x1=\"" << px(a) << "\" y1=\"" << py(a) << "\" x2=\"" << px(b)
+          << "\" y2=\"" << py(b) << "\"/>\n";
+    }
+    out << "</g>\n";
+  }
+
+  // Primary users: red squares.
+  out << "<g fill=\"#c33d35\">\n";
+  for (const geom::Vec2& p : pu_positions) {
+    out << "<rect x=\"" << px(p) - 3 << "\" y=\"" << py(p) - 3
+        << "\" width=\"6\" height=\"6\"/>\n";
+  }
+  out << "</g>\n";
+
+  // Secondary nodes by role; the base station last, as a larger ring.
+  for (graph::NodeId v = 0; v < graph.node_count(); ++v) {
+    const geom::Vec2 p = graph.position(v);
+    const char* fill =
+        tree != nullptr ? RoleColor(tree->role(v)) : "#666666";
+    out << "<circle cx=\"" << px(p) << "\" cy=\"" << py(p)
+        << "\" r=\"3\" fill=\"" << fill
+        << "\" stroke=\"#1a1a1a\" stroke-width=\"0.6\"/>\n";
+  }
+  if (graph.node_count() > 0) {
+    const geom::Vec2 sink = graph.position(0);
+    out << "<circle cx=\"" << px(sink) << "\" cy=\"" << py(sink)
+        << "\" r=\"7\" fill=\"none\" stroke=\"#c33d35\" stroke-width=\"2\"/>\n";
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace crn::harness

@@ -1,0 +1,34 @@
+// SVG rendering of a deployed scenario: the primary users, the secondary
+// nodes colored by CDS role, and the collection-tree edges — the picture
+// worth having when debugging a topology or presenting a run. Pure string
+// generation, no graphics dependency.
+#ifndef CRN_HARNESS_SVG_EXPORT_H_
+#define CRN_HARNESS_SVG_EXPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "graph/cds_tree.h"
+#include "graph/unit_disk_graph.h"
+
+namespace crn::harness {
+
+struct SvgOptions {
+  double pixels_per_meter = 4.0;
+  double margin_m = 5.0;
+  bool draw_tree_edges = true;
+  bool draw_pcr_disk = true;   // sensing disk around the base station
+  double pcr_m = 0.0;          // radius of that disk (0 = skip)
+};
+
+// Renders the network. `tree` may be null (nodes only, no roles/edges);
+// `pu_positions` may be empty.
+void WriteSvg(std::ostream& out, const graph::UnitDiskGraph& graph,
+              const graph::CdsTree* tree,
+              const std::vector<geom::Vec2>& pu_positions,
+              const SvgOptions& options = {});
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_SVG_EXPORT_H_

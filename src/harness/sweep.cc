@@ -1,0 +1,96 @@
+#include "harness/sweep.h"
+
+#include "common/env.h"
+#include "harness/table.h"
+
+namespace crn::harness {
+
+ComparisonSummary RunRepeatedComparison(const core::ScenarioConfig& config,
+                                        std::int32_t repetitions,
+                                        routing::TemperatureMetric metric) {
+  std::vector<double> addc_delay, coolest_delay;
+  std::vector<double> addc_capacity, coolest_capacity;
+  std::vector<double> addc_jain, coolest_jain;
+  std::vector<double> bounds;
+  ComparisonSummary summary;
+  for (std::int32_t rep = 0; rep < repetitions; ++rep) {
+    const core::ComparisonResult result = core::RunComparison(config, rep, metric);
+    addc_delay.push_back(result.addc.delay_ms);
+    coolest_delay.push_back(result.coolest.delay_ms);
+    addc_capacity.push_back(result.addc.capacity_fraction);
+    coolest_capacity.push_back(result.coolest.capacity_fraction);
+    addc_jain.push_back(result.addc.jain_delivery_fairness);
+    coolest_jain.push_back(result.coolest.jain_delivery_fairness);
+    bounds.push_back(result.addc.theorem2_delay_bound_ms);
+    summary.addc_completed += result.addc.completed ? 1 : 0;
+    summary.coolest_completed += result.coolest.completed ? 1 : 0;
+    summary.su_caused_violations += result.addc.mac.su_caused_violations +
+                                    result.coolest.mac.su_caused_violations;
+  }
+  summary.addc_delay_ms = core::Summarize(addc_delay);
+  summary.coolest_delay_ms = core::Summarize(coolest_delay);
+  summary.delay_ratio = summary.addc_delay_ms.mean > 0.0
+                            ? summary.coolest_delay_ms.mean / summary.addc_delay_ms.mean
+                            : 0.0;
+  summary.addc_capacity = core::Summarize(addc_capacity);
+  summary.coolest_capacity = core::Summarize(coolest_capacity);
+  summary.addc_jain_mean = core::Summarize(addc_jain).mean;
+  summary.coolest_jain_mean = core::Summarize(coolest_jain).mean;
+  summary.theorem2_bound_ms_mean = core::Summarize(bounds).mean;
+  return summary;
+}
+
+std::vector<ComparisonSummary> RunDelaySweep(const std::string& title,
+                                             const std::string& parameter_name,
+                                             const std::vector<SweepPoint>& points,
+                                             std::int32_t repetitions,
+                                             std::ostream& out,
+                                             routing::TemperatureMetric metric) {
+  out << "== " << title << " ==\n";
+  Table table({parameter_name, "ADDC delay (ms)", "Coolest delay (ms)",
+               "Coolest/ADDC", "ADDC capacity (·W)", "violations"});
+  std::vector<ComparisonSummary> summaries;
+  summaries.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    const ComparisonSummary s = RunRepeatedComparison(point.config, repetitions, metric);
+    table.AddRow({point.label,
+                  FormatMeanStd(s.addc_delay_ms.mean, s.addc_delay_ms.stddev, 0),
+                  FormatMeanStd(s.coolest_delay_ms.mean, s.coolest_delay_ms.stddev, 0),
+                  FormatDouble(s.delay_ratio, 2),
+                  FormatDouble(s.addc_capacity.mean, 4),
+                  std::to_string(s.su_caused_violations)});
+    summaries.push_back(s);
+  }
+  table.PrintMarkdown(out);
+  out << "\n";
+  return summaries;
+}
+
+BenchScale ResolveBenchScale() {
+  BenchScale scale;
+  scale.full_scale = GetEnvBool("CRN_FULL_SCALE", false);
+  if (scale.full_scale) {
+    scale.base = core::ScenarioConfig::PaperDefaults();
+    scale.repetitions = 10;  // the paper repeats each point 10 times
+  } else {
+    const double factor = GetEnvDouble("CRN_SCALE", 0.25);
+    scale.base = core::ScenarioConfig::ScaledDefaults(factor);
+    scale.repetitions = 3;
+  }
+  scale.repetitions =
+      static_cast<std::int32_t>(GetEnvInt("CRN_REPS", scale.repetitions));
+  return scale;
+}
+
+void PrintBenchHeader(const std::string& figure, const std::string& claim,
+                      const BenchScale& scale, std::ostream& out) {
+  out << "# Reproduction of " << figure << " — Cai et al., ICDCS 2012\n";
+  out << "# Paper claim: " << claim << "\n";
+  out << "# Scale: " << (scale.full_scale ? "FULL (paper)" : "scaled-down")
+      << "  n=" << scale.base.num_sus << "  N=" << scale.base.num_pus
+      << "  A=" << scale.base.area_side << "x" << scale.base.area_side
+      << "  reps=" << scale.repetitions
+      << "  (set CRN_FULL_SCALE=1 for the paper configuration)\n\n";
+}
+
+}  // namespace crn::harness

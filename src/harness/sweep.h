@@ -1,0 +1,70 @@
+// Experiment sweep runner: repeats ADDC-vs-Coolest comparisons over a list
+// of configurations and prints the Fig.-6-style series (parameter value,
+// mean ± std delay for each algorithm, ratio). This is the engine behind
+// every bench binary.
+#ifndef CRN_HARNESS_SWEEP_H_
+#define CRN_HARNESS_SWEEP_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "routing/coolest.h"
+
+namespace crn::harness {
+
+// Repetition summary for one configuration.
+struct ComparisonSummary {
+  core::SampleStats addc_delay_ms;
+  core::SampleStats coolest_delay_ms;
+  double delay_ratio = 0.0;  // coolest mean / addc mean
+  core::SampleStats addc_capacity;
+  core::SampleStats coolest_capacity;
+  double addc_jain_mean = 0.0;
+  double coolest_jain_mean = 0.0;
+  std::int32_t addc_completed = 0;
+  std::int32_t coolest_completed = 0;
+  std::int64_t su_caused_violations = 0;  // summed over both algorithms
+  double theorem2_bound_ms_mean = 0.0;
+};
+
+ComparisonSummary RunRepeatedComparison(
+    const core::ScenarioConfig& config, std::int32_t repetitions,
+    routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated);
+
+// One point of a sweep: label shown in the table plus its configuration.
+struct SweepPoint {
+  std::string label;
+  core::ScenarioConfig config;
+};
+
+// Runs every point and prints the delay table; returns the summaries in
+// point order for further processing (EXPERIMENTS.md extraction, tests).
+std::vector<ComparisonSummary> RunDelaySweep(
+    const std::string& title, const std::string& parameter_name,
+    const std::vector<SweepPoint>& points, std::int32_t repetitions,
+    std::ostream& out,
+    routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated);
+
+// Bench scaling resolved from the environment (DESIGN.md §2):
+//   CRN_FULL_SCALE=1 -> the paper's exact configuration, 10 repetitions;
+//   CRN_SCALE=<f>    -> density-preserving scale factor (default 0.25);
+//   CRN_REPS=<k>     -> repetition override.
+struct BenchScale {
+  core::ScenarioConfig base;
+  std::int32_t repetitions = 3;
+  bool full_scale = false;
+};
+BenchScale ResolveBenchScale();
+
+// Standard bench banner: what is being reproduced and at what scale.
+void PrintBenchHeader(const std::string& figure, const std::string& claim,
+                      const BenchScale& scale, std::ostream& out);
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_SWEEP_H_

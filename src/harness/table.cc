@@ -1,0 +1,61 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace crn::harness {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CRN_CHECK(cells.size() == columns_.size())
+      << "row has " << cells.size() << " cells, table has " << columns_.size()
+      << " columns";
+  rows_.push_back(std::move(cells));
+}
+
+void Table::PrintMarkdown(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << " " << cells[c] << std::string(width[c] - cells[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  print_row(columns_);
+  out << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatMeanStd(double mean, double stddev, int precision) {
+  return FormatDouble(mean, precision) + " ± " + FormatDouble(stddev, precision);
+}
+
+}  // namespace crn::harness

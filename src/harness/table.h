@@ -1,0 +1,38 @@
+// Minimal table formatting for bench/example output: aligned plain-text
+// (markdown-compatible) tables plus CSV, so results can be read in the
+// terminal and piped into plotting tools.
+#ifndef CRN_HARNESS_TABLE_H_
+#define CRN_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crn::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  // | a | b | with aligned pipes.
+  void PrintMarkdown(std::ostream& out) const;
+  void PrintCsv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("12.35"); trims to integers cleanly.
+std::string FormatDouble(double value, int precision = 2);
+
+// "mean ± stddev" with the given precision.
+std::string FormatMeanStd(double mean, double stddev, int precision = 1);
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_TABLE_H_

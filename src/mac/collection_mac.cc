@@ -1,0 +1,702 @@
+#include "mac/collection_mac.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crn::mac {
+
+namespace {
+
+// Grid cell size for the sensing grid: the PCR is the only query radius.
+double SensingCellSize(double pcr) { return std::max(pcr, 1.0); }
+
+}  // namespace
+
+CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& primary,
+                             std::vector<geom::Vec2> positions, geom::Aabb area,
+                             NodeId sink, std::vector<NodeId> next_hop,
+                             const MacConfig& config, Rng rng)
+    : simulator_(simulator),
+      primary_(primary),
+      positions_(std::move(positions)),
+      area_(area),
+      sink_(sink),
+      next_hop_(std::move(next_hop)),
+      config_(config),
+      backoff_rng_(rng.Stream("backoff")),
+      activity_rng_(rng.Stream("pu-activity")),
+      audit_rng_(rng.Stream("pu-audit")),
+      sensing_rng_(rng.Stream("sensing")),
+      sir_(spectrum::PathLoss(config.alpha)),
+      sensing_grid_(positions_, area, SensingCellSize(config.pcr)) {
+  const auto n = node_count();
+  CRN_CHECK(n > 0);
+  CRN_CHECK(sink_ >= 0 && sink_ < n);
+  CRN_CHECK(static_cast<std::int32_t>(next_hop_.size()) == n);
+  CRN_CHECK(config_.pcr > 0.0) << "carrier-sensing range must be set";
+  CRN_CHECK(config_.su_power > 0.0);
+  CRN_CHECK(config_.slot > 0);
+  CRN_CHECK(config_.contention_window > 0 && config_.contention_window <= config_.slot);
+  CRN_CHECK(config_.tx_duration > 0);
+
+  // Every node must reach the sink through next hops in < n steps (no
+  // cycles, no dangling routes).
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == sink_) continue;
+    NodeId cursor = v;
+    std::int32_t steps = 0;
+    while (cursor != sink_) {
+      const NodeId next = next_hop_[cursor];
+      CRN_CHECK(next != cursor && next >= 0 && next < n)
+          << "bad next hop " << next << " at node " << cursor;
+      cursor = next;
+      CRN_CHECK(++steps < n) << "next-hop cycle involving node " << v;
+    }
+  }
+
+  agents_.resize(n);
+  failed_.assign(n, 0);
+  contending_slot_.assign(n, -1);
+  active_tx_slot_.assign(n, -1);
+  delivery_time_.assign(n, -1);
+  expected_per_origin_.assign(n, 0);
+  delivered_per_origin_.assign(n, 0);
+  success_tx_count_.assign(n, 0);
+
+  // Precompute each node's static "PUs within my PCR" list (carrier sensing
+  // targets, Lemma 7's disk of radius κ·r).
+  for (NodeId v = 0; v < n; ++v) {
+    primary_.grid().ForEachInDisk(positions_[v], config_.pcr, [&](pu::PuId p) {
+      agents_[v].nearby_pus.push_back(p);
+    });
+  }
+}
+
+void CollectionMac::StartCollection(const std::vector<NodeId>& producers) {
+  StartContinuousCollection(producers, config_.slot, /*snapshot_count=*/1);
+}
+
+void CollectionMac::StartSnapshotCollection() {
+  std::vector<NodeId> producers;
+  producers.reserve(node_count() - 1);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (v != sink_) producers.push_back(v);
+  }
+  StartCollection(producers);
+}
+
+void CollectionMac::StartContinuousCollection(const std::vector<NodeId>& producers,
+                                              sim::TimeNs interval,
+                                              std::int32_t snapshot_count) {
+  CRN_CHECK(!running_) << "collection already started";
+  CRN_CHECK(snapshot_count >= 1);
+  CRN_CHECK(interval > 0);
+  CRN_CHECK(!producers.empty());
+  for (NodeId v : producers) {
+    CRN_CHECK(v != sink_) << "the base station does not produce packets";
+    CRN_CHECK(v >= 0 && v < node_count()) << "producer " << v << " out of range";
+  }
+  running_ = true;
+  expected_packets_ =
+      static_cast<std::int64_t>(producers.size()) * snapshot_count;
+  snapshot_created_.assign(snapshot_count, -1);
+  snapshot_finish_.assign(snapshot_count, -1);
+  snapshot_remaining_.assign(snapshot_count,
+                             static_cast<std::int64_t>(producers.size()));
+  const sim::TimeNs now = simulator_.now();
+  // Slot boundary first (samples the initial PU state); snapshot seeding
+  // events run at default priority, so producers always see a sampled slot.
+  simulator_.ScheduleAt(now, sim::EventPriority::kSlotBoundary,
+                        [this] { OnSlotBoundary(); });
+  for (std::int32_t k = 0; k < snapshot_count; ++k) {
+    simulator_.ScheduleAt(now + k * interval, sim::EventPriority::kDefault,
+                          [this, producers, k] { SeedSnapshot(producers, k); });
+  }
+}
+
+void CollectionMac::SeedSnapshot(const std::vector<NodeId>& producers,
+                                 std::int32_t snapshot) {
+  const sim::TimeNs now = simulator_.now();
+  snapshot_created_[snapshot] = now;
+  for (NodeId v : producers) {
+    agents_[v].queue.push_back(Packet{v, now, 0, snapshot});
+    ++expected_per_origin_[v];
+  }
+  for (NodeId v : producers) {
+    ActivateIfIdle(v);
+  }
+}
+
+// --- agent lifecycle ------------------------------------------------------
+
+void CollectionMac::ActivateIfIdle(NodeId node) {
+  Agent& agent = agents_[node];
+  if (!failed_[node] && agent.phase == Phase::kIdle && !agent.queue.empty()) {
+    BeginContention(node);
+  }
+}
+
+void CollectionMac::FailNode(NodeId node) {
+  CRN_CHECK(node != sink_) << "the base station cannot fail";
+  CRN_CHECK(!failed_[node]) << "node " << node << " already failed";
+  Agent& agent = agents_[node];
+  // Cut any transmission it is sending; the packet returns to the queue
+  // first and is then lost with the node below.
+  if (agent.phase == Phase::kTransmitting) {
+    FinishTransmission(node, /*aborted=*/true);
+    // FinishTransmission put the node into PostTxWait with a pending event.
+  }
+  if (agent.wait_event != sim::kInvalidEventId) {
+    simulator_.Cancel(agent.wait_event);
+    agent.wait_event = sim::kInvalidEventId;
+  }
+  if (agent.phase == Phase::kContending) {
+    LeaveContention(node);
+  }
+  agent.phase = Phase::kIdle;
+  failed_[node] = 1;
+  // In-flight transmissions toward the node lose their receiver.
+  for (Transmission& tx : active_tx_) {
+    if (tx.receiver == node && tx.receiver_ok) {
+      tx.receiver_ok = false;
+      tx.forced_outcome = TxOutcome::kReceiverBusy;
+    }
+  }
+  // Its queue is lost with it: shrink the expectations so termination and
+  // snapshot accounting stay exact.
+  for (const Packet& packet : agent.queue) {
+    --expected_per_origin_[packet.origin];
+    if (--snapshot_remaining_[packet.snapshot] == 0 &&
+        snapshot_finish_[packet.snapshot] < 0) {
+      snapshot_finish_[packet.snapshot] = simulator_.now();
+    }
+  }
+  expected_packets_ -= static_cast<std::int64_t>(agent.queue.size());
+  agent.queue.clear();
+  CheckTermination();
+}
+
+void CollectionMac::UpdateNextHop(NodeId node, NodeId next_hop) {
+  CRN_CHECK(node != sink_ && !failed_[node]) << "node " << node;
+  CRN_CHECK(next_hop != node) << "self-loop at " << node;
+  CRN_CHECK(!failed_[next_hop]) << "next hop " << next_hop << " has failed";
+  next_hop_[node] = next_hop;
+  // The re-route must still reach the base station acyclically.
+  NodeId cursor = node;
+  std::int32_t steps = 0;
+  while (cursor != sink_) {
+    cursor = next_hop_[cursor];
+    CRN_CHECK(++steps < node_count()) << "re-route created a cycle at " << node;
+  }
+}
+
+void CollectionMac::BeginContention(NodeId node) {
+  Agent& agent = agents_[node];
+  CRN_DCHECK(agent.phase == Phase::kIdle || agent.phase == Phase::kPostTxWait);
+  CRN_DCHECK(!agent.queue.empty());
+  agent.phase = Phase::kContending;
+  if (config_.backoff_granularity <= 0) {
+    // Algorithm 1: t_i uniform over (0, τ_c] at nanosecond granularity —
+    // simultaneous expiries among neighbors have probability ~0.
+    agent.backoff_drawn =
+        1 + static_cast<sim::TimeNs>(
+                backoff_rng_.UniformInt(static_cast<std::uint64_t>(config_.contention_window)));
+  } else {
+    // Conventional MAC: pick one of the few discrete contention slots. The
+    // small backward jitter keeps event timestamps distinct while leaving
+    // same-slot picks inside each other's sensing-latency blind window, so
+    // they genuinely collide.
+    const auto slots = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(config_.contention_window / config_.backoff_granularity));
+    const sim::TimeNs pick =
+        config_.backoff_granularity *
+        static_cast<sim::TimeNs>(1 + backoff_rng_.UniformInt(slots));
+    const sim::TimeNs jitter_range = std::max<sim::TimeNs>(
+        2, std::min<sim::TimeNs>(sim::kMicrosecond, config_.backoff_granularity / 4));
+    agent.backoff_drawn =
+        pick - static_cast<sim::TimeNs>(backoff_rng_.UniformInt(
+                   static_cast<std::uint64_t>(jitter_range)));
+  }
+  agent.remaining = agent.backoff_drawn;
+  agent.frozen = true;
+  agent.expiry_event = sim::kInvalidEventId;
+
+  // Join the sensing set.
+  CRN_DCHECK(contending_slot_[node] < 0);
+  contending_slot_[node] = static_cast<std::int32_t>(contending_list_.size());
+  contending_list_.push_back(node);
+  sensing_grid_.Insert(node);
+
+  // Fresh busy snapshot: stored counts are stale after an absence.
+  agent.pu_busy = SensePuBusy(agent);
+  agent.su_busy_count = ComputeSuBusyCount(node);
+  UpdateFreezeState(node);
+  for (const auto& observer : contention_observers_) {
+    observer(node, simulator_.now());
+  }
+}
+
+void CollectionMac::LeaveContention(NodeId node) {
+  Agent& agent = agents_[node];
+  if (!agent.frozen) FreezeTimer(node);
+  const std::int32_t pos = contending_slot_[node];
+  CRN_DCHECK(pos >= 0);
+  const NodeId moved = contending_list_.back();
+  contending_list_[pos] = moved;
+  contending_slot_[moved] = pos;
+  contending_list_.pop_back();
+  contending_slot_[node] = -1;
+  sensing_grid_.Erase(node);
+}
+
+void CollectionMac::FreezeTimer(NodeId node) {
+  Agent& agent = agents_[node];
+  CRN_DCHECK(!agent.frozen);
+  agent.remaining -= simulator_.now() - agent.resume_time;
+  CRN_DCHECK(agent.remaining >= 0);
+  agent.frozen = true;
+  if (agent.expiry_event != sim::kInvalidEventId) {
+    simulator_.Cancel(agent.expiry_event);
+    agent.expiry_event = sim::kInvalidEventId;
+  }
+}
+
+void CollectionMac::ResumeTimer(NodeId node) {
+  Agent& agent = agents_[node];
+  CRN_DCHECK(agent.frozen);
+  agent.frozen = false;
+  agent.resume_time = simulator_.now();
+  agent.expiry_event =
+      simulator_.ScheduleAfter(agent.remaining, sim::EventPriority::kTimerExpiry,
+                               [this, node] { OnBackoffExpired(node); });
+}
+
+void CollectionMac::UpdateFreezeState(NodeId node) {
+  Agent& agent = agents_[node];
+  if (agent.phase != Phase::kContending) return;
+  const bool busy = agent.pu_busy || agent.su_busy_count > 0;
+  if (busy && !agent.frozen) {
+    FreezeTimer(node);
+  } else if (!busy && agent.frozen) {
+    ResumeTimer(node);
+  }
+}
+
+bool CollectionMac::ComputePuBusy(const Agent& agent) const {
+  for (pu::PuId p : agent.nearby_pus) {
+    if (primary_.IsActive(p)) return true;
+  }
+  return false;
+}
+
+bool CollectionMac::SensePuBusy(const Agent& agent) {
+  const bool truth = ComputePuBusy(agent);
+  if (truth) {
+    if (config_.sensing_missed_detection > 0.0 &&
+        sensing_rng_.Bernoulli(config_.sensing_missed_detection)) {
+      return false;
+    }
+    return true;
+  }
+  return config_.sensing_false_alarm > 0.0 &&
+         sensing_rng_.Bernoulli(config_.sensing_false_alarm);
+}
+
+std::int32_t CollectionMac::ComputeSuBusyCount(NodeId node) const {
+  // Counts carriers this node can currently *sense*: announced active
+  // transmissions plus ended-but-not-yet-faded ones, mirroring exactly the
+  // increments/decrements the notification events will deliver later.
+  std::int32_t count = 0;
+  const geom::Vec2 pos = positions_[node];
+  const double pcr2 = config_.pcr * config_.pcr;
+  for (const Transmission& tx : active_tx_) {
+    if (tx.announced &&
+        geom::DistanceSquared(positions_[tx.transmitter], pos) <= pcr2) {
+      ++count;
+    }
+  }
+  for (NodeId fading : fading_tx_) {
+    if (geom::DistanceSquared(positions_[fading], pos) <= pcr2) ++count;
+  }
+  return count;
+}
+
+void CollectionMac::OnBackoffExpired(NodeId node) {
+  Agent& agent = agents_[node];
+  CRN_DCHECK(agent.phase == Phase::kContending);
+  agent.expiry_event = sim::kInvalidEventId;
+  // Defensive re-check: a same-instant busy transition processed earlier in
+  // the event order freezes the timer and cancels this event, but if the
+  // spectrum turned busy through a path that did not touch this agent the
+  // conservative move is to wait for the next free period.
+  if (agent.pu_busy || agent.su_busy_count > 0) {
+    agent.frozen = true;
+    agent.remaining = 0;
+    return;
+  }
+  // Line 11 of Algorithm 1: transmit when a spectrum opportunity appears.
+  // A packet that cannot finish before the next slot boundary would ride
+  // through a PU re-sample; instead the SU holds until the boundary and
+  // senses again. All deferred SUs re-fire at exactly the boundary: the
+  // event queue's deterministic sequence order preserves their expiry order
+  // (Theorem 1's fairness property rides on that order), the first to fire
+  // freezes the rest through carrier sensing before their events pop, and a
+  // fresh backoff drawn after the boundary (≥ 1 ns) can never leapfrog a
+  // deferred winner. Conventional MACs (slot_aware_defer = false) just fire.
+  const sim::TimeNs slot_end = slot_start_time_ + config_.slot;
+  if (config_.slot_aware_defer &&
+      simulator_.now() + config_.tx_duration > slot_end) {
+    agent.frozen = false;
+    agent.resume_time = simulator_.now();
+    agent.remaining = slot_end - simulator_.now();
+    agent.expiry_event =
+        simulator_.ScheduleAfter(agent.remaining, sim::EventPriority::kTimerExpiry,
+                                 [this, node] { OnBackoffExpired(node); });
+    return;
+  }
+  agent.remaining = 0;
+  LeaveContention(node);
+  StartTransmission(node);
+}
+
+void CollectionMac::OnPostTxWaitDone(NodeId node) {
+  Agent& agent = agents_[node];
+  CRN_DCHECK(agent.phase == Phase::kPostTxWait);
+  agent.wait_event = sim::kInvalidEventId;
+  if (agent.queue.empty()) {
+    agent.phase = Phase::kIdle;
+  } else {
+    BeginContention(node);
+  }
+}
+
+// --- transmissions ----------------------------------------------------------
+
+void CollectionMac::StartTransmission(NodeId node) {
+  Agent& agent = agents_[node];
+  CRN_DCHECK(!agent.queue.empty());
+  agent.phase = Phase::kTransmitting;
+
+  const NodeId receiver = next_hop_[node];
+  Transmission tx;
+  tx.transmitter = node;
+  tx.receiver = receiver;
+  tx.start = simulator_.now();
+  tx.end = tx.start + config_.tx_duration;
+  tx.signal_power = sir_.path_loss().ReceivedPower(
+      config_.su_power, geom::Distance(positions_[node], positions_[receiver]));
+
+  // Half-duplex: a receiver that is itself on the air cannot receive; a
+  // failed receiver is simply gone.
+  if (active_tx_slot_[receiver] >= 0 || failed_[receiver]) {
+    tx.receiver_ok = false;
+    tx.forced_outcome = TxOutcome::kReceiverBusy;
+  } else {
+    // RS (Re-Start) mode: if the receiver is already locked onto another
+    // transmission, the stronger signal wins the radio.
+    for (Transmission& other : active_tx_) {
+      if (other.receiver != receiver || !other.receiver_ok) continue;
+      if (tx.signal_power > other.signal_power) {
+        other.receiver_ok = false;
+        other.forced_outcome = TxOutcome::kCaptureLost;
+      } else {
+        tx.receiver_ok = false;
+        tx.forced_outcome = TxOutcome::kReceiverBusy;
+      }
+      break;
+    }
+  }
+
+  tx.end_event = simulator_.ScheduleAfter(
+      config_.tx_duration, sim::EventPriority::kTransmissionEnd,
+      [this, node] { FinishTransmission(node, /*aborted=*/false); });
+  if (config_.sensing_latency <= 0) {
+    tx.announced = true;
+  } else {
+    tx.announce_event =
+        simulator_.ScheduleAfter(config_.sensing_latency, sim::EventPriority::kDefault,
+                                 [this, node] { AnnounceTxStart(node); });
+  }
+
+  active_tx_slot_[node] = static_cast<std::int32_t>(active_tx_.size());
+  active_tx_.push_back(tx);
+  ++stats_.attempts;
+
+  if (tx.announced) NotifySensorsTxStart(node);
+  // A new interferer appeared: refresh the SIR floor of every ongoing
+  // reception, including the new one.
+  ReevaluateOngoingSirs();
+}
+
+void CollectionMac::AnnounceTxStart(NodeId transmitter) {
+  const std::int32_t pos = active_tx_slot_[transmitter];
+  CRN_DCHECK(pos >= 0) << "announce for a vanished transmission";
+  Transmission& tx = active_tx_[pos];
+  tx.announced = true;
+  tx.announce_event = sim::kInvalidEventId;
+  NotifySensorsTxStart(transmitter);
+}
+
+void CollectionMac::FinishTransmission(NodeId node, bool aborted) {
+  const std::int32_t pos = active_tx_slot_[node];
+  CRN_DCHECK(pos >= 0);
+  Transmission tx = active_tx_[pos];
+  if (aborted) {
+    simulator_.Cancel(tx.end_event);
+  }
+  // Remove from the active set first so our own signal is not counted as
+  // interference in any further evaluation.
+  const NodeId moved = active_tx_.back().transmitter;
+  active_tx_[pos] = active_tx_.back();
+  active_tx_slot_[moved] = pos;
+  active_tx_.pop_back();
+  active_tx_slot_[node] = -1;
+  if (!tx.announced) {
+    // The carrier vanished before anyone could sense it; drop the pending
+    // announcement so increments and decrements stay paired.
+    if (tx.announce_event != sim::kInvalidEventId) simulator_.Cancel(tx.announce_event);
+  } else if (config_.sensing_latency <= 0) {
+    NotifySensorsTxEnd(node);
+  } else {
+    // End of carrier is sensed sensing_latency later; until then new
+    // contenders must still count it (fading_tx_).
+    fading_tx_.push_back(node);
+    simulator_.ScheduleAfter(config_.sensing_latency, sim::EventPriority::kDefault,
+                             [this, node] {
+                               const auto it =
+                                   std::find(fading_tx_.begin(), fading_tx_.end(), node);
+                               CRN_DCHECK(it != fading_tx_.end());
+                               fading_tx_.erase(it);
+                               NotifySensorsTxEnd(node);
+                             });
+  }
+
+  Agent& agent = agents_[node];
+  TxOutcome outcome = TxOutcome::kSuccess;
+  if (aborted) {
+    outcome = TxOutcome::kAbortedPuReturn;
+  } else if (!tx.receiver_ok) {
+    outcome = tx.forced_outcome;
+  } else if (tx.min_sir < config_.eta_s.linear()) {
+    outcome = TxOutcome::kSirFailure;
+  }
+  ++stats_.outcomes[static_cast<std::int32_t>(outcome)];
+
+  CRN_DCHECK(!agent.queue.empty());
+  const Packet attempted = agent.queue.front();
+  if (outcome == TxOutcome::kSuccess) {
+    Packet packet = attempted;
+    agent.queue.pop_front();
+    ++packet.hops;
+    ++success_tx_count_[node];
+    DeliverOrEnqueue(tx.receiver, packet);
+  }
+  tx.end = simulator_.now();
+  EmitTxEvent(tx, outcome, attempted);
+
+  // Fairness rule (Algorithm 1, line 12): wait out the remainder of the
+  // contention window before the next attempt.
+  agent.phase = Phase::kPostTxWait;
+  const sim::TimeNs wait =
+      config_.fairness_wait
+          ? std::max<sim::TimeNs>(0, config_.contention_window - agent.backoff_drawn)
+          : 0;
+  agent.wait_event = simulator_.ScheduleAfter(
+      wait, sim::EventPriority::kDefault, [this, node] { OnPostTxWaitDone(node); });
+}
+
+void CollectionMac::AbortOnPuReturn(NodeId node) {
+  CRN_DCHECK(active_tx_slot_[node] >= 0);
+  FinishTransmission(node, /*aborted=*/true);
+}
+
+void CollectionMac::NotifySensorsTxStart(NodeId transmitter) {
+  sensing_grid_.ForEachMemberInDisk(
+      positions_[transmitter], config_.pcr, [&](NodeId sensor) {
+        Agent& agent = agents_[sensor];
+        ++agent.su_busy_count;
+        UpdateFreezeState(sensor);
+      });
+}
+
+void CollectionMac::NotifySensorsTxEnd(NodeId transmitter) {
+  sensing_grid_.ForEachMemberInDisk(
+      positions_[transmitter], config_.pcr, [&](NodeId sensor) {
+        Agent& agent = agents_[sensor];
+        CRN_DCHECK(agent.su_busy_count > 0);
+        --agent.su_busy_count;
+        UpdateFreezeState(sensor);
+      });
+}
+
+double CollectionMac::EvaluateSir(const Transmission& tx) const {
+  const geom::Vec2 rx_pos = positions_[tx.receiver];
+  const spectrum::PathLoss& loss = sir_.path_loss();
+  double interference = 0.0;
+  for (const Transmission& other : active_tx_) {
+    if (other.transmitter == tx.transmitter) continue;
+    interference += loss.ReceivedPowerSquared(
+        config_.su_power, geom::DistanceSquared(positions_[other.transmitter], rx_pos));
+  }
+  const double pu_power = primary_.config().power;
+  for (pu::PuId p : primary_.active_transmitters()) {
+    interference += loss.ReceivedPowerSquared(
+        pu_power, geom::DistanceSquared(primary_.position(p), rx_pos));
+  }
+  if (interference <= 0.0) return std::numeric_limits<double>::infinity();
+  return tx.signal_power / interference;
+}
+
+void CollectionMac::ReevaluateOngoingSirs() {
+  for (Transmission& tx : active_tx_) {
+    if (!tx.receiver_ok) continue;  // verdict already sealed
+    tx.min_sir = std::min(tx.min_sir, EvaluateSir(tx));
+  }
+}
+
+// --- slot machinery ---------------------------------------------------------
+
+void CollectionMac::OnSlotBoundary() {
+  const sim::TimeNs now = simulator_.now();
+  if (now >= config_.max_sim_time) {
+    stats_.timed_out = true;
+    stats_.finish_time = now;
+    simulator_.Stop();
+    return;
+  }
+  primary_.ResampleSlot(activity_rng_);
+  ++slot_index_;
+  slot_start_time_ = now;
+
+  // Spectrum handoff: transmitters sense the PU comeback and abort at once
+  // (a missed detection lets the transmission ride on, harming the PU —
+  // which the audit then observes).
+  if (!active_tx_.empty()) {
+    std::vector<NodeId> to_abort;
+    for (const Transmission& tx : active_tx_) {
+      if (SensePuBusy(agents_[tx.transmitter])) to_abort.push_back(tx.transmitter);
+    }
+    for (NodeId node : to_abort) AbortOnPuReturn(node);
+  }
+
+  // Refresh every contending SU's PU-side busy flag; each check doubles as
+  // one spectrum-opportunity observation (Lemma 7 validation).
+  for (NodeId node : contending_list_) {
+    Agent& agent = agents_[node];
+    const bool pu_busy = SensePuBusy(agent);
+    ++stats_.slot_checks_total;
+    if (!pu_busy) ++stats_.slot_checks_free;
+    if (pu_busy != agent.pu_busy) {
+      agent.pu_busy = pu_busy;
+      UpdateFreezeState(node);
+    }
+  }
+
+  // The interference field changed wholesale; refresh reception SIR floors.
+  ReevaluateOngoingSirs();
+
+  // The audit snapshots the air mid-slot: deferred SUs transmit right after
+  // the boundary and direct expiries within the first τ − tx_duration, so
+  // 40% into the slot intersects most on-air intervals; at the boundary
+  // itself the secondary network is always silent.
+  if (config_.audit_stride > 0 && slot_index_ % config_.audit_stride == 0) {
+    simulator_.ScheduleAfter(config_.slot * 2 / 5, sim::EventPriority::kDefault,
+                             [this] { AuditPrimaryReceptions(); });
+  }
+
+  simulator_.ScheduleAfter(config_.slot, sim::EventPriority::kSlotBoundary,
+                           [this] { OnSlotBoundary(); });
+}
+
+void CollectionMac::AuditPrimaryReceptions() {
+  if (active_tx_.empty()) return;  // SUs silent: nothing to audit
+  primary_.SampleReceiverPositions(audit_rng_);
+  const spectrum::PathLoss& loss = sir_.path_loss();
+  const double audit_radius = config_.audit_proximity_factor * config_.pcr;
+  const double audit_radius2 = audit_radius * audit_radius;
+  const double pu_power = primary_.config().power;
+  const auto& active_pus = primary_.active_transmitters();
+  for (pu::PuId p : active_pus) {
+    const geom::Vec2 rx = primary_.receiver_position(p);
+    // Only PU receptions with secondary activity nearby can possibly be
+    // harmed by SUs; skip the rest to keep the audit cheap.
+    bool su_nearby = false;
+    for (const Transmission& tx : active_tx_) {
+      if (geom::DistanceSquared(positions_[tx.transmitter], rx) <= audit_radius2) {
+        su_nearby = true;
+        break;
+      }
+    }
+    if (!su_nearby) continue;
+
+    const double signal = loss.ReceivedPowerSquared(
+        pu_power, geom::DistanceSquared(primary_.position(p), rx));
+    double interference_pu = 0.0;
+    for (pu::PuId q : active_pus) {
+      if (q == p) continue;
+      interference_pu += loss.ReceivedPowerSquared(
+          pu_power, geom::DistanceSquared(primary_.position(q), rx));
+    }
+    double interference_su = 0.0;
+    for (const Transmission& tx : active_tx_) {
+      interference_su += loss.ReceivedPowerSquared(
+          config_.su_power, geom::DistanceSquared(positions_[tx.transmitter], rx));
+    }
+    ++stats_.audited_pu_receptions;
+    const double eta = config_.eta_p.linear();
+    const bool ok_without_su =
+        interference_pu <= 0.0 || signal / interference_pu >= eta;
+    const bool ok_with_su = signal / (interference_pu + interference_su) >= eta;
+    if (!ok_without_su) {
+      ++stats_.pu_only_failures;
+    } else if (!ok_with_su) {
+      ++stats_.su_caused_violations;
+    }
+  }
+}
+
+void CollectionMac::DeliverOrEnqueue(NodeId receiver, const Packet& packet) {
+  if (receiver == sink_) {
+    ++stats_.delivered;
+    stats_.delivered_hops_total += packet.hops;
+    ++delivered_per_origin_[packet.origin];
+    CRN_CHECK(delivered_per_origin_[packet.origin] <= expected_per_origin_[packet.origin])
+        << "origin " << packet.origin << " over-delivered: packets must reach "
+        << "the base station exactly once";
+    if (delivery_time_[packet.origin] < 0) {
+      delivery_time_[packet.origin] = simulator_.now();
+    }
+    if (--snapshot_remaining_[packet.snapshot] == 0) {
+      snapshot_finish_[packet.snapshot] = simulator_.now();
+    }
+    CheckTermination();
+    return;
+  }
+  agents_[receiver].queue.push_back(packet);
+  ActivateIfIdle(receiver);
+}
+
+void CollectionMac::EmitTxEvent(const Transmission& tx, TxOutcome outcome,
+                                const Packet& packet) {
+  if (observers_.empty()) return;
+  TxEvent event;
+  event.transmitter = tx.transmitter;
+  event.receiver = tx.receiver;
+  event.start = tx.start;
+  event.end = tx.end;
+  event.outcome = outcome;
+  event.packet = packet;
+  event.min_sir = tx.min_sir;
+  for (const auto& observer : observers_) observer(event);
+}
+
+void CollectionMac::CheckTermination() {
+  if (stats_.delivered == expected_packets_) {
+    stats_.finish_time = simulator_.now();
+    simulator_.Stop();
+  }
+}
+
+}  // namespace crn::mac

@@ -1,0 +1,326 @@
+// CollectionMac — the asynchronous CSMA medium-access layer of Algorithm 1,
+// shared by ADDC and the Coolest baseline (they differ only in the next-hop
+// table handed to the constructor).
+//
+// Per-SU behaviour (paper §IV-C):
+//   * with data queued, draw a backoff t_i uniformly from (0, τ_c];
+//   * carrier-sense with range R_pcr: the countdown runs only while no PU
+//     and no SU transmitter is active within R_pcr, freezing otherwise;
+//   * on expiry, transmit one packet (duration τ = B/W) to the next hop;
+//   * if a PU becomes active within R_pcr mid-transmission, hand off the
+//     spectrum immediately (abort, retry later);
+//   * after any attempt, wait the remaining τ_c − t_i before re-contending
+//     (the paper's fairness rule; disable via config for ablation A1).
+//
+// Receptions follow the physical interference model with the RS
+// (Re-Start) receiver mode [22]: the receiver locks onto the strongest
+// signal, and a reception succeeds iff its SIR stays ≥ η_s at every
+// interference-change instant and the receiver was never captured away.
+//
+// The class also runs the PU-protection audit described in DESIGN.md §5:
+// sampled primary receptions are SIR-checked with and without the secondary
+// network's interference; a violation is counted only when SU interference
+// flips a PU reception from success to failure.
+#ifndef CRN_MAC_COLLECTION_MAC_H_
+#define CRN_MAC_COLLECTION_MAC_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "geom/spatial_grid.h"
+#include "geom/vec2.h"
+#include "mac/packet.h"
+#include "pu/primary_network.h"
+#include "sim/simulator.h"
+#include "spectrum/interference.h"
+
+namespace crn::mac {
+
+struct MacConfig {
+  double su_power = 10.0;                           // P_s
+  SirThreshold eta_s = SirThreshold::FromDb(8.0);   // η_s
+  SirThreshold eta_p = SirThreshold::FromDb(8.0);   // η_p (audit only)
+  double pcr = 0.0;                                 // carrier-sensing range R_pcr
+  double alpha = 4.0;                               // path-loss exponent
+  sim::TimeNs slot = sim::kMillisecond;             // τ
+  sim::TimeNs contention_window = sim::kMillisecond / 2;  // τ_c
+  // Packet airtime. §V: "the propagation time of a data packet ... is less
+  // than 1 ms" — a packet fits inside one slot, so a transmission never
+  // straddles a PU re-sample boundary. The default τ − τ_c realizes
+  // Algorithm 1's within-slot contend-then-transmit cycle.
+  sim::TimeNs tx_duration = sim::kMillisecond / 2;
+  bool fairness_wait = true;                        // Algorithm 1 line 12
+
+  // --- conventional-MAC emulation (the Coolest baseline) ---------------
+  // ADDC draws backoffs at nanosecond granularity, so two neighbors never
+  // expire together (the paper's standing assumption). A commodity CSMA MAC
+  // draws from a small number of discrete contention slots instead; set
+  // backoff_granularity > 0 to emulate it. Combined with a non-zero
+  // carrier-sensing latency (detection lag), same-slot winners cannot hear
+  // each other, transmit concurrently, and collide — the "many data
+  // collisions ... and retransmissions" of §I that Algorithm 1 is designed
+  // to avoid. Collisions are not special-cased: the colliding transmissions
+  // simply fail the physical SIR check at their receivers.
+  sim::TimeNs backoff_granularity = 0;  // 0 = continuous (Algorithm 1)
+  sim::TimeNs sensing_latency = 0;      // busy/idle detection lag
+
+  // --- imperfect spectrum sensing ---------------------------------------
+  // Real detectors miss active PUs and fire on noise (the sensing
+  // literature of §II); applied independently to every PU-sensing decision
+  // (slot-boundary checks, contention entry, and the transmitter's handoff
+  // check). Missed detections surface as PU-protection violations and SIR
+  // failures; false alarms as lost spectrum opportunities. 0/0 reproduces
+  // the paper's perfect-sensing assumption.
+  double sensing_false_alarm = 0.0;       // P(busy reading | spectrum free)
+  double sensing_missed_detection = 0.0;  // P(free reading | PU active in PCR)
+  // Algorithm 1 waits for a *spectrum opportunity* (line 11): it knows the
+  // primary network is slotted (Lemma 7) and never launches a packet that
+  // would ride through the next PU re-sample. A conventional asynchronous
+  // MAC has no notion of the PU slot phase: it transmits the moment its
+  // backoff expires, and a boundary-crossing packet is killed by returning
+  // PUs with probability ≈ 1 − p_o — the §I "retransmissions" failure mode.
+  bool slot_aware_defer = true;
+  std::int32_t audit_stride = 16;                   // 0 disables the PU audit
+  double audit_proximity_factor = 4.0;  // audit PUs with an SU tx within factor·pcr
+  sim::TimeNs max_sim_time = 3'600 * sim::kSecond;  // hard timeout
+};
+
+// Aggregate counters for one collection run.
+struct MacStats {
+  std::int64_t attempts = 0;
+  std::array<std::int64_t, kTxOutcomeCount> outcomes{};  // indexed by TxOutcome
+  std::int64_t delivered = 0;
+  sim::TimeNs finish_time = 0;
+  bool timed_out = false;
+
+  // Spectrum-opportunity sampling: at each slot boundary, every contending
+  // SU contributes one observation of "is my PCR free of active PUs".
+  std::int64_t slot_checks_total = 0;
+  std::int64_t slot_checks_free = 0;
+
+  // PU-protection audit.
+  std::int64_t audited_pu_receptions = 0;
+  std::int64_t pu_only_failures = 0;       // failed even without SUs
+  std::int64_t su_caused_violations = 0;   // SU interference flipped the verdict
+
+  // Sum of per-packet hop counts at delivery (for mean path length).
+  std::int64_t delivered_hops_total = 0;
+
+  [[nodiscard]] double measured_spectrum_opportunity() const {
+    return slot_checks_total == 0
+               ? 1.0
+               : static_cast<double>(slot_checks_free) / slot_checks_total;
+  }
+};
+
+class CollectionMac {
+ public:
+  // `positions[sink]` is the base station; `next_hop[v]` must eventually
+  // lead every packet-producing node to `sink` (validated). The MAC keeps
+  // references to `simulator` and `primary` — both must outlive it.
+  CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& primary,
+                std::vector<geom::Vec2> positions, geom::Aabb area, NodeId sink,
+                std::vector<NodeId> next_hop, const MacConfig& config, Rng rng);
+
+  // Seeds one packet per entry of `producers` (created at current sim
+  // time) and schedules the network to run; a node listed k times produces
+  // k packets (multi-packet workloads in tests and examples). Call before
+  // Simulator::Run().
+  void StartCollection(const std::vector<NodeId>& producers);
+
+  // Convenience: every node except the sink produces one packet (the
+  // paper's snapshot model).
+  void StartSnapshotCollection();
+
+  // Continuous data collection: `snapshot_count` snapshots are produced,
+  // one every `interval` (the first at the current time); each snapshot
+  // seeds one packet per entry of `producers`. The run finishes when every
+  // packet of every snapshot has reached the base station. Per-snapshot
+  // completion times are exposed below — their growth across snapshots
+  // tells whether the offered rate is inside the network's collection
+  // capacity (Theorem 2).
+  void StartContinuousCollection(const std::vector<NodeId>& producers,
+                                 sim::TimeNs interval, std::int32_t snapshot_count);
+
+  // Completion time of each snapshot (-1 while incomplete) and its
+  // creation time.
+  [[nodiscard]] const std::vector<sim::TimeNs>& snapshot_finish_time() const {
+    return snapshot_finish_;
+  }
+  [[nodiscard]] const std::vector<sim::TimeNs>& snapshot_created_time() const {
+    return snapshot_created_;
+  }
+
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t expected_packets() const { return expected_packets_; }
+  [[nodiscard]] bool finished() const { return stats_.delivered == expected_packets_; }
+
+  // Delivery time per origin node (-1 while undelivered).
+  [[nodiscard]] const std::vector<sim::TimeNs>& delivery_time() const {
+    return delivery_time_;
+  }
+  // Successful transmissions per node (fairness analyses).
+  [[nodiscard]] const std::vector<std::int64_t>& success_tx_count() const {
+    return success_tx_count_;
+  }
+
+  // Observers fire when a transmission attempt terminates (any outcome) —
+  // used by tests (Theorem 1 fairness property) and detailed metrics.
+  void AddTxObserver(std::function<void(const TxEvent&)> observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  // Fires when a node sets a fresh backoff timer (Algorithm 1 line 3) —
+  // the reference instant of Theorem 1's property 𝔓.
+  void AddContentionObserver(std::function<void(NodeId, sim::TimeNs)> observer) {
+    contention_observers_.push_back(std::move(observer));
+  }
+
+  // --- network dynamics (§I: SUs may leave at any time) -----------------
+  // Permanently removes an SU at the current simulation time: any in-flight
+  // transmission is cut, its queued packets are lost with it (the expected
+  // total shrinks accordingly), and transmissions toward it fail. Re-route
+  // its former children via UpdateNextHop; until then their retries burn
+  // airtime into the void.
+  void FailNode(NodeId node);
+
+  // Re-points a live node's next hop (distributed route repair). The new
+  // hop must be live and must not create a routing cycle.
+  void UpdateNextHop(NodeId node, NodeId next_hop);
+
+  [[nodiscard]] bool IsFailed(NodeId node) const { return failed_[node] != 0; }
+
+  [[nodiscard]] const MacConfig& config() const { return config_; }
+  [[nodiscard]] geom::Vec2 position(NodeId node) const { return positions_[node]; }
+  [[nodiscard]] std::int32_t node_count() const {
+    return static_cast<std::int32_t>(positions_.size());
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kContending, kTransmitting, kPostTxWait };
+
+  struct Agent {
+    Phase phase = Phase::kIdle;
+    std::deque<Packet> queue;
+    // Contention state (valid in kContending).
+    sim::TimeNs backoff_drawn = 0;  // t_i of the current attempt
+    sim::TimeNs remaining = 0;
+    sim::TimeNs resume_time = 0;
+    bool frozen = true;
+    bool pu_busy = false;
+    std::int32_t su_busy_count = 0;
+    sim::EventId expiry_event = sim::kInvalidEventId;
+    sim::EventId wait_event = sim::kInvalidEventId;
+    std::vector<pu::PuId> nearby_pus;  // PUs within the PCR (static)
+  };
+
+  struct Transmission {
+    NodeId transmitter = graph::kInvalidNode;
+    NodeId receiver = graph::kInvalidNode;
+    sim::TimeNs start = 0;
+    sim::TimeNs end = 0;
+    sim::EventId end_event = sim::kInvalidEventId;
+    double signal_power = 0.0;  // received power at the receiver
+    double min_sir = std::numeric_limits<double>::infinity();
+    bool receiver_ok = true;    // false on half-duplex clash / capture loss
+    bool announced = false;     // sensing notification delivered (latency)
+    sim::EventId announce_event = sim::kInvalidEventId;
+    TxOutcome forced_outcome = TxOutcome::kSuccess;  // when !receiver_ok
+  };
+
+  // --- agent lifecycle -------------------------------------------------
+  void SeedSnapshot(const std::vector<NodeId>& producers, std::int32_t snapshot);
+  void ActivateIfIdle(NodeId node);           // node gained a packet
+  void BeginContention(NodeId node);          // draw backoff, start sensing
+  void LeaveContention(NodeId node);          // out of the sensing set
+  void FreezeTimer(NodeId node);
+  void ResumeTimer(NodeId node);
+  void UpdateFreezeState(NodeId node);        // after busy flags changed
+  void OnBackoffExpired(NodeId node);
+  void OnPostTxWaitDone(NodeId node);
+  // Ground truth: any PU inside the PCR currently transmitting.
+  [[nodiscard]] bool ComputePuBusy(const Agent& agent) const;
+  // What the detector reports: ground truth filtered through the
+  // false-alarm / missed-detection probabilities.
+  [[nodiscard]] bool SensePuBusy(const Agent& agent);
+  [[nodiscard]] std::int32_t ComputeSuBusyCount(NodeId node) const;
+
+  // --- transmissions ----------------------------------------------------
+  void StartTransmission(NodeId node);
+  void FinishTransmission(NodeId node, bool aborted);
+  void AbortOnPuReturn(NodeId node);
+  void AnnounceTxStart(NodeId transmitter);  // after sensing_latency
+  void NotifySensorsTxStart(NodeId transmitter);
+  void NotifySensorsTxEnd(NodeId transmitter);
+  void ReevaluateOngoingSirs();
+  [[nodiscard]] double EvaluateSir(const Transmission& tx) const;
+
+  // --- slot machinery ----------------------------------------------------
+  void OnSlotBoundary();
+  void AuditPrimaryReceptions();
+
+  void DeliverOrEnqueue(NodeId receiver, const Packet& packet);
+  void EmitTxEvent(const Transmission& tx, TxOutcome outcome, const Packet& packet);
+  void CheckTermination();
+
+  sim::Simulator& simulator_;
+  pu::PrimaryNetwork& primary_;
+  std::vector<geom::Vec2> positions_;
+  geom::Aabb area_;
+  NodeId sink_;
+  std::vector<NodeId> next_hop_;
+  MacConfig config_;
+  // Separate streams so the PU activity sequence is identical across
+  // algorithms fed the same root rng (paired comparisons), regardless of
+  // how many backoff draws each algorithm makes. The audit stream isolates
+  // receiver-position draws the same way.
+  Rng backoff_rng_;
+  Rng activity_rng_;
+  Rng audit_rng_;
+  Rng sensing_rng_;
+  spectrum::SirEvaluator sir_;
+
+  std::vector<Agent> agents_;
+  std::vector<char> failed_;
+  // Sensing set: nodes currently in kContending, as both an iterable list
+  // (slot-boundary PU refresh) and a spatial grid (tx start/stop
+  // notifications).
+  std::vector<NodeId> contending_list_;
+  std::vector<std::int32_t> contending_slot_;  // node -> index in list, -1 absent
+  geom::DynamicSpatialGrid sensing_grid_;
+
+  // Active transmissions, indexed by transmitter.
+  std::vector<Transmission> active_tx_;
+  std::vector<std::int32_t> active_tx_slot_;  // node -> index in active_tx_, -1
+  // Announced transmissions that ended but whose end-of-carrier has not yet
+  // been sensed (sensing_latency > 0). Counted as busy by new contenders so
+  // the deferred decrement never underflows.
+  std::vector<NodeId> fading_tx_;
+
+  std::vector<sim::TimeNs> delivery_time_;
+  std::vector<std::int64_t> expected_per_origin_;
+  std::vector<std::int64_t> delivered_per_origin_;
+  std::vector<std::int64_t> success_tx_count_;
+  // Continuous-mode accounting (single-snapshot runs use index 0).
+  std::vector<sim::TimeNs> snapshot_created_;
+  std::vector<sim::TimeNs> snapshot_finish_;
+  std::vector<std::int64_t> snapshot_remaining_;
+  std::vector<std::function<void(const TxEvent&)>> observers_;
+  std::vector<std::function<void(NodeId, sim::TimeNs)>> contention_observers_;
+
+  MacStats stats_;
+  std::int64_t expected_packets_ = 0;
+  std::int64_t slot_index_ = 0;
+  sim::TimeNs slot_start_time_ = 0;  // start of the current slot
+  bool running_ = false;
+};
+
+}  // namespace crn::mac
+
+#endif  // CRN_MAC_COLLECTION_MAC_H_

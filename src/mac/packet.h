@@ -1,0 +1,50 @@
+// Packet and transmission-event types shared by the MAC and the metric
+// observers.
+#ifndef CRN_MAC_PACKET_H_
+#define CRN_MAC_PACKET_H_
+
+#include <cstdint>
+
+#include "graph/unit_disk_graph.h"
+#include "sim/time.h"
+
+namespace crn::mac {
+
+using NodeId = graph::NodeId;
+
+// A data-collection payload. Packets are never aggregated (§III: "without
+// any data aggregation"), so identity is just the producing SU plus
+// bookkeeping for metrics.
+struct Packet {
+  NodeId origin = graph::kInvalidNode;
+  sim::TimeNs created = 0;
+  std::int32_t hops = 0;
+  std::int32_t snapshot = 0;  // which snapshot produced it (continuous mode)
+};
+
+// Terminal outcome of one SU transmission attempt.
+enum class TxOutcome : std::uint8_t {
+  kSuccess = 0,
+  kAbortedPuReturn,  // spectrum handoff: a PU became active inside the PCR
+  kSirFailure,       // physical-model SIR dropped below η_s during reception
+  kReceiverBusy,     // receiver was transmitting (half-duplex violation)
+  kCaptureLost,      // RS mode: receiver switched to a stronger signal
+};
+inline constexpr std::int32_t kTxOutcomeCount = 5;
+
+const char* ToString(TxOutcome outcome);
+
+// Observer record emitted when a transmission attempt terminates.
+struct TxEvent {
+  NodeId transmitter = graph::kInvalidNode;
+  NodeId receiver = graph::kInvalidNode;
+  sim::TimeNs start = 0;
+  sim::TimeNs end = 0;
+  TxOutcome outcome = TxOutcome::kSuccess;
+  Packet packet;
+  double min_sir = 0.0;  // +inf when unopposed
+};
+
+}  // namespace crn::mac
+
+#endif  // CRN_MAC_PACKET_H_

@@ -1,0 +1,49 @@
+#include "mac/trace.h"
+
+#include <cmath>
+
+namespace crn::mac {
+
+void TraceRecorder::Attach(CollectionMac& mac) {
+  mac.AddTxObserver([this](const TxEvent& event) { events_.push_back(event); });
+}
+
+void TraceRecorder::WriteCsv(std::ostream& out) const {
+  out << "start_ms,end_ms,transmitter,receiver,outcome,origin,snapshot,hops,min_sir\n";
+  for (const TxEvent& event : events_) {
+    out << sim::ToMilliseconds(event.start) << "," << sim::ToMilliseconds(event.end)
+        << "," << event.transmitter << "," << event.receiver << ","
+        << ToString(event.outcome) << "," << event.packet.origin << ","
+        << event.packet.snapshot << "," << event.packet.hops << ",";
+    if (std::isinf(event.min_sir)) {
+      out << "inf";
+    } else {
+      out << event.min_sir;
+    }
+    out << "\n";
+  }
+}
+
+TraceRecorder::Summary TraceRecorder::Summarize() const {
+  Summary summary;
+  summary.attempts = static_cast<std::int64_t>(events_.size());
+  sim::TimeNs airtime = 0;
+  sim::TimeNs useful = 0;
+  bool first = true;
+  for (const TxEvent& event : events_) {
+    ++summary.per_outcome[static_cast<std::int32_t>(event.outcome)];
+    const sim::TimeNs duration = event.end - event.start;
+    airtime += duration;
+    if (event.outcome == TxOutcome::kSuccess) useful += duration;
+    if (first || event.start < summary.first_start) summary.first_start = event.start;
+    if (event.end > summary.last_end) summary.last_end = event.end;
+    first = false;
+  }
+  if (airtime > 0) {
+    summary.useful_airtime_fraction =
+        static_cast<double>(useful) / static_cast<double>(airtime);
+  }
+  return summary;
+}
+
+}  // namespace crn::mac

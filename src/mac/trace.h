@@ -1,0 +1,44 @@
+// Transmission trace recording: attach to a CollectionMac before the run,
+// then export every transmission attempt as CSV for offline analysis
+// (gnuplot/pandas) or summarize it in-process. Examples and the CLI tool
+// use this; the simulator itself never pays for it unless attached.
+#ifndef CRN_MAC_TRACE_H_
+#define CRN_MAC_TRACE_H_
+
+#include <ostream>
+#include <vector>
+
+#include "mac/collection_mac.h"
+#include "mac/packet.h"
+
+namespace crn::mac {
+
+class TraceRecorder {
+ public:
+  // Registers observers on `mac`; the recorder must outlive the run.
+  void Attach(CollectionMac& mac);
+
+  [[nodiscard]] const std::vector<TxEvent>& events() const { return events_; }
+
+  // One row per transmission attempt:
+  // start_ms,end_ms,transmitter,receiver,outcome,origin,snapshot,hops,min_sir
+  void WriteCsv(std::ostream& out) const;
+
+  struct Summary {
+    std::int64_t attempts = 0;
+    std::int64_t per_outcome[kTxOutcomeCount] = {};
+    sim::TimeNs first_start = 0;
+    sim::TimeNs last_end = 0;
+    // Airtime efficiency: fraction of transmission time that carried a
+    // packet which ultimately succeeded.
+    double useful_airtime_fraction = 0.0;
+  };
+  [[nodiscard]] Summary Summarize() const;
+
+ private:
+  std::vector<TxEvent> events_;
+};
+
+}  // namespace crn::mac
+
+#endif  // CRN_MAC_TRACE_H_

@@ -1,0 +1,109 @@
+#include "pu/primary_network.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "geom/deployment.h"
+
+namespace crn::pu {
+
+namespace {
+
+constexpr double kGridCellOverRadius = 1.0;
+
+}  // namespace
+
+const char* ToString(ActivityProcess process) {
+  switch (process) {
+    case ActivityProcess::kIid:
+      return "iid";
+    case ActivityProcess::kMarkov:
+      return "markov";
+  }
+  return "unknown";
+}
+
+PrimaryNetwork::PrimaryNetwork(const PrimaryConfig& config, geom::Aabb area,
+                               Rng deployment_rng)
+    : PrimaryNetwork(config, area,
+                     geom::UniformDeployment(config.count, area, deployment_rng)) {}
+
+PrimaryNetwork::PrimaryNetwork(const PrimaryConfig& config, geom::Aabb area,
+                               std::vector<geom::Vec2> positions)
+    : config_(config),
+      positions_(std::move(positions)),
+      grid_(positions_, area, std::max(config.radius * kGridCellOverRadius, 1.0)) {
+  CRN_CHECK(config.power > 0.0) << "P_p=" << config.power;
+  CRN_CHECK(config.radius > 0.0) << "R=" << config.radius;
+  CRN_CHECK(config.activity >= 0.0 && config.activity <= 1.0)
+      << "p_t=" << config.activity;
+  CRN_CHECK(config.slot > 0);
+  if (config.process == ActivityProcess::kMarkov && config.activity < 1.0) {
+    CRN_CHECK(config.mean_burst_slots >= 1.0)
+        << "mean_burst_slots=" << config.mean_burst_slots;
+    CRN_CHECK(config.activity / (config.mean_burst_slots * (1.0 - config.activity)) <=
+              1.0)
+        << "activity " << config.activity << " unreachable with mean burst "
+        << config.mean_burst_slots << " (idle->active probability exceeds 1)";
+  }
+  CRN_CHECK(static_cast<std::int32_t>(positions_.size()) == config.count)
+      << positions_.size() << " positions for N=" << config.count;
+  active_.assign(positions_.size(), 0);
+  receiver_.assign(positions_.size(), geom::Vec2{});
+}
+
+void PrimaryNetwork::ResampleSlot(Rng& rng) {
+  active_list_.clear();
+  switch (config_.process) {
+    case ActivityProcess::kIid:
+      for (PuId id = 0; id < count(); ++id) {
+        active_[id] = rng.Bernoulli(config_.activity) ? 1 : 0;
+      }
+      break;
+    case ActivityProcess::kMarkov: {
+      // Two-state chain with stationary probability p_t of being active:
+      //   P(active -> idle)  = 1/L                    (mean burst L slots)
+      //   P(idle  -> active) = p_t / (L (1 - p_t))    (stationarity)
+      // The first sampled slot draws from the stationary distribution.
+      // Degenerate duty cycles pin the chain to one state.
+      const double p_off =
+          config_.activity >= 1.0 ? 0.0 : 1.0 / config_.mean_burst_slots;
+      const double p_on =
+          config_.activity >= 1.0
+              ? 1.0
+              : config_.activity * p_off / (1.0 - config_.activity);
+      for (PuId id = 0; id < count(); ++id) {
+        bool is_active;
+        if (slots_sampled_ == 0) {
+          is_active = rng.Bernoulli(config_.activity);
+        } else if (active_[id]) {
+          is_active = !rng.Bernoulli(p_off);
+        } else {
+          is_active = rng.Bernoulli(p_on);
+        }
+        active_[id] = is_active ? 1 : 0;
+      }
+      break;
+    }
+  }
+  for (PuId id = 0; id < count(); ++id) {
+    if (active_[id]) {
+      active_list_.push_back(id);
+      ++activations_total_;
+    }
+  }
+  ++slots_sampled_;
+}
+
+void PrimaryNetwork::SampleReceiverPositions(Rng& rng) {
+  for (PuId id : active_list_) {
+    // Uniform receiver in the disk of radius R (sqrt trick).
+    const double rho = config_.radius * std::sqrt(rng.UniformDouble());
+    const double theta = rng.UniformDouble(0.0, 2.0 * M_PI);
+    receiver_[id] = {positions_[id].x + rho * std::cos(theta),
+                     positions_[id].y + rho * std::sin(theta)};
+  }
+}
+
+}  // namespace crn::pu

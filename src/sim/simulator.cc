@@ -1,0 +1,75 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace crn::sim {
+
+EventId Simulator::ScheduleAt(TimeNs when, EventPriority priority,
+                              std::function<void()> fn) {
+  CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
+                          << " now=" << now_;
+  CRN_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, priority, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::ExecuteNext() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    if (const auto cancelled_it = cancelled_.find(entry.id);
+        cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    const auto callback_it = callbacks_.find(entry.id);
+    CRN_CHECK(callback_it != callbacks_.end()) << "event " << entry.id << " lost";
+    // Move the callback out before invoking so the callback may freely
+    // schedule/cancel without invalidating our iterator.
+    std::function<void()> fn = std::move(callback_it->second);
+    callbacks_.erase(callback_it);
+    now_ = entry.time;
+    fn();
+    ++events_executed_;
+    if (event_limit_ != 0 && events_executed_ > event_limit_) {
+      throw ContractViolation("simulator event limit exceeded — runaway event loop?");
+    }
+    return true;
+  }
+  return false;
+}
+
+TimeNs Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && ExecuteNext()) {
+  }
+  return now_;
+}
+
+TimeNs Simulator::RunUntil(TimeNs deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past cancelled entries without executing.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > deadline) break;
+    ExecuteNext();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace crn::sim

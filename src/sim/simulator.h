@@ -1,0 +1,103 @@
+// Deterministic discrete-event simulator.
+//
+// Events fire in (time, priority, sequence) order; priority breaks
+// same-instant ties between event *kinds* (e.g. a transmission that ends
+// exactly at a slot boundary completes before the new slot's primary-user
+// state applies), and the monotone sequence number makes everything else
+// deterministic. Scheduled events can be cancelled; cancellation is lazy
+// (cancelled entries are skipped on pop), which keeps Cancel O(1).
+#ifndef CRN_SIM_SIMULATOR_H_
+#define CRN_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/time.h"
+
+namespace crn::sim {
+
+// Same-instant ordering between event kinds; lower fires first.
+enum class EventPriority : std::int8_t {
+  kTransmissionEnd = 0,  // receptions complete before the slot flips
+  kSlotBoundary = 1,     // primary-user state changes
+  kTimerExpiry = 2,      // SU backoff expirations observe the new slot state
+  kDefault = 3,
+};
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+  [[nodiscard]] std::size_t pending_count() const { return queue_.size() - cancelled_.size(); }
+
+  // Schedules `fn` at absolute time `when` (≥ now). Returns an id usable
+  // with Cancel().
+  EventId ScheduleAt(TimeNs when, EventPriority priority, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (≥ 0) from now.
+  EventId ScheduleAfter(TimeNs delay, EventPriority priority, std::function<void()> fn) {
+    CRN_CHECK(delay >= 0) << "delay=" << delay;
+    return ScheduleAt(now_ + delay, priority, std::move(fn));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or already-
+  // cancelled id is a no-op (returns false).
+  bool Cancel(EventId id);
+
+  // Runs until the queue drains or `Stop()` is called. Returns the final
+  // simulation time.
+  TimeNs Run();
+
+  // Runs until simulated time would exceed `deadline`; events at exactly
+  // `deadline` still fire. Returns current time.
+  TimeNs RunUntil(TimeNs deadline);
+
+  // Stops Run()/RunUntil() after the current event completes.
+  void Stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  // Hard safety limit on total executed events; a run exceeding it throws
+  // (catches accidental infinite event loops in tests). 0 = unlimited.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    EventPriority priority;
+    EventId id;  // doubles as the sequence number (strictly increasing)
+    // Ordering for a max-heap turned min-heap: later entries are "less".
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      if (priority != other.priority) return priority > other.priority;
+      return id > other.id;
+    }
+  };
+
+  bool ExecuteNext();
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry> queue_;
+  // id -> callback for pending events; erased on fire/cancel.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace crn::sim
+
+#endif  // CRN_SIM_SIMULATOR_H_

@@ -1,0 +1,50 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crn {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(CRN_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingConditionThrowsContractViolation) {
+  EXPECT_THROW(CRN_CHECK(false), ContractViolation);
+}
+
+TEST(CheckTest, MessageContainsExpressionAndContext) {
+  try {
+    const int value = 41;
+    CRN_CHECK(value == 42) << "value=" << value;
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value == 42"), std::string::npos);
+    EXPECT_NE(what.find("value=41"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, StreamedMessageNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto side_effect = [&]() {
+    ++evaluations;
+    return "boom";
+  };
+  CRN_CHECK(true) << side_effect();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(CRN_DCHECK(false));
+#else
+  EXPECT_THROW(CRN_DCHECK(false), ContractViolation);
+#endif
+}
+
+}  // namespace
+}  // namespace crn

@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace crn {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, NamedStreamsAreIndependentAndStable) {
+  const Rng root(7);
+  Rng s1 = root.Stream("deployment");
+  Rng s1_again = root.Stream("deployment");
+  Rng s2 = root.Stream("pu-activity");
+  EXPECT_EQ(s1(), s1_again());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (s1() == s2()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, IndexedStreamsDiffer) {
+  const Rng root(7);
+  Rng r0 = root.Stream("rep", 0);
+  Rng r1 = root.Stream("rep", 1);
+  EXPECT_NE(r0(), r1());
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanAndRange) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.UniformDouble(10.0, 20.0);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LT(v, 20.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 15.0, 0.05);
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 10k draws
+}
+
+TEST(RngTest, UniformIntIsUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformInt(kBound)];
+  }
+  // Chi-square-ish sanity: each bucket within 5% of expectation.
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, kSamples * 0.05 / kBound);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  const int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, HashNameIsStable) {
+  EXPECT_EQ(HashName("abc"), HashName("abc"));
+  EXPECT_NE(HashName("abc"), HashName("abd"));
+  EXPECT_NE(HashName(""), HashName("a"));
+}
+
+TEST(RngTest, UniformIntBoundOne) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(std::uint64_t{1}), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace crn

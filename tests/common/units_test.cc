@@ -1,0 +1,47 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace crn {
+namespace {
+
+TEST(UnitsTest, DbToLinearKnownValues) {
+  EXPECT_DOUBLE_EQ(DbToLinear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(DbToLinear(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(DbToLinear(20.0), 100.0);
+  EXPECT_NEAR(DbToLinear(3.0), 1.9953, 1e-4);
+  EXPECT_NEAR(DbToLinear(-10.0), 0.1, 1e-12);
+}
+
+TEST(UnitsTest, LinearToDbRoundTrip) {
+  for (double db : {-20.0, -3.0, 0.0, 8.0, 10.0, 16.0}) {
+    EXPECT_NEAR(LinearToDb(DbToLinear(db)), db, 1e-9);
+  }
+}
+
+TEST(UnitsTest, LinearToDbRejectsNonPositive) {
+#ifndef NDEBUG
+  EXPECT_THROW(LinearToDb(0.0), ContractViolation);
+  EXPECT_THROW(LinearToDb(-1.0), ContractViolation);
+#endif
+}
+
+TEST(SirThresholdTest, FromDbMatchesLinear) {
+  const SirThreshold eta = SirThreshold::FromDb(8.0);
+  EXPECT_NEAR(eta.linear(), 6.30957, 1e-4);
+  EXPECT_NEAR(eta.db(), 8.0, 1e-9);
+}
+
+TEST(SirThresholdTest, FromLinear) {
+  const SirThreshold eta = SirThreshold::FromLinear(4.0);
+  EXPECT_DOUBLE_EQ(eta.linear(), 4.0);
+  EXPECT_NEAR(eta.db(), 6.0206, 1e-4);
+}
+
+TEST(SirThresholdTest, RejectsNonPositive) {
+  EXPECT_THROW(SirThreshold::FromLinear(0.0), ContractViolation);
+  EXPECT_THROW(SirThreshold::FromLinear(-2.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace crn

@@ -1,0 +1,68 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace crn::core {
+namespace {
+
+TEST(JainIndexTest, PerfectFairness) {
+  const std::vector<double> equal{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(JainIndex(equal), 1.0);
+}
+
+TEST(JainIndexTest, MaximalUnfairness) {
+  const std::vector<double> skewed{10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainIndex(skewed), 0.25);  // 1/k
+}
+
+TEST(JainIndexTest, KnownMixedValue) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  // (6)² / (3·14) = 36/42.
+  EXPECT_NEAR(JainIndex(values), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainIndexTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JainIndex(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(JainIndex(std::vector<double>{7.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainIndex(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndexTest, RejectsNegativeValues) {
+  EXPECT_THROW(JainIndex(std::vector<double>{1.0, -1.0}), ContractViolation);
+}
+
+TEST(JainIndexTest, ScaleInvariance) {
+  const std::vector<double> a{1.0, 2.0, 5.0};
+  const std::vector<double> b{10.0, 20.0, 50.0};
+  EXPECT_NEAR(JainIndex(a), JainIndex(b), 1e-12);
+}
+
+TEST(SummarizeTest, BasicStatistics) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SampleStats stats = Summarize(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_NEAR(stats.stddev, 2.1381, 1e-4);  // unbiased (n-1)
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+  EXPECT_EQ(stats.count, 8u);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const SampleStats stats = Summarize(std::vector<double>{3.5});
+  EXPECT_DOUBLE_EQ(stats.mean, 3.5);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_EQ(stats.count, 1u);
+}
+
+TEST(SummarizeTest, Empty) {
+  const SampleStats stats = Summarize(std::vector<double>{});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace crn::core

@@ -1,0 +1,154 @@
+#include "geom/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crn::geom {
+namespace {
+
+std::vector<Vec2> RandomPoints(std::int32_t count, Aabb area, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> points;
+  points.reserve(count);
+  for (std::int32_t i = 0; i < count; ++i) {
+    points.push_back({rng.UniformDouble(area.min.x, area.max.x),
+                      rng.UniformDouble(area.min.y, area.max.y)});
+  }
+  return points;
+}
+
+std::vector<std::int32_t> BruteForceDisk(const std::vector<Vec2>& points, Vec2 center,
+                                         double radius) {
+  std::vector<std::int32_t> result;
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(points.size()); ++i) {
+    if (Distance(points[i], center) <= radius) result.push_back(i);
+  }
+  return result;
+}
+
+// Property: grid queries agree with brute force over random point sets,
+// query centers, and radii — swept across seeds and cell sizes.
+class SpatialGridPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpatialGridPropertyTest, MatchesBruteForce) {
+  const Aabb area = Aabb::Square(100.0);
+  Rng rng(GetParam() * 977 + 1);
+  const auto points = RandomPoints(200, area, GetParam());
+  for (double cell_size : {3.0, 10.0, 45.0, 200.0}) {
+    const SpatialGrid grid(points, area, cell_size);
+    for (int q = 0; q < 20; ++q) {
+      const Vec2 center{rng.UniformDouble(-10.0, 110.0), rng.UniformDouble(-10.0, 110.0)};
+      const double radius = rng.UniformDouble(0.5, 40.0);
+      auto got = grid.QueryDisk(center, radius);
+      auto want = BruteForceDisk(points, center, radius);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, want) << "cell=" << cell_size << " r=" << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialGridPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SpatialGridTest, EmptyPointSet) {
+  const SpatialGrid grid({}, Aabb::Square(10.0), 5.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.QueryDisk({5.0, 5.0}, 100.0).empty());
+}
+
+TEST(SpatialGridTest, BoundaryPointsIncluded) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {10.0, 10.0}};
+  const SpatialGrid grid(points, Aabb::Square(10.0), 4.0);
+  EXPECT_EQ(grid.QueryDisk({0.0, 0.0}, 0.0).size(), 1u);  // exact hit
+  EXPECT_EQ(grid.QueryDisk({5.0, 5.0}, 7.08).size(), 2u);
+}
+
+TEST(SpatialGridTest, RejectsBadCellSize) {
+  EXPECT_THROW(SpatialGrid({}, Aabb::Square(10.0), 0.0), ContractViolation);
+  EXPECT_THROW(SpatialGrid({}, Aabb::Square(10.0), -1.0), ContractViolation);
+}
+
+TEST(DynamicSpatialGridTest, MembershipLifecycle) {
+  const std::vector<Vec2> points{{1, 1}, {2, 2}, {50, 50}, {99, 99}};
+  DynamicSpatialGrid grid(points, Aabb::Square(100.0), 10.0);
+  EXPECT_EQ(grid.member_count(), 0u);
+
+  grid.Insert(0);
+  grid.Insert(2);
+  EXPECT_TRUE(grid.Contains(0));
+  EXPECT_FALSE(grid.Contains(1));
+  EXPECT_EQ(grid.member_count(), 2u);
+
+  std::vector<std::int32_t> hits;
+  grid.ForEachMemberInDisk({0, 0}, 5.0, [&](std::int32_t i) { hits.push_back(i); });
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{0}));
+
+  grid.Erase(0);
+  EXPECT_FALSE(grid.Contains(0));
+  hits.clear();
+  grid.ForEachMemberInDisk({0, 0}, 200.0, [&](std::int32_t i) { hits.push_back(i); });
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{2}));
+}
+
+TEST(DynamicSpatialGridTest, DoubleInsertAndEraseAreIdempotent) {
+  const std::vector<Vec2> points{{1, 1}, {2, 2}};
+  DynamicSpatialGrid grid(points, Aabb::Square(10.0), 5.0);
+  grid.Insert(0);
+  grid.Insert(0);
+  EXPECT_EQ(grid.member_count(), 1u);
+  grid.Erase(0);
+  grid.Erase(0);
+  EXPECT_EQ(grid.member_count(), 0u);
+}
+
+TEST(DynamicSpatialGridTest, SwapEraseKeepsOtherMembersFindable) {
+  // Points sharing one cell exercise the swap-erase slot fix.
+  const std::vector<Vec2> points{{1, 1}, {1.5, 1.5}, {2, 2}};
+  DynamicSpatialGrid grid(points, Aabb::Square(10.0), 10.0);
+  grid.Insert(0);
+  grid.Insert(1);
+  grid.Insert(2);
+  grid.Erase(0);  // last-inserted member 2 is swapped into slot 0
+  grid.Erase(2);
+  std::vector<std::int32_t> hits;
+  grid.ForEachMemberInDisk({1.5, 1.5}, 5.0, [&](std::int32_t i) { hits.push_back(i); });
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{1}));
+}
+
+// Property: a random insert/erase workload tracked against a reference set.
+TEST(DynamicSpatialGridTest, RandomWorkloadMatchesReference) {
+  const Aabb area = Aabb::Square(50.0);
+  const auto points = RandomPoints(100, area, 99);
+  DynamicSpatialGrid grid(points, area, 7.0);
+  std::vector<char> member(points.size(), 0);
+  Rng rng(123);
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::int32_t>(rng.UniformInt(points.size()));
+    if (rng.Bernoulli(0.5)) {
+      grid.Insert(i);
+      member[i] = 1;
+    } else {
+      grid.Erase(i);
+      member[i] = 0;
+    }
+    if (step % 100 == 0) {
+      const Vec2 center{rng.UniformDouble(0.0, 50.0), rng.UniformDouble(0.0, 50.0)};
+      const double radius = rng.UniformDouble(1.0, 25.0);
+      std::vector<std::int32_t> got;
+      grid.ForEachMemberInDisk(center, radius, [&](std::int32_t v) { got.push_back(v); });
+      std::sort(got.begin(), got.end());
+      std::vector<std::int32_t> want;
+      for (std::int32_t v = 0; v < static_cast<std::int32_t>(points.size()); ++v) {
+        if (member[v] && Distance(points[v], center) <= radius) want.push_back(v);
+      }
+      ASSERT_EQ(got, want) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crn::geom

@@ -1,0 +1,55 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+namespace crn::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2Test, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot({1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+}
+
+TEST(Vec2Test, DistanceMatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1.0, 1.0}, {4.0, 5.0}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({2.0, 2.0}, {2.0, 2.0}), 0.0);
+}
+
+TEST(AabbTest, Dimensions) {
+  const Aabb box{{1.0, 2.0}, {4.0, 6.0}};
+  EXPECT_DOUBLE_EQ(box.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 12.0);
+  EXPECT_EQ(box.Center(), (Vec2{2.5, 4.0}));
+}
+
+TEST(AabbTest, Contains) {
+  const Aabb box = Aabb::Square(10.0);
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));    // boundary inclusive
+  EXPECT_TRUE(box.Contains({10.0, 10.0}));
+  EXPECT_TRUE(box.Contains({5.0, 5.0}));
+  EXPECT_FALSE(box.Contains({-0.1, 5.0}));
+  EXPECT_FALSE(box.Contains({5.0, 10.1}));
+}
+
+TEST(AabbTest, SquareAnchoredAtOrigin) {
+  const Aabb box = Aabb::Square(250.0);
+  EXPECT_EQ(box.min, (Vec2{0.0, 0.0}));
+  EXPECT_EQ(box.max, (Vec2{250.0, 250.0}));
+  EXPECT_DOUBLE_EQ(box.Area(), 62500.0);
+}
+
+}  // namespace
+}  // namespace crn::geom

@@ -1,0 +1,70 @@
+#include "harness/svg_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.h"
+#include "graph/cds_tree.h"
+
+namespace crn::harness {
+namespace {
+
+std::size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgExportTest, ElementCountsMatchTopology) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.05);
+  config.seed = 41;
+  const core::Scenario scenario(config, 0);
+  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+
+  SvgOptions options;
+  options.pcr_m = scenario.pcr();
+  std::ostringstream out;
+  WriteSvg(out, scenario.secondary_graph(), &tree, scenario.pu_positions(), options);
+  const std::string svg = out.str();
+
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One circle per SU + the sink ring + the PCR disk.
+  EXPECT_EQ(CountOccurrences(svg, "<circle"),
+            static_cast<std::size_t>(scenario.secondary_graph().node_count()) + 2);
+  // One line per non-root tree edge.
+  EXPECT_EQ(CountOccurrences(svg, "<line"),
+            static_cast<std::size_t>(scenario.secondary_graph().node_count()) - 1);
+  // One square per PU plus the background and frame rects.
+  EXPECT_EQ(CountOccurrences(svg, "<rect"),
+            scenario.pu_positions().size() + 2);
+  // All three role colors appear.
+  EXPECT_NE(svg.find("#1a1a1a"), std::string::npos);
+  EXPECT_NE(svg.find("#2a6fdb"), std::string::npos);
+  EXPECT_NE(svg.find("#ffffff"), std::string::npos);
+}
+
+TEST(SvgExportTest, WorksWithoutTreeOrPus) {
+  const std::vector<geom::Vec2> points{{5, 5}, {6, 5}};
+  const graph::UnitDiskGraph graph(points, geom::Aabb::Square(10.0), 2.0);
+  std::ostringstream out;
+  WriteSvg(out, graph, nullptr, {});
+  const std::string svg = out.str();
+  EXPECT_EQ(CountOccurrences(svg, "<line"), 0u);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 3u);  // 2 nodes + sink ring
+}
+
+TEST(SvgExportTest, RejectsBadScale) {
+  const graph::UnitDiskGraph graph({{1, 1}}, geom::Aabb::Square(10.0), 2.0);
+  std::ostringstream out;
+  SvgOptions options;
+  options.pixels_per_meter = 0.0;
+  EXPECT_THROW(WriteSvg(out, graph, nullptr, {}, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace crn::harness

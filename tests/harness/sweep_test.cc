@@ -1,0 +1,94 @@
+#include "harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace crn::harness {
+namespace {
+
+core::ScenarioConfig TinyConfig() {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.05);
+  config.seed = 11;
+  config.audit_stride = 0;  // keep the test fast
+  return config;
+}
+
+TEST(SweepTest, RepeatedComparisonProducesSaneSummary) {
+  const ComparisonSummary summary = RunRepeatedComparison(TinyConfig(), 2);
+  EXPECT_EQ(summary.addc_delay_ms.count, 2u);
+  EXPECT_EQ(summary.coolest_delay_ms.count, 2u);
+  EXPECT_EQ(summary.addc_completed, 2);
+  EXPECT_EQ(summary.coolest_completed, 2);
+  EXPECT_GT(summary.addc_delay_ms.mean, 0.0);
+  EXPECT_GT(summary.coolest_delay_ms.mean, 0.0);
+  EXPECT_GT(summary.delay_ratio, 0.0);
+  EXPECT_GT(summary.addc_capacity.mean, 0.0);
+  EXPECT_GT(summary.theorem2_bound_ms_mean, summary.addc_delay_ms.mean)
+      << "Theorem 2 upper bound must dominate the measured delay";
+}
+
+TEST(SweepTest, DelaySweepPrintsOneRowPerPoint) {
+  std::vector<SweepPoint> points;
+  core::ScenarioConfig config = TinyConfig();
+  points.push_back({"A", config});
+  config.pu_activity = 0.2;
+  points.push_back({"B", config});
+  std::ostringstream out;
+  const auto summaries = RunDelaySweep("test sweep", "param", points, 1, out);
+  EXPECT_EQ(summaries.size(), 2u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("test sweep"), std::string::npos);
+  EXPECT_NE(text.find("| A"), std::string::npos);
+  EXPECT_NE(text.find("| B"), std::string::npos);
+  EXPECT_NE(text.find("ADDC delay (ms)"), std::string::npos);
+}
+
+TEST(BenchScaleTest, DefaultsAreScaledDown) {
+  ::unsetenv("CRN_FULL_SCALE");
+  ::unsetenv("CRN_SCALE");
+  ::unsetenv("CRN_REPS");
+  const BenchScale scale = ResolveBenchScale();
+  EXPECT_FALSE(scale.full_scale);
+  EXPECT_EQ(scale.base.num_sus, 500);
+  EXPECT_EQ(scale.base.num_pus, 100);
+  EXPECT_EQ(scale.repetitions, 3);
+}
+
+TEST(BenchScaleTest, FullScaleEnv) {
+  ::setenv("CRN_FULL_SCALE", "1", 1);
+  const BenchScale scale = ResolveBenchScale();
+  EXPECT_TRUE(scale.full_scale);
+  EXPECT_EQ(scale.base.num_sus, 2000);
+  EXPECT_EQ(scale.repetitions, 10);
+  ::unsetenv("CRN_FULL_SCALE");
+}
+
+TEST(BenchScaleTest, RepsOverride) {
+  ::setenv("CRN_REPS", "5", 1);
+  const BenchScale scale = ResolveBenchScale();
+  EXPECT_EQ(scale.repetitions, 5);
+  ::unsetenv("CRN_REPS");
+}
+
+TEST(BenchScaleTest, ScaleOverride) {
+  ::setenv("CRN_SCALE", "0.1", 1);
+  const BenchScale scale = ResolveBenchScale();
+  EXPECT_EQ(scale.base.num_sus, 200);
+  ::unsetenv("CRN_SCALE");
+}
+
+TEST(BenchScaleTest, HeaderMentionsScaleAndClaim) {
+  ::unsetenv("CRN_FULL_SCALE");
+  const BenchScale scale = ResolveBenchScale();
+  std::ostringstream out;
+  PrintBenchHeader("Fig. 6(x)", "some claim", scale, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Fig. 6(x)"), std::string::npos);
+  EXPECT_NE(text.find("some claim"), std::string::npos);
+  EXPECT_NE(text.find("scaled-down"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crn::harness

@@ -1,0 +1,61 @@
+#include "harness/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace crn::harness {
+namespace {
+
+TEST(TableTest, MarkdownLayout) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  std::ostringstream out;
+  table.PrintMarkdown(out);
+  EXPECT_EQ(out.str(),
+            "| name  | value |\n"
+            "|-------|-------|\n"
+            "| alpha | 1     |\n"
+            "| b     | 12345 |\n");
+}
+
+TEST(TableTest, CsvLayout) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"x", "y", "z"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\nx,y,z\n");
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), ContractViolation);
+  EXPECT_THROW(table.AddRow({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(TableTest, EmptyTableStillPrintsHeader) {
+  Table table({"x"});
+  std::ostringstream out;
+  table.PrintMarkdown(out);
+  EXPECT_EQ(out.str(), "| x |\n|---|\n");
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(12000.0, 0), "12000");
+}
+
+TEST(FormatTest, FormatMeanStd) {
+  EXPECT_EQ(FormatMeanStd(10.0, 2.5, 1), "10.0 ± 2.5");
+  EXPECT_EQ(FormatMeanStd(100.123, 0.004, 2), "100.12 ± 0.00");
+}
+
+}  // namespace
+}  // namespace crn::harness

@@ -1,0 +1,161 @@
+// The central property of §IV-B (Definitions 4.1–4.3, Lemmas 2–3): with the
+// PCR set to κ·r, every R-set — transmitters pairwise at least R_pcr apart —
+// is a concurrent set: all transmissions succeed simultaneously under the
+// physical interference model.
+//
+// We attack the property with the adversarial configuration the proofs
+// themselves use: a worst-case hexagonal packing of transmitters at exactly
+// the PCR separation, with each receiver pushed to its maximum distance
+// (R for PUs, r for SUs) *toward* the strongest interferer.
+//
+// The corrected c2 passes for every receiver; the paper's printed c2 fails
+// (DESIGN.md §4), and the failing configuration is pinned as a regression
+// witness of the erratum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/pcr.h"
+#include "geom/packing.h"
+#include "spectrum/interference.h"
+
+namespace crn {
+namespace {
+
+using core::C2Variant;
+using core::PcrParams;
+using geom::Vec2;
+
+struct Link {
+  Vec2 transmitter;
+  Vec2 receiver;
+  double power = 0.0;
+  double eta_linear = 0.0;
+};
+
+// Builds the adversarial R-set: a hexagonal packing of `layers` rings at
+// separation `pcr` around a center transmitter; roles (PU/SU) alternate by
+// index. Every receiver sits at the role's maximum link distance, aimed at
+// the center (the densest interference direction); the center's receiver
+// aims at its nearest ring-1 neighbor.
+std::vector<Link> BuildAdversarialRset(const PcrParams& params, double pcr,
+                                       std::int64_t layers) {
+  std::vector<Vec2> transmitters{{0.0, 0.0}};
+  for (const Vec2& p : geom::HexPacking(layers, pcr)) {
+    transmitters.push_back(p);
+  }
+  std::vector<Link> links;
+  links.reserve(transmitters.size());
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    const bool is_pu = i % 2 == 1;  // center is an SU; roles alternate outward
+    Link link;
+    link.transmitter = transmitters[i];
+    link.power = is_pu ? params.pu_power : params.su_power;
+    link.eta_linear = is_pu ? params.eta_p.linear() : params.eta_s.linear();
+    const double reach = is_pu ? params.pu_radius : params.su_radius;
+    Vec2 toward{1.0, 0.0};  // center: aim at the nearest ring-1 interferer
+    if (i != 0) {
+      const double norm = transmitters[i].Norm();
+      toward = {-transmitters[i].x / norm, -transmitters[i].y / norm};
+    }
+    link.receiver = link.transmitter + toward * reach;
+    links.push_back(link);
+  }
+  return links;
+}
+
+// Minimum SIR margin (SIR / η) over all links transmitting concurrently.
+double WorstSirMargin(const std::vector<Link>& links, double alpha) {
+  const spectrum::SirEvaluator sir{spectrum::PathLoss(alpha)};
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    std::vector<spectrum::ActiveTransmitter> interferers;
+    interferers.reserve(links.size() - 1);
+    for (std::size_t j = 0; j < links.size(); ++j) {
+      if (j != i) interferers.push_back({links[j].transmitter, links[j].power});
+    }
+    const double value = sir.ComputeSir(links[i].transmitter, links[i].power,
+                                        links[i].receiver, interferers);
+    worst = std::min(worst, value / links[i].eta_linear);
+  }
+  return worst;
+}
+
+struct ConcurrentSetCase {
+  double alpha;
+  double eta_db;
+  double pu_power;
+  double su_power;
+};
+
+class ConcurrentSetTest : public ::testing::TestWithParam<ConcurrentSetCase> {
+ protected:
+  PcrParams Params() const {
+    const ConcurrentSetCase& c = GetParam();
+    PcrParams params;
+    params.alpha = c.alpha;
+    params.eta_p = SirThreshold::FromDb(c.eta_db);
+    params.eta_s = SirThreshold::FromDb(c.eta_db);
+    params.pu_power = c.pu_power;
+    params.su_power = c.su_power;
+    params.pu_radius = 10.0;
+    params.su_radius = 10.0;
+    return params;
+  }
+};
+
+TEST_P(ConcurrentSetTest, CorrectedPcrMakesRsetsConcurrent) {
+  const PcrParams params = Params();
+  const double pcr = ProperCarrierSensingRange(params, C2Variant::kCorrected);
+  const auto links = BuildAdversarialRset(params, pcr, /*layers=*/8);
+  EXPECT_GE(WorstSirMargin(links, params.alpha), 1.0)
+      << "an R-set at the corrected PCR failed to be a concurrent set";
+}
+
+TEST_P(ConcurrentSetTest, SlackVanishesBelowCorrectedPcr) {
+  // Concurrency is not a fluke of an oversized range: shrinking the
+  // corrected PCR by 40% breaks the property in these adversarial packings.
+  const PcrParams params = Params();
+  const double pcr = ProperCarrierSensingRange(params, C2Variant::kCorrected);
+  const auto links = BuildAdversarialRset(params, 0.6 * pcr, /*layers=*/8);
+  EXPECT_LT(WorstSirMargin(links, params.alpha), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConcurrentSetTest,
+    ::testing::Values(ConcurrentSetCase{3.0, 8.0, 10.0, 10.0},
+                      ConcurrentSetCase{3.5, 8.0, 10.0, 10.0},
+                      ConcurrentSetCase{4.0, 8.0, 10.0, 10.0},
+                      ConcurrentSetCase{4.0, 6.0, 10.0, 10.0},
+                      ConcurrentSetCase{4.0, 10.0, 10.0, 10.0},
+                      ConcurrentSetCase{4.0, 8.0, 20.0, 10.0},
+                      ConcurrentSetCase{4.0, 8.0, 10.0, 20.0},
+                      ConcurrentSetCase{4.5, 8.0, 10.0, 10.0}));
+
+// The erratum witness: at Fig. 6 defaults the paper's printed c2 yields
+// a PCR whose adversarial R-set is NOT a concurrent set — a single
+// nearest-ring interferer already drives the center link below threshold.
+TEST(ConcurrentSetErratumTest, PaperC2FailsAtFig6Defaults) {
+  PcrParams params;
+  params.alpha = 4.0;
+  params.eta_p = SirThreshold::FromDb(8.0);
+  params.eta_s = SirThreshold::FromDb(8.0);
+  const double pcr = ProperCarrierSensingRange(params, C2Variant::kPaper);
+  const auto links = BuildAdversarialRset(params, pcr, /*layers=*/8);
+  EXPECT_LT(WorstSirMargin(links, 4.0), 1.0)
+      << "expected the printed c2 to under-protect (DESIGN.md §4)";
+}
+
+TEST(ConcurrentSetErratumTest, CorrectedFixesTheSameConfiguration) {
+  PcrParams params;
+  params.alpha = 4.0;
+  params.eta_p = SirThreshold::FromDb(8.0);
+  params.eta_s = SirThreshold::FromDb(8.0);
+  const double pcr = ProperCarrierSensingRange(params, C2Variant::kCorrected);
+  const auto links = BuildAdversarialRset(params, pcr, /*layers=*/8);
+  EXPECT_GE(WorstSirMargin(links, 4.0), 1.0);
+}
+
+}  // namespace
+}  // namespace crn

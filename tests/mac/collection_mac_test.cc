@@ -1,0 +1,259 @@
+#include "mac/collection_mac.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace crn::mac {
+namespace {
+
+using geom::Aabb;
+using geom::Vec2;
+
+// Test fixture assembling a CollectionMac over hand-placed nodes/PUs.
+struct Harness {
+  Harness(std::vector<Vec2> su_positions, std::vector<NodeId> next_hop,
+          std::vector<Vec2> pu_positions, double pu_activity, MacConfig config,
+          double side = 100.0, std::uint64_t seed = 99)
+      : area(Aabb::Square(side)),
+        primary(MakePrimary(std::move(pu_positions), pu_activity, config, area)),
+        mac(simulator, primary, std::move(su_positions), area, /*sink=*/0,
+            std::move(next_hop), config, Rng(seed)) {}
+
+  static pu::PrimaryNetwork MakePrimary(std::vector<Vec2> pu_positions,
+                                        double activity, const MacConfig& mac_config,
+                                        Aabb area) {
+    pu::PrimaryConfig config;
+    config.count = static_cast<std::int32_t>(pu_positions.size());
+    config.power = 10.0;
+    config.radius = 10.0;
+    config.activity = activity;
+    config.slot = mac_config.slot;
+    return pu::PrimaryNetwork(config, area, std::move(pu_positions));
+  }
+
+  Aabb area;
+  sim::Simulator simulator;
+  pu::PrimaryNetwork primary;
+  CollectionMac mac;
+};
+
+MacConfig BasicConfig() {
+  MacConfig config;
+  config.pcr = 30.0;
+  config.su_power = 10.0;
+  config.eta_s = SirThreshold::FromDb(8.0);
+  config.audit_stride = 0;
+  config.max_sim_time = 60 * sim::kSecond;
+  return config;
+}
+
+TEST(CollectionMacTest, SingleHopDeliversWithoutPus) {
+  // One SU next to the sink, no PUs: delivery within a couple of slots.
+  Harness h({{50, 50}, {55, 50}}, {0, 0}, {}, 0.0, BasicConfig());
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  EXPECT_EQ(h.mac.stats().delivered, 1);
+  EXPECT_EQ(h.mac.stats().outcomes[0], 1);  // one success, first try
+  EXPECT_EQ(h.mac.stats().attempts, 1);
+  EXPECT_LE(h.mac.stats().finish_time, 2 * sim::kMillisecond);
+  EXPECT_GE(h.mac.delivery_time()[1], 0);
+}
+
+TEST(CollectionMacTest, ChainRelaysAllPackets) {
+  // 0 <- 1 <- 2 <- 3: three packets, each relayed hop by hop.
+  Harness h({{10, 50}, {18, 50}, {26, 50}, {34, 50}}, {0, 0, 1, 2}, {}, 0.0,
+            BasicConfig());
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  EXPECT_EQ(h.mac.stats().delivered, 3);
+  // 3's packet travels 3 hops, 2's 2, 1's 1 = 6 successful transmissions.
+  EXPECT_EQ(h.mac.stats().outcomes[0], 6);
+  EXPECT_EQ(h.mac.stats().delivered_hops_total, 6);
+}
+
+TEST(CollectionMacTest, SelectedProducersOnly) {
+  Harness h({{10, 50}, {18, 50}, {26, 50}, {34, 50}}, {0, 0, 1, 2}, {}, 0.0,
+            BasicConfig());
+  h.mac.StartCollection({3});
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  EXPECT_EQ(h.mac.expected_packets(), 1);
+  EXPECT_EQ(h.mac.stats().delivered, 1);
+  EXPECT_LT(h.mac.delivery_time()[1], 0) << "node 1 produced nothing";
+  EXPECT_GE(h.mac.delivery_time()[3], 0);
+}
+
+TEST(CollectionMacTest, NeighborsNeverTransmitConcurrently) {
+  // Five SUs all within one PCR: carrier sensing must serialize them.
+  std::vector<Vec2> sus{{50, 50}, {52, 50}, {54, 50}, {50, 52}, {52, 52}, {54, 52}};
+  Harness h(sus, {0, 0, 0, 0, 0, 0}, {}, 0.0, BasicConfig());
+  std::vector<std::pair<sim::TimeNs, sim::TimeNs>> intervals;
+  h.mac.AddTxObserver([&](const TxEvent& event) {
+    intervals.emplace_back(event.start, event.end);
+  });
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+      const bool overlap = intervals[i].first < intervals[j].second &&
+                           intervals[j].first < intervals[i].second;
+      ASSERT_FALSE(overlap) << "transmissions " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(CollectionMacTest, BlockedByAlwaysActivePu) {
+  // A PU with p_t = 1 sits inside the SU's PCR: no opportunity ever
+  // appears and the run times out undelivered.
+  MacConfig config = BasicConfig();
+  config.max_sim_time = 50 * sim::kMillisecond;
+  Harness h({{50, 50}, {55, 50}}, {0, 0}, {{60, 50}}, 1.0, config);
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_FALSE(h.mac.finished());
+  EXPECT_TRUE(h.mac.stats().timed_out);
+  EXPECT_EQ(h.mac.stats().delivered, 0);
+  EXPECT_EQ(h.mac.stats().attempts, 0);
+  EXPECT_EQ(h.mac.stats().slot_checks_free, 0);
+}
+
+TEST(CollectionMacTest, PuOutsidePcrDoesNotBlock) {
+  MacConfig config = BasicConfig();
+  // PU at distance 40 > PCR 30 from the transmitter: sensing ignores it.
+  Harness h({{50, 50}, {55, 50}}, {0, 0}, {{95, 50}}, 1.0, config);
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+}
+
+TEST(CollectionMacTest, SpectrumHandoffOnPuReturn) {
+  // tx_duration spanning a whole slot guarantees every transmission crosses
+  // a boundary; with p_t = 0.8 the PU comes back mid-flight with high
+  // probability and the SU must abort (spectrum handoff) before eventually
+  // finishing. Ten packets make at least one handoff overwhelmingly likely.
+  MacConfig config = BasicConfig();
+  config.tx_duration = config.slot;  // forces boundary crossing
+  config.slot_aware_defer = false;
+  config.max_sim_time = 120 * sim::kSecond;
+  Harness h({{50, 50}, {55, 50}}, {0, 0}, {{60, 50}}, 0.8, config);
+  h.mac.StartCollection(std::vector<NodeId>(10, 1));
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  EXPECT_GT(h.mac.stats().outcomes[static_cast<int>(TxOutcome::kAbortedPuReturn)], 0)
+      << "expected at least one spectrum handoff";
+}
+
+TEST(CollectionMacTest, SlotAwareDeferAvoidsAllHandoffs) {
+  MacConfig config = BasicConfig();  // defer on, tx fits in slot
+  config.max_sim_time = 30 * sim::kSecond;
+  Harness h({{50, 50}, {55, 50}}, {0, 0}, {{60, 50}}, 0.5, config);
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  EXPECT_EQ(h.mac.stats().outcomes[static_cast<int>(TxOutcome::kAbortedPuReturn)], 0);
+}
+
+TEST(CollectionMacTest, MeasuredOpportunityTracksPuActivity) {
+  // Single contender with exactly one PU in range at p_t = 0.3: over many
+  // packets, the free fraction it observes at slot boundaries while
+  // contending should track 1 − p_t = 0.7 (Lemma 7 with one PU).
+  MacConfig config = BasicConfig();
+  config.max_sim_time = 60 * sim::kSecond;
+  std::vector<Vec2> sus{{50, 50}, {55, 50}};
+  Harness h(sus, {0, 0}, {{60, 50}}, 0.3, config);
+  h.mac.StartCollection(std::vector<NodeId>(400, 1));
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  const auto& stats = h.mac.stats();
+  ASSERT_GT(stats.slot_checks_total, 50);
+  EXPECT_NEAR(stats.measured_spectrum_opportunity(), 0.7, 0.15);
+}
+
+TEST(CollectionMacTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    MacConfig config = BasicConfig();
+    std::vector<Vec2> sus;
+    std::vector<NodeId> next_hop;
+    for (int i = 0; i < 12; ++i) {
+      sus.push_back({10.0 + 7.0 * i, 50.0});
+      next_hop.push_back(i == 0 ? 0 : i - 1);
+    }
+    Harness h(sus, next_hop, {{30, 55}, {70, 45}}, 0.3, config);
+    h.mac.StartSnapshotCollection();
+    h.simulator.Run();
+    return std::make_tuple(h.mac.stats().finish_time, h.mac.stats().attempts,
+                           h.mac.stats().outcomes[0]);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CollectionMacTest, RejectsBrokenNextHopTables) {
+  const std::vector<Vec2> sus{{50, 50}, {55, 50}, {60, 50}};
+  // Self-loop.
+  EXPECT_THROW(Harness({{50, 50}, {55, 50}}, {0, 1}, {}, 0.0, BasicConfig()),
+               ContractViolation);
+  // Cycle 1 <-> 2.
+  EXPECT_THROW(Harness(sus, {0, 2, 1}, {}, 0.0, BasicConfig()), ContractViolation);
+}
+
+TEST(CollectionMacTest, RejectsUnsetPcr) {
+  MacConfig config = BasicConfig();
+  config.pcr = 0.0;
+  EXPECT_THROW(Harness({{50, 50}, {55, 50}}, {0, 0}, {}, 0.0, config),
+               ContractViolation);
+}
+
+TEST(CollectionMacTest, SinkDoesNotProduce) {
+  Harness h({{50, 50}, {55, 50}}, {0, 0}, {}, 0.0, BasicConfig());
+  EXPECT_THROW(h.mac.StartCollection({0}), ContractViolation);
+}
+
+TEST(CollectionMacTest, PacketHopCountsAccumulate) {
+  Harness h({{10, 50}, {18, 50}, {26, 50}, {34, 50}}, {0, 0, 1, 2}, {}, 0.0,
+            BasicConfig());
+  std::vector<std::int32_t> delivered_hops;
+  h.mac.AddTxObserver([&](const TxEvent& event) {
+    if (event.outcome == TxOutcome::kSuccess && event.receiver == 0) {
+      delivered_hops.push_back(event.packet.hops);
+    }
+  });
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  // Hop counts recorded at the last hop: origin 1 arrives with 0 prior
+  // hops, origin 2 with 1, origin 3 with 2 (incremented after delivery).
+  std::sort(delivered_hops.begin(), delivered_hops.end());
+  EXPECT_EQ(delivered_hops, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(CollectionMacTest, FarApartCellsTransmitConcurrently) {
+  // Two independent pairs far beyond the PCR: spatial reuse must allow
+  // overlapping transmissions.
+  std::vector<Vec2> sus{{10, 10}, {15, 10}, {90, 90}, {85, 90}};
+  MacConfig config = BasicConfig();
+  config.pcr = 20.0;
+  Harness h(sus, {0, 0, 0, 2}, {}, 0.0, config);
+  // Route: node 1 -> sink, node 3 -> node 2 -> sink. Node 3 and node 1 are
+  // ~113 apart: they can air simultaneously.
+  bool overlap_seen = false;
+  std::vector<std::pair<sim::TimeNs, sim::TimeNs>> open;
+  h.mac.AddTxObserver([&](const TxEvent& event) {
+    for (const auto& other : open) {
+      if (event.start < other.second && other.first < event.end) overlap_seen = true;
+    }
+    open.emplace_back(event.start, event.end);
+  });
+  h.mac.StartSnapshotCollection();
+  h.simulator.Run();
+  EXPECT_TRUE(h.mac.finished());
+  EXPECT_TRUE(overlap_seen) << "no spatial reuse observed";
+}
+
+}  // namespace
+}  // namespace crn::mac

@@ -1,0 +1,110 @@
+// Tests for imperfect spectrum sensing (false alarms / missed detections).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mac/collection_mac.h"
+#include "sim/simulator.h"
+
+namespace crn::mac {
+namespace {
+
+using geom::Aabb;
+using geom::Vec2;
+
+struct Rig {
+  Rig(std::vector<Vec2> pu_positions, double pu_activity, MacConfig config,
+      std::uint64_t seed = 5)
+      : area(Aabb::Square(100.0)),
+        primary(MakePrimary(std::move(pu_positions), pu_activity, config, area)),
+        mac(simulator, primary, {{50, 50}, {55, 50}}, area, 0, {0, 0}, config,
+            Rng(seed)) {}
+
+  static pu::PrimaryNetwork MakePrimary(std::vector<Vec2> pu_positions,
+                                        double activity, const MacConfig& mac_config,
+                                        Aabb area) {
+    pu::PrimaryConfig config;
+    config.count = static_cast<std::int32_t>(pu_positions.size());
+    config.activity = activity;
+    config.slot = mac_config.slot;
+    return pu::PrimaryNetwork(config, area, std::move(pu_positions));
+  }
+
+  Aabb area;
+  sim::Simulator simulator;
+  pu::PrimaryNetwork primary;
+  CollectionMac mac;
+};
+
+MacConfig Config() {
+  MacConfig config;
+  config.pcr = 30.0;
+  config.audit_stride = 0;
+  config.max_sim_time = 30 * sim::kSecond;
+  return config;
+}
+
+TEST(SensingErrorTest, CertainFalseAlarmBlocksForever) {
+  // Spectrum is physically free (no PUs), but the detector always reads
+  // busy: the SU never transmits and the run times out.
+  MacConfig config = Config();
+  config.sensing_false_alarm = 1.0;
+  config.max_sim_time = 2 * sim::kSecond;
+  Rig rig({}, 0.0, config);
+  rig.mac.StartSnapshotCollection();
+  rig.simulator.Run();
+  EXPECT_FALSE(rig.mac.finished());
+  EXPECT_EQ(rig.mac.stats().attempts, 0);
+}
+
+TEST(SensingErrorTest, CertainMissedDetectionTransmitsThroughPu) {
+  // A PU with p_t = 1 inside the PCR would block forever under perfect
+  // sensing (see CollectionMacTest.BlockedByAlwaysActivePu); with the
+  // detector blind, the SU transmits anyway. The PU sits far enough from
+  // the receiver that the transmission still succeeds — the harm is on the
+  // PU side, which is the point.
+  MacConfig config = Config();
+  config.sensing_missed_detection = 1.0;
+  Rig rig({{78, 50}}, 1.0, config);  // inside SU's PCR (23 m), far from sink
+  rig.mac.StartSnapshotCollection();
+  rig.simulator.Run();
+  EXPECT_TRUE(rig.mac.finished());
+  EXPECT_GT(rig.mac.stats().attempts, 0);
+}
+
+TEST(SensingErrorTest, PartialFalseAlarmOnlySlowsDown) {
+  auto run = [](double false_alarm) {
+    MacConfig config = Config();
+    config.sensing_false_alarm = false_alarm;
+    Rig rig({}, 0.0, config, /*seed=*/11);
+    std::vector<NodeId> producers(50, 1);
+    rig.mac.StartCollection(producers);
+    rig.simulator.Run();
+    EXPECT_TRUE(rig.mac.finished()) << "fa=" << false_alarm;
+    return rig.mac.stats().finish_time;
+  };
+  // Free spectrum: false alarms stall the countdown at slot granularity.
+  EXPECT_GT(run(0.8), run(0.0));
+}
+
+TEST(SensingErrorTest, MeasuredOpportunityReflectsFalseAlarms) {
+  // With no PUs and fa = 0.5, half of the slot checks read busy.
+  MacConfig config = Config();
+  config.sensing_false_alarm = 0.5;
+  Rig rig({}, 0.0, config, /*seed=*/13);
+  std::vector<NodeId> producers(200, 1);
+  rig.mac.StartCollection(producers);
+  rig.simulator.Run();
+  ASSERT_GT(rig.mac.stats().slot_checks_total, 100);
+  EXPECT_NEAR(rig.mac.stats().measured_spectrum_opportunity(), 0.5, 0.1);
+}
+
+TEST(SensingErrorTest, PerfectSensingUnchangedByDefault) {
+  const MacConfig config = Config();
+  EXPECT_DOUBLE_EQ(config.sensing_false_alarm, 0.0);
+  EXPECT_DOUBLE_EQ(config.sensing_missed_detection, 0.0);
+}
+
+}  // namespace
+}  // namespace crn::mac

@@ -1,0 +1,104 @@
+// Tests for the transmission trace recorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "mac/collection_mac.h"
+#include "mac/trace.h"
+#include "sim/simulator.h"
+
+namespace crn::mac {
+namespace {
+
+using geom::Aabb;
+using geom::Vec2;
+
+struct Rig {
+  Rig()
+      : area(Aabb::Square(100.0)),
+        primary(PuConfig(), area, std::vector<Vec2>{}),
+        mac(simulator, primary, {{10, 50}, {18, 50}, {26, 50}}, area, 0, {0, 0, 1},
+            Config(), Rng(17)) {}
+
+  static MacConfig Config() {
+    MacConfig config;
+    config.pcr = 30.0;
+    config.audit_stride = 0;
+    return config;
+  }
+  static pu::PrimaryConfig PuConfig() {
+    pu::PrimaryConfig config;
+    config.count = 0;
+    config.activity = 0.0;
+    return config;
+  }
+
+  Aabb area;
+  sim::Simulator simulator;
+  pu::PrimaryNetwork primary;
+  CollectionMac mac;
+};
+
+TEST(TraceRecorderTest, RecordsEveryAttempt) {
+  Rig rig;
+  TraceRecorder recorder;
+  recorder.Attach(rig.mac);
+  rig.mac.StartSnapshotCollection();
+  rig.simulator.Run();
+  ASSERT_TRUE(rig.mac.finished());
+  EXPECT_EQ(static_cast<std::int64_t>(recorder.events().size()),
+            rig.mac.stats().attempts);
+  // Chain 0 <- 1 <- 2: three successful hops expected, no failures (quiet
+  // spectrum).
+  EXPECT_EQ(recorder.events().size(), 3u);
+}
+
+TEST(TraceRecorderTest, CsvHasHeaderAndOneRowPerEvent) {
+  Rig rig;
+  TraceRecorder recorder;
+  recorder.Attach(rig.mac);
+  rig.mac.StartSnapshotCollection();
+  rig.simulator.Run();
+  std::ostringstream out;
+  recorder.WriteCsv(out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, recorder.events().size() + 1);
+  EXPECT_EQ(text.rfind("start_ms,end_ms,transmitter,receiver,outcome,origin,"
+                       "snapshot,hops,min_sir\n", 0), 0u);
+  EXPECT_NE(text.find("success"), std::string::npos);
+  EXPECT_NE(text.find("inf"), std::string::npos);  // unopposed receptions
+}
+
+TEST(TraceRecorderTest, SummaryCountsAndAirtime) {
+  Rig rig;
+  TraceRecorder recorder;
+  recorder.Attach(rig.mac);
+  rig.mac.StartSnapshotCollection();
+  rig.simulator.Run();
+  const TraceRecorder::Summary summary = recorder.Summarize();
+  EXPECT_EQ(summary.attempts, 3);
+  EXPECT_EQ(summary.per_outcome[static_cast<int>(TxOutcome::kSuccess)], 3);
+  EXPECT_DOUBLE_EQ(summary.useful_airtime_fraction, 1.0);
+  EXPECT_GT(summary.last_end, summary.first_start);
+}
+
+TEST(TraceRecorderTest, EmptyTrace) {
+  TraceRecorder recorder;
+  const TraceRecorder::Summary summary = recorder.Summarize();
+  EXPECT_EQ(summary.attempts, 0);
+  EXPECT_DOUBLE_EQ(summary.useful_airtime_fraction, 0.0);
+  std::ostringstream out;
+  recorder.WriteCsv(out);
+  EXPECT_EQ(out.str(),
+            "start_ms,end_ms,transmitter,receiver,outcome,origin,snapshot,hops,"
+            "min_sir\n");
+}
+
+}  // namespace
+}  // namespace crn::mac

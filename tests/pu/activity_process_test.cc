@@ -1,0 +1,120 @@
+// Tests for the PU activity processes: i.i.d. Bernoulli (the paper's
+// evaluation model) vs the two-state Markov chain (same stationary duty
+// cycle, tunable burstiness).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "pu/primary_network.h"
+
+namespace crn::pu {
+namespace {
+
+using geom::Aabb;
+
+PrimaryConfig MarkovConfig(double activity, double burst) {
+  PrimaryConfig config;
+  config.count = 40;
+  config.activity = activity;
+  config.process = ActivityProcess::kMarkov;
+  config.mean_burst_slots = burst;
+  return config;
+}
+
+TEST(ActivityProcessTest, MarkovStationaryFractionMatchesPt) {
+  const Aabb area = Aabb::Square(100.0);
+  for (double burst : {2.0, 4.0, 10.0}) {
+    PrimaryNetwork network(MarkovConfig(0.3, burst), area, Rng(1));
+    Rng activity(7);
+    const int kSlots = 20000;
+    for (int s = 0; s < kSlots; ++s) network.ResampleSlot(activity);
+    const double fraction = static_cast<double>(network.activations_total()) /
+                            (static_cast<double>(kSlots) * network.count());
+    EXPECT_NEAR(fraction, 0.3, 0.02) << "burst=" << burst;
+  }
+}
+
+TEST(ActivityProcessTest, MarkovMeanBurstLengthMatchesConfig) {
+  const Aabb area = Aabb::Square(100.0);
+  const double kBurst = 6.0;
+  PrimaryNetwork network(MarkovConfig(0.3, kBurst), area, Rng(2));
+  Rng activity(9);
+  // Track bursts of PU 0.
+  std::int64_t bursts = 0;
+  std::int64_t active_slots = 0;
+  bool prev = false;
+  for (int s = 0; s < 60000; ++s) {
+    network.ResampleSlot(activity);
+    const bool now = network.IsActive(0);
+    if (now) {
+      ++active_slots;
+      if (!prev) ++bursts;
+    }
+    prev = now;
+  }
+  ASSERT_GT(bursts, 100);
+  EXPECT_NEAR(static_cast<double>(active_slots) / static_cast<double>(bursts),
+              kBurst, 0.6);
+}
+
+TEST(ActivityProcessTest, MarkovIsBurstierThanIid) {
+  // Count on->off transitions: with mean burst L the hazard is 1/L per
+  // active slot, so longer bursts mean fewer transitions at equal duty.
+  const Aabb area = Aabb::Square(100.0);
+  auto transitions = [&](PrimaryConfig config) {
+    PrimaryNetwork network(config, area, Rng(3));
+    Rng activity(11);
+    std::int64_t count = 0;
+    std::vector<char> prev(network.count(), 0);
+    for (int s = 0; s < 5000; ++s) {
+      network.ResampleSlot(activity);
+      for (PuId id = 0; id < network.count(); ++id) {
+        const char now = network.IsActive(id) ? 1 : 0;
+        if (prev[id] && !now) ++count;
+        prev[id] = now;
+      }
+    }
+    return count;
+  };
+  PrimaryConfig iid;
+  iid.count = 40;
+  iid.activity = 0.3;
+  const std::int64_t iid_transitions = transitions(iid);
+  const std::int64_t markov_transitions = transitions(MarkovConfig(0.3, 8.0));
+  EXPECT_LT(markov_transitions, iid_transitions / 2);
+}
+
+TEST(ActivityProcessTest, MarkovRejectsUnreachableActivity) {
+  const Aabb area = Aabb::Square(100.0);
+  // p_t = 0.9 with burst 2: idle->active probability would exceed 1.
+  EXPECT_THROW(PrimaryNetwork(MarkovConfig(0.9, 2.0), area, Rng(4)),
+               ContractViolation);
+  EXPECT_NO_THROW(PrimaryNetwork(MarkovConfig(0.9, 20.0), area, Rng(4)));
+}
+
+TEST(ActivityProcessTest, MarkovRejectsSubSlotBursts) {
+  const Aabb area = Aabb::Square(100.0);
+  EXPECT_THROW(PrimaryNetwork(MarkovConfig(0.3, 0.5), area, Rng(5)),
+               ContractViolation);
+}
+
+TEST(ActivityProcessTest, ToStringNames) {
+  EXPECT_STREQ(ToString(ActivityProcess::kIid), "iid");
+  EXPECT_STREQ(ToString(ActivityProcess::kMarkov), "markov");
+}
+
+TEST(ActivityProcessTest, SaturatedMarkovStaysActive) {
+  const Aabb area = Aabb::Square(100.0);
+  PrimaryConfig config = MarkovConfig(1.0, 4.0);
+  PrimaryNetwork network(config, area, Rng(6));
+  Rng activity(13);
+  for (int s = 0; s < 10; ++s) {
+    network.ResampleSlot(activity);
+    EXPECT_EQ(static_cast<std::int32_t>(network.active_transmitters().size()),
+              network.count());
+  }
+}
+
+}  // namespace
+}  // namespace crn::pu

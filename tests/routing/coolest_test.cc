@@ -1,0 +1,176 @@
+#include "routing/coolest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/deployment.h"
+#include "graph/unit_disk_graph.h"
+
+namespace crn::routing {
+namespace {
+
+using geom::Aabb;
+using geom::Vec2;
+using graph::NodeId;
+using graph::UnitDiskGraph;
+
+pu::PrimaryNetwork MakePrimary(std::vector<Vec2> positions, double activity,
+                               Aabb area) {
+  pu::PrimaryConfig config;
+  config.count = static_cast<std::int32_t>(positions.size());
+  config.activity = activity;
+  config.radius = 10.0;
+  return pu::PrimaryNetwork(config, area, std::move(positions));
+}
+
+TEST(NodeTemperaturesTest, FormulaMatchesNearbyPuCount) {
+  const Aabb area = Aabb::Square(100.0);
+  // One SU with 2 PUs in range, one with none.
+  const std::vector<Vec2> sus{{20, 20}, {80, 80}};
+  const auto primary = MakePrimary({{22, 20}, {20, 24}, {50, 50}}, 0.3, area);
+  const auto temps = NodeTemperatures(sus, primary, 10.0);
+  ASSERT_EQ(temps.size(), 2u);
+  EXPECT_NEAR(temps[0], 1.0 - std::pow(0.7, 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(temps[1], 0.0);
+}
+
+TEST(NodeTemperaturesTest, ZeroActivityMeansCold) {
+  const Aabb area = Aabb::Square(100.0);
+  const std::vector<Vec2> sus{{20, 20}};
+  const auto primary = MakePrimary({{22, 20}, {20, 24}}, 0.0, area);
+  EXPECT_DOUBLE_EQ(NodeTemperatures(sus, primary, 10.0)[0], 0.0);
+}
+
+// A 2x4 ladder where the top row is hot: the coolest route must take the
+// bottom row even though both are the same hop count.
+//
+//   1h - 2h - 3h
+//  /            \
+// 0 (sink)       6 (source)     h = hot (PU parked on top of the node)
+//  \            /
+//   4c - 5c - 7c... (indices below)
+struct LadderFixture {
+  LadderFixture()
+      : area(Aabb::Square(60.0)),
+        positions{{10, 20}, {20, 28}, {30, 28}, {40, 28}, {20, 12}, {30, 12},
+                  {50, 20}, {40, 12}},
+        graph(positions, area, 13.0),
+        primary(MakePrimary({{20, 28}, {30, 28}, {40, 28}}, 0.5, area)),
+        temps(NodeTemperatures(positions, primary, 5.0)) {}
+
+  Aabb area;
+  std::vector<Vec2> positions;
+  UnitDiskGraph graph;
+  pu::PrimaryNetwork primary;
+  std::vector<double> temps;
+};
+
+TEST(CoolestNextHopsTest, AvoidsHotRow) {
+  LadderFixture fixture;
+  // Sanity: top-row nodes are hot, bottom cold.
+  EXPECT_GT(fixture.temps[1], 0.4);
+  EXPECT_DOUBLE_EQ(fixture.temps[4], 0.0);
+  for (TemperatureMetric metric :
+       {TemperatureMetric::kAccumulated, TemperatureMetric::kHighest,
+        TemperatureMetric::kMixed}) {
+    const auto next_hop = CoolestNextHops(fixture.graph, fixture.temps, 0, metric);
+    // Source 6 routes through the cold bottom row 7-5-4, never 3-2-1.
+    NodeId cursor = 6;
+    while (cursor != 0) {
+      cursor = next_hop[cursor];
+      ASSERT_NE(cursor, 1) << ToString(metric);
+      ASSERT_NE(cursor, 2) << ToString(metric);
+      ASSERT_NE(cursor, 3) << ToString(metric);
+    }
+  }
+}
+
+TEST(CoolestNextHopsTest, UniformTemperaturesGiveShortestPaths) {
+  Rng rng(4);
+  const Aabb area = Aabb::Square(60.0);
+  std::vector<Vec2> points;
+  do {
+    points = geom::UniformDeployment(120, area, rng);
+    points[0] = area.Center();
+  } while (!geom::IsUnitDiskConnected(points, area, 12.0));
+  const UnitDiskGraph graph(points, area, 12.0);
+  const std::vector<double> temps(points.size(), 0.5);
+  const auto next_hop =
+      CoolestNextHops(graph, temps, 0, TemperatureMetric::kAccumulated);
+  const graph::BfsLayering bfs = BreadthFirstLayering(graph, 0);
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const PathSummary path = SummarizePath(next_hop, temps, v, 0);
+    ASSERT_EQ(path.hops, bfs.level[v]) << "node " << v;
+  }
+}
+
+TEST(CoolestNextHopsTest, AllNodesReachSink) {
+  Rng rng(5);
+  const Aabb area = Aabb::Square(70.0);
+  std::vector<Vec2> points;
+  do {
+    points = geom::UniformDeployment(150, area, rng);
+    points[0] = area.Center();
+  } while (!geom::IsUnitDiskConnected(points, area, 11.0));
+  const UnitDiskGraph graph(points, area, 11.0);
+  const auto primary = MakePrimary(geom::UniformDeployment(30, area, rng), 0.3, area);
+  const auto temps = NodeTemperatures(points, primary, 24.0);
+  for (TemperatureMetric metric :
+       {TemperatureMetric::kAccumulated, TemperatureMetric::kHighest,
+        TemperatureMetric::kMixed}) {
+    const auto next_hop = CoolestNextHops(graph, temps, 0, metric);
+    EXPECT_EQ(next_hop[0], 0);
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+      const PathSummary path = SummarizePath(next_hop, temps, v, 0);
+      ASSERT_LE(path.hops, graph.node_count());
+      // Tree edges must be graph edges.
+      if (v != 0) ASSERT_TRUE(graph.HasEdge(v, next_hop[v]));
+    }
+  }
+}
+
+TEST(CoolestNextHopsTest, HighestMetricMinimizesBottleneck) {
+  LadderFixture fixture;
+  const auto next_hop =
+      CoolestNextHops(fixture.graph, fixture.temps, 0, TemperatureMetric::kHighest);
+  const PathSummary path = SummarizePath(next_hop, fixture.temps, 6, 0);
+  EXPECT_LT(path.highest, 0.01);  // bottleneck along the cold row
+}
+
+TEST(CoolestNextHopsTest, DeterministicTieBreaks) {
+  LadderFixture fixture;
+  const auto a = CoolestNextHops(fixture.graph, fixture.temps, 0,
+                                 TemperatureMetric::kMixed);
+  const auto b = CoolestNextHops(fixture.graph, fixture.temps, 0,
+                                 TemperatureMetric::kMixed);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CoolestNextHopsTest, RejectsMismatchedTemperatures) {
+  LadderFixture fixture;
+  const std::vector<double> wrong_size(3, 0.1);
+  EXPECT_THROW(
+      CoolestNextHops(fixture.graph, wrong_size, 0, TemperatureMetric::kMixed),
+      ContractViolation);
+}
+
+TEST(SummarizePathTest, AggregatesSourceToSinkExclusive) {
+  // 2 -> 1 -> 0 with temps {0.9, 0.2, 0.4}.
+  const std::vector<NodeId> next_hop{0, 0, 1};
+  const std::vector<double> temps{0.9, 0.2, 0.4};
+  const PathSummary path = SummarizePath(next_hop, temps, 2, 0);
+  EXPECT_EQ(path.hops, 2);
+  EXPECT_NEAR(path.accumulated, 0.6, 1e-12);  // temp[2] + temp[1], sink excluded
+  EXPECT_NEAR(path.highest, 0.4, 1e-12);
+}
+
+TEST(ToStringTest, MetricNames) {
+  EXPECT_STREQ(ToString(TemperatureMetric::kAccumulated), "accumulated");
+  EXPECT_STREQ(ToString(TemperatureMetric::kHighest), "highest");
+  EXPECT_STREQ(ToString(TemperatureMetric::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace crn::routing

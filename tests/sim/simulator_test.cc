@@ -1,0 +1,137 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace crn::sim {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> fired;
+  simulator.ScheduleAt(30, EventPriority::kDefault, [&] { fired.push_back(3); });
+  simulator.ScheduleAt(10, EventPriority::kDefault, [&] { fired.push_back(1); });
+  simulator.ScheduleAt(20, EventPriority::kDefault, [&] { fired.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+  EXPECT_EQ(simulator.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, PriorityBreaksTimeTies) {
+  Simulator simulator;
+  std::vector<int> fired;
+  simulator.ScheduleAt(10, EventPriority::kTimerExpiry, [&] { fired.push_back(2); });
+  simulator.ScheduleAt(10, EventPriority::kTransmissionEnd, [&] { fired.push_back(0); });
+  simulator.ScheduleAt(10, EventPriority::kSlotBoundary, [&] { fired.push_back(1); });
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, SequenceBreaksFullTies) {
+  Simulator simulator;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    simulator.ScheduleAt(7, EventPriority::kDefault, [&fired, i] { fired.push_back(i); });
+  }
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  int fired = 0;
+  const EventId id = simulator.ScheduleAt(10, EventPriority::kDefault, [&] { ++fired; });
+  simulator.ScheduleAt(5, EventPriority::kDefault, [&] { ++fired; });
+  EXPECT_TRUE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(id));  // second cancel is a no-op
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelFromInsideEvent) {
+  Simulator simulator;
+  int fired = 0;
+  const EventId victim = simulator.ScheduleAt(10, EventPriority::kDefault, [&] { ++fired; });
+  simulator.ScheduleAt(10, EventPriority::kSlotBoundary,
+                       [&] { simulator.Cancel(victim); });
+  simulator.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator simulator;
+  std::vector<TimeNs> times;
+  std::function<void()> recurring = [&] {
+    times.push_back(simulator.now());
+    if (times.size() < 4) {
+      simulator.ScheduleAfter(10, EventPriority::kDefault, recurring);
+    }
+  };
+  simulator.ScheduleAt(0, EventPriority::kDefault, recurring);
+  simulator.Run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{0, 10, 20, 30}));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(1, EventPriority::kDefault, [&] {
+    ++fired;
+    simulator.Stop();
+  });
+  simulator.ScheduleAt(2, EventPriority::kDefault, [&] { ++fired; });
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.now(), 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  std::vector<TimeNs> times;
+  for (TimeNs t : {5, 10, 15, 20}) {
+    simulator.ScheduleAt(t, EventPriority::kDefault, [&, t] { times.push_back(t); });
+  }
+  simulator.RunUntil(15);
+  EXPECT_EQ(times, (std::vector<TimeNs>{5, 10, 15}));  // deadline inclusive
+  EXPECT_EQ(simulator.now(), 15);
+  simulator.Run();
+  EXPECT_EQ(times.back(), 20);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator simulator;
+  simulator.RunUntil(100);
+  EXPECT_EQ(simulator.now(), 100);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator simulator;
+  simulator.ScheduleAt(10, EventPriority::kDefault, [] {});
+  simulator.Run();
+  EXPECT_THROW(simulator.ScheduleAt(5, EventPriority::kDefault, [] {}),
+               ContractViolation);
+}
+
+TEST(SimulatorTest, EventLimitCatchesRunaway) {
+  Simulator simulator;
+  simulator.set_event_limit(100);
+  std::function<void()> forever = [&] {
+    simulator.ScheduleAfter(1, EventPriority::kDefault, forever);
+  };
+  simulator.ScheduleAt(0, EventPriority::kDefault, forever);
+  EXPECT_THROW(simulator.Run(), ContractViolation);
+}
+
+TEST(SimulatorTest, PendingCountTracksCancellations) {
+  Simulator simulator;
+  const EventId a = simulator.ScheduleAt(1, EventPriority::kDefault, [] {});
+  simulator.ScheduleAt(2, EventPriority::kDefault, [] {});
+  EXPECT_EQ(simulator.pending_count(), 2u);
+  simulator.Cancel(a);
+  EXPECT_EQ(simulator.pending_count(), 1u);
+}
+
+}  // namespace
+}  // namespace crn::sim

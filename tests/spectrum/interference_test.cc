@@ -1,0 +1,98 @@
+#include "spectrum/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crn::spectrum {
+namespace {
+
+using geom::Vec2;
+
+TEST(PathLossTest, KnownValuesAlphaFour) {
+  const PathLoss loss(4.0);
+  EXPECT_DOUBLE_EQ(loss.ReceivedPower(10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(loss.ReceivedPower(10.0, 2.0), 10.0 / 16.0);
+  EXPECT_DOUBLE_EQ(loss.ReceivedPower(16.0, 10.0), 16.0 * 1e-4);
+}
+
+TEST(PathLossTest, KnownValuesAlphaThree) {
+  const PathLoss loss(3.0);
+  EXPECT_NEAR(loss.ReceivedPower(8.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(loss.ReceivedPower(27.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(PathLossTest, SquaredDistanceFormAgreesWithPlain) {
+  for (double alpha : {2.5, 3.0, 3.7, 4.0, 4.5}) {
+    const PathLoss loss(alpha);
+    for (double d : {0.5, 1.0, 7.3, 42.0}) {
+      EXPECT_NEAR(loss.ReceivedPowerSquared(5.0, d * d), loss.ReceivedPower(5.0, d),
+                  1e-12 * loss.ReceivedPower(5.0, d))
+          << "alpha=" << alpha << " d=" << d;
+    }
+  }
+}
+
+TEST(PathLossTest, ClampsTinyDistances) {
+  const PathLoss loss(4.0);
+  EXPECT_EQ(loss.ReceivedPower(1.0, 0.0), loss.ReceivedPower(1.0, PathLoss::kMinDistance));
+  EXPECT_TRUE(std::isfinite(loss.ReceivedPower(1.0, 0.0)));
+}
+
+TEST(PathLossTest, RejectsAlphaAtOrBelowTwo) {
+  EXPECT_THROW(PathLoss(2.0), ContractViolation);
+  EXPECT_THROW(PathLoss(1.5), ContractViolation);
+}
+
+TEST(SirEvaluatorTest, NoInterferersGivesInfiniteSir) {
+  const SirEvaluator sir{PathLoss(4.0)};
+  const double value = sir.ComputeSir({0, 0}, 10.0, {5, 0}, {});
+  EXPECT_TRUE(std::isinf(value));
+}
+
+TEST(SirEvaluatorTest, HandComputedSir) {
+  // Signal: P=10 at distance 10 -> 10*10^-4 = 1e-3.
+  // Interference: one transmitter P=10 at distance 20 from the receiver
+  // -> 10*20^-4 = 6.25e-5. SIR = 16.
+  const SirEvaluator sir{PathLoss(4.0)};
+  const std::vector<ActiveTransmitter> interferers{{{30.0, 0.0}, 10.0}};
+  const double value = sir.ComputeSir({0, 0}, 10.0, {10.0, 0.0}, interferers);
+  EXPECT_NEAR(value, 16.0, 1e-9);
+}
+
+TEST(SirEvaluatorTest, InterferenceAggregates) {
+  const SirEvaluator sir{PathLoss(4.0)};
+  const std::vector<ActiveTransmitter> one{{{30.0, 0.0}, 10.0}};
+  const std::vector<ActiveTransmitter> two{{{30.0, 0.0}, 10.0}, {{-10.0, 0.0}, 10.0}};
+  const Vec2 rx{10.0, 0.0};
+  EXPECT_GT(sir.AggregateInterference(rx, two), sir.AggregateInterference(rx, one));
+  EXPECT_LT(sir.ComputeSir({0, 0}, 10.0, rx, two), sir.ComputeSir({0, 0}, 10.0, rx, one));
+}
+
+TEST(SirEvaluatorTest, ThresholdPredicate) {
+  const SirEvaluator sir{PathLoss(4.0)};
+  const std::vector<ActiveTransmitter> interferers{{{30.0, 0.0}, 10.0}};
+  // SIR is 16 (above): succeeds at eta=10 (10 dB), fails at eta=20.
+  EXPECT_TRUE(sir.TransmissionSucceeds({0, 0}, 10.0, {10.0, 0.0},
+                                       SirThreshold::FromLinear(10.0), interferers));
+  EXPECT_FALSE(sir.TransmissionSucceeds({0, 0}, 10.0, {10.0, 0.0},
+                                        SirThreshold::FromLinear(20.0), interferers));
+}
+
+TEST(SirEvaluatorTest, EquationTwoOfPaper) {
+  // Reproduce eq. (2): mixed PU/SU interference with distinct powers.
+  const SirEvaluator sir{PathLoss(3.0)};
+  const std::vector<ActiveTransmitter> interferers{
+      {{0.0, 10.0}, 20.0},  // a PU with P_p = 20
+      {{0.0, -5.0}, 5.0},   // an SU with P_s = 5
+  };
+  const Vec2 tx{0, 0};
+  const Vec2 rx{2.0, 0.0};
+  const double signal = 5.0 * std::pow(2.0, -3.0);
+  const double i_pu = 20.0 * std::pow(std::hypot(2.0, 10.0), -3.0);
+  const double i_su = 5.0 * std::pow(std::hypot(2.0, 5.0), -3.0);
+  EXPECT_NEAR(sir.ComputeSir(tx, 5.0, rx, interferers), signal / (i_pu + i_su), 1e-12);
+}
+
+}  // namespace
+}  // namespace crn::spectrum
