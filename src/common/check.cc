@@ -1,17 +1,37 @@
 #include "common/check.h"
 
+#include <cstdio>
+#include <exception>
 #include <sstream>
 
 namespace crn::internal {
 
-void FailCheck(const char* file, int line, const char* expr,
-               const std::string& message) {
+namespace {
+
+std::string FormatFailure(const char* file, int line, const char* expr,
+                          const std::string& message) {
   std::ostringstream out;
   out << "CRN_CHECK failed at " << file << ":" << line << ": " << expr;
   if (!message.empty()) {
     out << " — " << message;
   }
-  throw ContractViolation(out.str());
+  return out.str();
+}
+
+}  // namespace
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& message) {
+  throw ContractViolation(FormatFailure(file, line, expr, message));
+}
+
+void FailCheckDuringUnwind(const char* file, int line, const char* expr,
+                           const std::string& message) {
+  const std::string what = FormatFailure(file, line, expr, message);
+  std::fprintf(stderr, "%s (during active stack unwinding — terminating)\n",
+               what.c_str());
+  std::fflush(stderr);
+  std::terminate();
 }
 
 }  // namespace crn::internal

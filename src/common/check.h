@@ -4,9 +4,19 @@
 // a simulation); CRN_DCHECK compiles away in NDEBUG builds and is meant for
 // hot paths. Both throw crn::ContractViolation so tests can assert on
 // misuse and so failures unwind cleanly through RAII types.
+//
+// Exception contract: a failing check normally throws. The one place it
+// cannot is during active stack unwinding (a CRN_CHECK inside a destructor
+// that runs because another exception is in flight, or a streamed value
+// whose operator<< throws mid-message): a second in-flight exception would
+// call std::terminate with the diagnostic lost. The builder detects that
+// case via std::uncaught_exceptions() and instead prints the full failure
+// message to stderr before terminating deliberately — the process still
+// dies (the contract is broken either way), but never silently.
 #ifndef CRN_COMMON_CHECK_H_
 #define CRN_COMMON_CHECK_H_
 
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -24,6 +34,13 @@ namespace internal {
 [[noreturn]] void FailCheck(const char* file, int line, const char* expr,
                             const std::string& message);
 
+// Non-throwing failure path: prints the diagnostic to stderr and calls
+// std::terminate(). Used when the failure surfaces while an exception is
+// already unwinding the stack (see the contract at the top of this file).
+[[noreturn]] void FailCheckDuringUnwind(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& message);
+
 // Stream-style message builder: CRN_CHECK(x) << "context " << v;
 class CheckMessageBuilder {
  public:
@@ -31,6 +48,9 @@ class CheckMessageBuilder {
       : file_(file), line_(line), expr_(expr) {}
 
   [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    if (std::uncaught_exceptions() > 0) {
+      FailCheckDuringUnwind(file_, line_, expr_, stream_.str());
+    }
     FailCheck(file_, line_, expr_, stream_.str());
   }
 
@@ -56,9 +76,12 @@ class CheckMessageBuilder {
     ::crn::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 
 #ifdef NDEBUG
-#define CRN_DCHECK(cond) \
-  if (true) {            \
-  } else /* NOLINT */    \
+// Release builds: the condition stays compiled (so it cannot rot, and
+// variables it references stay odr-used under -Werror) but is never
+// evaluated — `true ||` short-circuits before any side effect.
+#define CRN_DCHECK(cond)  \
+  if (true || (cond)) {   \
+  } else /* NOLINT */     \
     ::crn::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 #else
 #define CRN_DCHECK(cond) CRN_CHECK(cond)

@@ -1,9 +1,11 @@
 #include "core/collection.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "core/invariant_auditor.h"
 #include "core/metrics.h"
 #include "core/theory.h"
 #include "graph/cds_tree.h"
@@ -81,8 +83,22 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   mac::CollectionMac mac(simulator, primary, scenario.su_positions(),
                          scenario.area(), scenario.sink(), std::move(next_hop),
                          mac_config, scenario.MakeRunRng().Stream("mac"));
+  std::optional<InvariantAuditor> auditor;
+  if (options.audit_report != nullptr) {
+    AuditConfig audit_config = options.audit;
+    // Conventional-MAC emulation collides same-slot winners on purpose; the
+    // R-set separation property only holds for Algorithm 1's regime.
+    if (mac_config.backoff_granularity > 0 || mac_config.sensing_latency > 0) {
+      audit_config.check_min_separation = false;
+    }
+    auditor.emplace(audit_config);
+    auditor->Attach(simulator, mac, &primary);
+  }
   mac.StartSnapshotCollection();
   simulator.Run();
+  if (auditor.has_value()) {
+    *options.audit_report = auditor->Finalize();
+  }
 
   CollectionResult result;
   result.algorithm = algorithm_label;
@@ -120,14 +136,15 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   return result;
 }
 
-CollectionResult RunAddc(const Scenario& scenario) {
+CollectionResult RunAddc(const Scenario& scenario, const RunOptions& options) {
   const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
   const auto n = tree.node_count();
   std::vector<graph::NodeId> next_hop(n, scenario.sink());
   for (graph::NodeId v = 0; v < n; ++v) {
     next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);
   }
-  CollectionResult result = RunWithNextHops(scenario, std::move(next_hop), "ADDC");
+  CollectionResult result =
+      RunWithNextHops(scenario, std::move(next_hop), "ADDC", options);
   result.dominators = tree.dominator_count();
   result.connectors = tree.connector_count();
 
@@ -176,6 +193,22 @@ CollectionResult RunCoolest(const Scenario& scenario,
       scenario.secondary_graph(), temperatures, scenario.sink(), metric);
   std::string label = std::string("Coolest/") + routing::ToString(metric);
   return RunWithNextHops(scenario, std::move(next_hop), label, options);
+}
+
+DeterminismReport CheckAddcDeterminism(const Scenario& scenario,
+                                       const RunOptions& options) {
+  RunOptions audited = options;
+  AuditReport first;
+  AuditReport second;
+  audited.audit_report = &first;
+  RunAddc(scenario, audited);
+  audited.audit_report = &second;
+  RunAddc(scenario, audited);
+  DeterminismReport report;
+  report.first_digest = first.trace_digest;
+  report.second_digest = second.trace_digest;
+  report.identical = first.trace_digest == second.trace_digest;
+  return report;
 }
 
 ComparisonResult RunComparison(const ScenarioConfig& config, std::uint64_t repetition,

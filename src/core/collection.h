@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/invariant_auditor.h"
 #include "core/scenario.h"
 #include "mac/collection_mac.h"
 #include "routing/coolest.h"
@@ -49,14 +50,6 @@ struct CollectionResult {
   mac::MacStats mac;
 };
 
-// Runs ADDC on the given deployed scenario.
-CollectionResult RunAddc(const Scenario& scenario);
-
-// Runs the Coolest-path baseline on the same deployment/MAC.
-CollectionResult RunCoolest(const Scenario& scenario,
-                            routing::TemperatureMetric metric =
-                                routing::TemperatureMetric::kAccumulated);
-
 // MAC-model overrides for a single run (defaults reproduce Algorithm 1).
 struct RunOptions {
   double sensing_range = 0.0;               // 0 = the scenario's PCR
@@ -65,7 +58,24 @@ struct RunOptions {
   bool slot_aware_defer = true;             // false = fire on expiry
   double sensing_false_alarm = 0.0;         // detector error axes (A5)
   double sensing_missed_detection = 0.0;
+  // When non-null, an InvariantAuditor runs alongside the collection and
+  // its finalized report is written here. The pairwise-separation check is
+  // auto-disabled under conventional-MAC emulation (nonzero backoff
+  // granularity or sensing latency), whose same-slot collisions are
+  // modelled deliberately. Attaching the auditor never changes the run's
+  // behaviour or trace digest (invariant_auditor.h).
+  AuditReport* audit_report = nullptr;
+  AuditConfig audit;
 };
+
+// Runs ADDC on the given deployed scenario. `options` passes MAC-model
+// overrides and (via audit_report) attaches the runtime invariant auditor.
+CollectionResult RunAddc(const Scenario& scenario, const RunOptions& options = {});
+
+// Runs the Coolest-path baseline on the same deployment/MAC.
+CollectionResult RunCoolest(const Scenario& scenario,
+                            routing::TemperatureMetric metric =
+                                routing::TemperatureMetric::kAccumulated);
 
 // Shared plumbing: run a CSMA collection over an arbitrary next-hop table.
 // Exposed for tests and custom examples (e.g. hand-crafted routes).
@@ -102,6 +112,20 @@ struct ContinuousResult {
 };
 ContinuousResult RunAddcContinuous(const Scenario& scenario, sim::TimeNs interval,
                                    std::int32_t snapshot_count);
+
+// --- determinism verification -----------------------------------------
+// Dual-run trace-digest check: executes the identical ADDC run twice and
+// compares the auditor's FNV digests. `identical` is the machine-checked
+// form of the repo's "same seed ⇒ bit-identical behaviour" claim, which
+// every figure-regeneration bench relies on. Used by the integration tests
+// and `addc_sim --audit`.
+struct DeterminismReport {
+  std::uint64_t first_digest = 0;
+  std::uint64_t second_digest = 0;
+  bool identical = false;
+};
+DeterminismReport CheckAddcDeterminism(const Scenario& scenario,
+                                       const RunOptions& options = {});
 
 }  // namespace crn::core
 

@@ -1,0 +1,202 @@
+#include "core/invariant_auditor.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "spectrum/interference.h"
+
+namespace crn::core {
+
+std::string AuditReport::Summary() const {
+  std::ostringstream out;
+  out << (ok() ? "OK" : "VIOLATIONS") << " — events=" << events_observed
+      << " tx_starts=" << tx_starts << " time_violations=" << time_violations
+      << " separation=" << separation_violations << "/" << separation_checks
+      << " su_sir=" << su_sir_violations << "/" << receptions_checked
+      << " pu_protection=" << pu_protection_violations << "/" << pu_checks
+      << " routing=" << routing_violations << "/" << routing_audits
+      << " digest=" << trace_digest;
+  return out.str();
+}
+
+InvariantAuditor::InvariantAuditor(const AuditConfig& config)
+    : config_(config), receiver_rng_(config.rng_seed) {}
+
+void InvariantAuditor::Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
+                              pu::PrimaryNetwork* primary) {
+  CRN_CHECK(mac_ == nullptr) << "InvariantAuditor attached twice";
+  simulator_ = &simulator;
+  mac_ = &mac;
+  primary_ = primary;
+  if (config_.check_event_time) {
+    time_auditor_.Attach(simulator);
+  }
+  mac.AddTxStartObserver(
+      [this](mac::NodeId transmitter, mac::NodeId receiver, sim::TimeNs start,
+             sim::TimeNs end) { OnTxStart(transmitter, receiver, start, end); });
+  mac.AddTxObserver([this](const mac::TxEvent& event) { OnTxEnd(event); });
+}
+
+void InvariantAuditor::OnTxStart(mac::NodeId transmitter, mac::NodeId receiver,
+                                 sim::TimeNs start, sim::TimeNs end) {
+  (void)receiver;
+  (void)start;
+  (void)end;
+  ++report_.tx_starts;
+  const geom::Vec2 position = mac_->position(transmitter);
+  if (config_.check_min_separation) {
+    const double min_separation = config_.min_separation > 0.0
+                                      ? config_.min_separation
+                                      : mac_->config().pcr;
+    const double min_separation_sq = min_separation * min_separation;
+    for (const ActiveTx& other : active_) {
+      ++report_.separation_checks;
+      if (geom::DistanceSquared(other.position, position) < min_separation_sq) {
+        ++report_.separation_violations;
+        std::ostringstream out;
+        out << "t=" << simulator_->now() << ": transmitters " << transmitter
+            << " and " << other.transmitter << " concurrently active "
+            << geom::Distance(other.position, position) << " m apart (< R_pcr "
+            << min_separation << " m)";
+        RecordViolation(out.str());
+      }
+    }
+  }
+  active_.push_back(ActiveTx{transmitter, position});
+  if (config_.check_pu_protection && primary_ != nullptr &&
+      config_.pu_check_stride > 0 &&
+      report_.tx_starts % config_.pu_check_stride == 0) {
+    CheckPuProtection();
+  }
+}
+
+void InvariantAuditor::CheckPuProtection() {
+  // Mirrors CollectionMac::AuditPrimaryReceptions, but re-derived here from
+  // first principles (and at transmission starts rather than sampled slots)
+  // so a bug in the MAC's own audit cannot mask a protection failure. A
+  // violation is counted only when secondary interference flips a PU
+  // reception from success to failure — PU-on-PU interference is the
+  // primary network's own business (Lemma 2 scopes the guarantee to SUs).
+  primary_->SampleReceiverPositions(receiver_rng_);
+  const spectrum::PathLoss loss(mac_->config().alpha);
+  const double eta = mac_->config().eta_p.linear();
+  const double su_power = mac_->config().su_power;
+  const double pu_power = primary_->config().power;
+  const std::vector<pu::PuId>& active_pus = primary_->active_transmitters();
+  for (pu::PuId p : active_pus) {
+    const geom::Vec2 rx = primary_->receiver_position(p);
+    const double signal = loss.ReceivedPowerSquared(
+        pu_power, geom::DistanceSquared(primary_->position(p), rx));
+    double interference_pu = 0.0;
+    for (pu::PuId q : active_pus) {
+      if (q == p) continue;
+      interference_pu += loss.ReceivedPowerSquared(
+          pu_power, geom::DistanceSquared(primary_->position(q), rx));
+    }
+    double interference_su = 0.0;
+    for (const ActiveTx& tx : active_) {
+      interference_su +=
+          loss.ReceivedPowerSquared(su_power, geom::DistanceSquared(tx.position, rx));
+    }
+    ++report_.pu_checks;
+    const bool ok_without_su =
+        interference_pu <= 0.0 || signal / interference_pu >= eta;
+    const bool ok_with_su =
+        signal / (interference_pu + interference_su) >= eta;
+    if (ok_without_su && !ok_with_su) {
+      ++report_.pu_protection_violations;
+      std::ostringstream out;
+      out << "t=" << simulator_->now() << ": SU interference flipped PU " << p
+          << "'s reception below eta_p";
+      RecordViolation(out.str());
+    }
+  }
+}
+
+void InvariantAuditor::OnTxEnd(const mac::TxEvent& event) {
+  // The trace digest folds in every field a regression could silently skew;
+  // a single reordered, re-timed, or re-scored attempt changes it.
+  digest_.MixSigned(event.transmitter);
+  digest_.MixSigned(event.receiver);
+  digest_.MixSigned(event.start);
+  digest_.MixSigned(event.end);
+  digest_.Mix(static_cast<std::uint64_t>(event.outcome));
+  digest_.MixSigned(event.packet.origin);
+  digest_.MixSigned(event.packet.created);
+  digest_.MixSigned(event.packet.hops);
+  digest_.MixSigned(event.packet.snapshot);
+  digest_.MixDouble(event.min_sir);
+
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].transmitter == event.transmitter) {
+      active_[i] = active_.back();
+      active_.pop_back();
+      break;
+    }
+  }
+
+  if (!config_.check_su_sir) return;
+  // Aborted handoffs (PU returned mid-transmission) and half-duplex /
+  // capture losses are modelled behaviours, not SIR-invariant breaches; the
+  // Lemma 3 claim is about receptions the physical model scored.
+  if (event.outcome == mac::TxOutcome::kSuccess ||
+      event.outcome == mac::TxOutcome::kSirFailure) {
+    ++report_.receptions_checked;
+    if (event.outcome == mac::TxOutcome::kSirFailure ||
+        event.min_sir < mac_->config().eta_s.linear()) {
+      ++report_.su_sir_violations;
+      std::ostringstream out;
+      out << "t=" << simulator_->now() << ": reception " << event.transmitter
+          << "->" << event.receiver << " SIR floor " << event.min_sir
+          << " below eta_s " << mac_->config().eta_s.linear();
+      RecordViolation(out.str());
+    }
+  }
+}
+
+void InvariantAuditor::VerifyRouting() {
+  if (!config_.check_routing || mac_ == nullptr) return;
+  ++report_.routing_audits;
+  const std::int32_t n = mac_->node_count();
+  const mac::NodeId sink = mac_->sink();
+  for (mac::NodeId v = 0; v < n; ++v) {
+    if (v == sink || mac_->IsFailed(v)) continue;
+    mac::NodeId cursor = v;
+    std::int32_t steps = 0;
+    // A live node's route must reach the sink — or dead-end at a failed
+    // node awaiting repair — in < n hops; anything longer is a cycle.
+    while (cursor != sink && !mac_->IsFailed(cursor)) {
+      cursor = mac_->next_hop(cursor);
+      if (++steps >= n) {
+        ++report_.routing_violations;
+        std::ostringstream out;
+        out << "t=" << simulator_->now() << ": routing cycle reachable from node "
+            << v;
+        RecordViolation(out.str());
+        break;
+      }
+    }
+  }
+}
+
+void InvariantAuditor::RecordViolation(std::string message) {
+  if (report_.first_violations.size() < config_.max_recorded_violations) {
+    report_.first_violations.push_back(std::move(message));
+  }
+}
+
+const AuditReport& InvariantAuditor::Finalize() {
+  CRN_CHECK(mac_ != nullptr) << "Finalize() before Attach()";
+  if (finalized_) return report_;
+  finalized_ = true;
+  VerifyRouting();
+  if (config_.check_event_time) {
+    report_.events_observed = time_auditor_.events_observed();
+    report_.time_violations = static_cast<std::int64_t>(time_auditor_.violations());
+  }
+  report_.trace_digest = digest_.value();
+  return report_;
+}
+
+}  // namespace crn::core

@@ -1,0 +1,143 @@
+// Runtime invariant auditor — the always-on verification layer of the
+// correctness tooling (DESIGN.md §"Correctness tooling").
+//
+// The repo's credibility rests on two machine-checkable claims: the PCR
+// theory guarantees every concurrent transmission set satisfies both
+// networks' SIR constraints (Lemmas 2–3), and the simulator is
+// bit-deterministic per seed. Attached to a Simulator + CollectionMac pair
+// before a run, the auditor verifies while the simulation executes:
+//
+//  * the event clock never decreases (sim::EventTimeAuditor);
+//  * concurrently active SU transmitters stay pairwise ≥ R_pcr apart — the
+//    R-set precondition carrier sensing must enforce in Algorithm 1's
+//    continuous-backoff regime (auto-disabled for the conventional-MAC
+//    emulation, whose same-slot collisions are modelled deliberately);
+//  * every completed SU reception held SIR ≥ η_s for its whole airtime
+//    (Lemma 3's concurrent-set guarantee, via the recorded SIR floor);
+//  * SU transmissions never flip an active PU reception from success to
+//    failure (Lemma 2), re-derived from the physical interference model at
+//    sampled transmission starts with an isolated RNG stream;
+//  * the routing table stays acyclic and sink-reaching over live nodes
+//    across churn (FailNode / UpdateNextHop) — a route may legitimately
+//    dead-end at a failed node awaiting repair, but never cycle.
+//
+// It also folds every terminated transmission attempt into an
+// order-sensitive FNV-1a digest (sim::TraceDigest), so two runs of the same
+// seed can be compared bit-for-bit without storing either trace — the
+// dual-run determinism check in collection.h and `addc_sim --audit` both
+// consume that digest.
+//
+// The auditor is strictly passive with respect to the simulation: it draws
+// randomness only from its own seeded stream and never schedules, cancels,
+// or reorders events, so attaching it cannot change a run's behaviour or
+// its digest.
+#ifndef CRN_CORE_INVARIANT_AUDITOR_H_
+#define CRN_CORE_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/vec2.h"
+#include "mac/collection_mac.h"
+#include "pu/primary_network.h"
+#include "sim/audit.h"
+#include "sim/simulator.h"
+
+namespace crn::core {
+
+struct AuditConfig {
+  bool check_event_time = true;
+  // Pairwise transmitter separation. min_separation 0 uses the MAC's
+  // configured R_pcr.
+  bool check_min_separation = true;
+  double min_separation = 0.0;
+  bool check_su_sir = true;
+  // PU protection needs a PrimaryNetwork* at Attach (receiver sampling);
+  // checked at every `pu_check_stride`-th transmission start.
+  bool check_pu_protection = true;
+  std::int32_t pu_check_stride = 4;
+  bool check_routing = true;
+  // Seed of the auditor's private receiver-sampling stream — isolated from
+  // every run stream so auditing never perturbs the simulation.
+  std::uint64_t rng_seed = 0x5EEDA0D17ULL;
+  // Human-readable descriptions are kept for the first few violations only;
+  // the counters below are always exact.
+  std::size_t max_recorded_violations = 8;
+};
+
+struct AuditReport {
+  std::uint64_t events_observed = 0;
+  std::int64_t time_violations = 0;
+  std::int64_t tx_starts = 0;
+  std::int64_t separation_checks = 0;
+  std::int64_t separation_violations = 0;
+  std::int64_t receptions_checked = 0;
+  std::int64_t su_sir_violations = 0;
+  std::int64_t pu_checks = 0;
+  std::int64_t pu_protection_violations = 0;
+  std::int64_t routing_audits = 0;
+  std::int64_t routing_violations = 0;
+  // FNV-1a digest of the TxEvent trace (same seed ⇒ same digest).
+  std::uint64_t trace_digest = 0;
+  std::vector<std::string> first_violations;
+
+  [[nodiscard]] std::int64_t total_violations() const {
+    return time_violations + separation_violations + su_sir_violations +
+           pu_protection_violations + routing_violations;
+  }
+  [[nodiscard]] bool ok() const { return total_violations() == 0; }
+  // One-line counters summary for CLI / test-failure output.
+  [[nodiscard]] std::string Summary() const;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const AuditConfig& config = {});
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  // Registers the audit hooks; call once, before the run starts. `primary`
+  // may be null, which disables the PU-protection check (it needs mutable
+  // access for receiver sampling). The auditor must outlive the run.
+  void Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
+              pu::PrimaryNetwork* primary = nullptr);
+
+  // Re-validates the routing table immediately — call after FailNode /
+  // UpdateNextHop churn; Finalize() runs it once more regardless.
+  void VerifyRouting();
+
+  // Folds the simulator-side counters in and returns the completed report.
+  // Idempotent; the run must be finished.
+  const AuditReport& Finalize();
+
+  [[nodiscard]] const AuditReport& report() const { return report_; }
+
+ private:
+  struct ActiveTx {
+    mac::NodeId transmitter = graph::kInvalidNode;
+    geom::Vec2 position;
+  };
+
+  void OnTxStart(mac::NodeId transmitter, mac::NodeId receiver, sim::TimeNs start,
+                 sim::TimeNs end);
+  void OnTxEnd(const mac::TxEvent& event);
+  void CheckPuProtection();
+  void RecordViolation(std::string message);
+
+  AuditConfig config_;
+  AuditReport report_;
+  sim::EventTimeAuditor time_auditor_;
+  sim::TraceDigest digest_;
+  sim::Simulator* simulator_ = nullptr;
+  mac::CollectionMac* mac_ = nullptr;
+  pu::PrimaryNetwork* primary_ = nullptr;
+  Rng receiver_rng_;
+  std::vector<ActiveTx> active_;
+  bool finalized_ = false;
+};
+
+}  // namespace crn::core
+
+#endif  // CRN_CORE_INVARIANT_AUDITOR_H_

@@ -356,7 +356,11 @@ void CollectionMac::OnBackoffExpired(NodeId node) {
                                  [this, node] { OnBackoffExpired(node); });
     return;
   }
+  // The timer is fully consumed: record it as frozen-at-zero so
+  // LeaveContention does not re-freeze and subtract the elapsed wait again
+  // (which would drive `remaining` negative).
   agent.remaining = 0;
+  agent.frozen = true;
   LeaveContention(node);
   StartTransmission(node);
 }
@@ -423,6 +427,9 @@ void CollectionMac::StartTransmission(NodeId node) {
   active_tx_slot_[node] = static_cast<std::int32_t>(active_tx_.size());
   active_tx_.push_back(tx);
   ++stats_.attempts;
+  for (const auto& observer : tx_start_observers_) {
+    observer(node, receiver, tx.start, tx.end);
+  }
 
   if (tx.announced) NotifySensorsTxStart(node);
   // A new interferer appeared: refresh the SIR floor of every ongoing

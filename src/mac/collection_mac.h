@@ -182,6 +182,17 @@ class CollectionMac {
     contention_observers_.push_back(std::move(observer));
   }
 
+  // Fires the instant a transmission goes on the air, before any outcome is
+  // known; paired with the TxEvent observer above this brackets every
+  // attempt. The invariant auditor (core/invariant_auditor.h) uses the pair
+  // to track the concurrently active transmitter set.
+  void AddTxStartObserver(
+      std::function<void(NodeId transmitter, NodeId receiver, sim::TimeNs start,
+                         sim::TimeNs end)>
+          observer) {
+    tx_start_observers_.push_back(std::move(observer));
+  }
+
   // --- network dynamics (§I: SUs may leave at any time) -----------------
   // Permanently removes an SU at the current simulation time: any in-flight
   // transmission is cut, its queued packets are lost with it (the expected
@@ -195,6 +206,11 @@ class CollectionMac {
   void UpdateNextHop(NodeId node, NodeId next_hop);
 
   [[nodiscard]] bool IsFailed(NodeId node) const { return failed_[node] != 0; }
+
+  // Current routing table entry (audit layers verify reachability/acyclicity
+  // through these after churn).
+  [[nodiscard]] NodeId next_hop(NodeId node) const { return next_hop_[node]; }
+  [[nodiscard]] NodeId sink() const { return sink_; }
 
   [[nodiscard]] const MacConfig& config() const { return config_; }
   [[nodiscard]] geom::Vec2 position(NodeId node) const { return positions_[node]; }
@@ -313,6 +329,8 @@ class CollectionMac {
   std::vector<std::int64_t> snapshot_remaining_;
   std::vector<std::function<void(const TxEvent&)>> observers_;
   std::vector<std::function<void(NodeId, sim::TimeNs)>> contention_observers_;
+  std::vector<std::function<void(NodeId, NodeId, sim::TimeNs, sim::TimeNs)>>
+      tx_start_observers_;
 
   MacStats stats_;
   std::int64_t expected_packets_ = 0;

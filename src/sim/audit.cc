@@ -1,0 +1,18 @@
+#include "sim/audit.h"
+
+#include "common/check.h"
+
+namespace crn::sim {
+
+void EventTimeAuditor::Attach(Simulator& simulator) {
+  CRN_CHECK(!attached_) << "EventTimeAuditor attached twice";
+  attached_ = true;
+  last_time_ = simulator.now();
+  simulator.AddEventObserver([this](TimeNs now) {
+    ++events_observed_;
+    if (now < last_time_) ++violations_;
+    last_time_ = now;
+  });
+}
+
+}  // namespace crn::sim

@@ -39,6 +39,7 @@ bool Simulator::ExecuteNext() {
     std::function<void()> fn = std::move(callback_it->second);
     callbacks_.erase(callback_it);
     now_ = entry.time;
+    for (const auto& observer : event_observers_) observer(now_);
     fn();
     ++events_executed_;
     if (event_limit_ != 0 && events_executed_ > event_limit_) {

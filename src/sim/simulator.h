@@ -72,6 +72,15 @@ class Simulator {
   // (catches accidental infinite event loops in tests). 0 = unlimited.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  // Registers an observer fired once per executed event, after the clock
+  // advances and before the callback runs. Observers must not schedule or
+  // cancel events; they exist for audit layers (sim/audit.h) that verify
+  // clock monotonicity or fingerprint the event stream.
+  void AddEventObserver(std::function<void(TimeNs)> observer) {
+    CRN_CHECK(observer != nullptr);
+    event_observers_.push_back(std::move(observer));
+  }
+
  private:
   struct Entry {
     TimeNs time;
@@ -93,9 +102,12 @@ class Simulator {
   std::uint64_t event_limit_ = 0;
   bool stopped_ = false;
   std::priority_queue<Entry> queue_;
-  // id -> callback for pending events; erased on fire/cancel.
+  // id -> callback for pending events; erased on fire/cancel. Lookup-only
+  // containers: never iterated, so their unordered layout cannot leak into
+  // simulation-visible state.
   std::unordered_map<EventId, std::function<void()>> callbacks_;
   std::unordered_set<EventId> cancelled_;
+  std::vector<std::function<void(TimeNs)>> event_observers_;
 };
 
 }  // namespace crn::sim

@@ -1,0 +1,56 @@
+// CRN_DCHECK's compiled-away contract, verified independently of the build
+// mode: this TU forces NDEBUG before including check.h, so these tests pin
+// the release-build behaviour even when the suite is built as Debug (e.g.
+// under the asan-ubsan preset). The macro must erase the condition AND any
+// streamed message entirely — evaluating either would make hot-path DCHECKs
+// have observable side effects that differ between build modes, which is a
+// determinism bug, not just a performance one.
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace crn {
+namespace {
+
+TEST(CheckNdebugTest, DcheckDoesNotEvaluateCondition) {
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return false;
+  };
+  CRN_DCHECK(touch());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckNdebugTest, DcheckDoesNotEvaluateStreamedMessage) {
+  int evaluations = 0;
+  auto describe = [&] {
+    ++evaluations;
+    return "expensive context";
+  };
+  CRN_DCHECK(false) << describe();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckNdebugTest, DcheckNeverThrows) {
+  EXPECT_NO_THROW(CRN_DCHECK(false) << "never materialises");
+}
+
+TEST(CheckNdebugTest, CheckStaysActiveUnderNdebug) {
+  // CRN_CHECK must never compile away: it guards contracts whose violation
+  // corrupts simulation results silently.
+  EXPECT_THROW(CRN_CHECK(false), ContractViolation);
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return true;
+  };
+  CRN_CHECK(touch());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace crn

@@ -46,5 +46,33 @@ TEST(CheckTest, DcheckActiveMatchesBuildMode) {
 #endif
 }
 
+TEST(CheckTest, DestructorCheckThrowsWhenNoExceptionInFlight) {
+  // With no exception unwinding, a failing check inside a destructor takes
+  // the normal throwing path (the destructor must opt in via
+  // noexcept(false), as check.h's contract documents).
+  struct Guard {
+    ~Guard() noexcept(false) { CRN_CHECK(false) << "plain destructor failure"; }
+  };
+  EXPECT_THROW({ Guard guard; }, ContractViolation);
+}
+
+TEST(CheckDeathTest, FailureDuringUnwindingTerminatesWithMessage) {
+  // A check that fails while another exception is unwinding the stack must
+  // not throw a second exception (instant std::terminate with the
+  // diagnostic lost); check.h routes it to stderr + deliberate terminate.
+  EXPECT_DEATH(
+      {
+        struct Guard {
+          ~Guard() { CRN_CHECK(false) << "failure during unwind"; }
+        };
+        try {
+          Guard guard;
+          throw std::runtime_error("primary exception");
+        } catch (const std::runtime_error&) {
+        }
+      },
+      "failure during unwind.*during active stack unwinding");
+}
+
 }  // namespace
 }  // namespace crn

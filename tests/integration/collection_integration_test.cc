@@ -93,6 +93,35 @@ TEST(CollectionIntegrationTest, CorrectedPcrProtectsPrimaryUsers) {
       << "Lemma 2 (corrected) must keep SUs harmless to PUs";
 }
 
+// Invariant-auditor integration (DESIGN.md §"Correctness tooling"): a full
+// protected-regime collection must audit green on every invariant — event
+// clock, R-set separation, SU SIR floors, PU protection, routing shape.
+TEST(CollectionIntegrationTest, AuditedRunUpholdsConcurrentSetSirInvariants) {
+  ScenarioConfig config = SmallConfig();
+  config.c2_variant = C2Variant::kCorrected;
+  config.pu_activity = 0.05;
+  const Scenario scenario(config, 0);
+  RunOptions options;
+  AuditReport report;
+  options.audit_report = &report;
+  const CollectionResult result = RunAddc(scenario, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.separation_checks, 0);
+  EXPECT_GT(report.receptions_checked, 0);
+  EXPECT_GT(report.pu_checks, 0);
+}
+
+// The digest-based determinism claim, machine-checked end to end: two
+// executions of the identical scenario must fold every transmission into
+// the same FNV trace digest.
+TEST(CollectionIntegrationTest, DualRunTraceDigestsAreIdentical) {
+  const DeterminismReport report = CheckAddcDeterminism(Scenario(SmallConfig(), 2));
+  EXPECT_TRUE(report.identical)
+      << std::hex << report.first_digest << " vs " << report.second_digest;
+  EXPECT_NE(report.first_digest, 0u);
+}
+
 TEST(CollectionIntegrationTest, CustomNextHopsViaPublicApi) {
   // A BFS shortest-path tree through RunWithNextHops: the extension point
   // examples use for custom routing structures.

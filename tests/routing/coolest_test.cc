@@ -47,8 +47,8 @@ TEST(NodeTemperaturesTest, ZeroActivityMeansCold) {
 // bottom row even though both are the same hop count.
 //
 //   1h - 2h - 3h
-//  /            \
-// 0 (sink)       6 (source)     h = hot (PU parked on top of the node)
+//  /            \     h = hot (PU parked on top of the node)
+// 0 (sink)       6 (source)
 //  \            /
 //   4c - 5c - 7c... (indices below)
 struct LadderFixture {
@@ -126,7 +126,9 @@ TEST(CoolestNextHopsTest, AllNodesReachSink) {
       const PathSummary path = SummarizePath(next_hop, temps, v, 0);
       ASSERT_LE(path.hops, graph.node_count());
       // Tree edges must be graph edges.
-      if (v != 0) ASSERT_TRUE(graph.HasEdge(v, next_hop[v]));
+      if (v != 0) {
+        ASSERT_TRUE(graph.HasEdge(v, next_hop[v]));
+      }
     }
   }
 }

@@ -1,0 +1,118 @@
+#include "sim/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sim/simulator.h"
+
+namespace crn::sim {
+namespace {
+
+TEST(TraceDigestTest, EmptyDigestIsOffsetBasis) {
+  TraceDigest digest;
+  EXPECT_EQ(digest.value(), TraceDigest::kOffsetBasis);
+}
+
+TEST(TraceDigestTest, SameSequenceSameDigest) {
+  TraceDigest a;
+  TraceDigest b;
+  for (std::uint64_t v : {1ULL, 42ULL, 0ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    a.Mix(v);
+    b.Mix(v);
+  }
+  a.MixDouble(3.25);
+  b.MixDouble(3.25);
+  a.MixString("tx");
+  b.MixString("tx");
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(TraceDigestTest, OrderSensitive) {
+  TraceDigest ab;
+  ab.Mix(1);
+  ab.Mix(2);
+  TraceDigest ba;
+  ba.Mix(2);
+  ba.Mix(1);
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(TraceDigestTest, StringBoundariesAreDelimited) {
+  TraceDigest split_early;
+  split_early.MixString("ab");
+  split_early.MixString("c");
+  TraceDigest split_late;
+  split_late.MixString("a");
+  split_late.MixString("bc");
+  EXPECT_NE(split_early.value(), split_late.value());
+}
+
+TEST(TraceDigestTest, DoubleMixingIsBitExact) {
+  // +0.0 and -0.0 compare equal but are different bit patterns: the digest
+  // must distinguish them (a run producing -0.0 is not bit-identical).
+  TraceDigest pos;
+  pos.MixDouble(0.0);
+  TraceDigest neg;
+  neg.MixDouble(-0.0);
+  EXPECT_NE(pos.value(), neg.value());
+
+  TraceDigest nan;
+  nan.MixDouble(std::numeric_limits<double>::quiet_NaN());
+  TraceDigest inf;
+  inf.MixDouble(std::numeric_limits<double>::infinity());
+  EXPECT_NE(nan.value(), inf.value());
+}
+
+TEST(TraceDigestTest, SignedMixMatchesUnsignedBitPattern) {
+  TraceDigest s;
+  s.MixSigned(-1);
+  TraceDigest u;
+  u.Mix(0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(s.value(), u.value());
+}
+
+TEST(EventTimeAuditorTest, CountsEventsAndStaysOkOnMonotoneRun) {
+  Simulator simulator;
+  EventTimeAuditor auditor;
+  auditor.Attach(simulator);
+  for (TimeNs t : {5, 10, 10, 25}) {
+    simulator.ScheduleAt(t, EventPriority::kDefault, [] {});
+  }
+  simulator.Run();
+  EXPECT_EQ(auditor.events_observed(), 4u);
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_EQ(auditor.last_time(), 25);
+  EXPECT_TRUE(auditor.ok());
+}
+
+TEST(EventTimeAuditorTest, IgnoresCancelledEvents) {
+  Simulator simulator;
+  EventTimeAuditor auditor;
+  auditor.Attach(simulator);
+  const EventId cancelled =
+      simulator.ScheduleAt(1, EventPriority::kDefault, [] {});
+  simulator.ScheduleAt(2, EventPriority::kDefault, [] {});
+  simulator.Cancel(cancelled);
+  simulator.Run();
+  EXPECT_EQ(auditor.events_observed(), 1u);
+  EXPECT_TRUE(auditor.ok());
+}
+
+TEST(EventTimeAuditorTest, SurvivesMultipleRunSegments) {
+  Simulator simulator;
+  EventTimeAuditor auditor;
+  auditor.Attach(simulator);
+  simulator.ScheduleAt(10, EventPriority::kDefault, [] {});
+  simulator.RunUntil(50);
+  simulator.ScheduleAt(60, EventPriority::kDefault, [] {});
+  simulator.Run();
+  EXPECT_EQ(auditor.events_observed(), 2u);
+  EXPECT_EQ(auditor.last_time(), 60);
+  EXPECT_TRUE(auditor.ok());
+}
+
+}  // namespace
+}  // namespace crn::sim

@@ -133,5 +133,59 @@ TEST(SimulatorTest, PendingCountTracksCancellations) {
   EXPECT_EQ(simulator.pending_count(), 1u);
 }
 
+TEST(SimulatorTest, RunUntilLazilySkipsCancelledEntries) {
+  Simulator simulator;
+  int fired = 0;
+  const EventId cancelled = simulator.ScheduleAt(10, EventPriority::kDefault, [&] { ++fired; });
+  simulator.ScheduleAt(20, EventPriority::kDefault, [&] { ++fired; });
+  simulator.Cancel(cancelled);
+  EXPECT_EQ(simulator.pending_count(), 1u);
+  // The deadline crosses the cancelled entry: it must be consumed silently
+  // (no callback, no events_executed tick) while bookkeeping stays exact.
+  simulator.RunUntil(15);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(simulator.events_executed(), 0u);
+  EXPECT_EQ(simulator.pending_count(), 1u);
+  EXPECT_EQ(simulator.now(), 15);
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, DoubleCancelCountsOnce) {
+  Simulator simulator;
+  const EventId a = simulator.ScheduleAt(5, EventPriority::kDefault, [] {});
+  simulator.ScheduleAt(6, EventPriority::kDefault, [] {});
+  EXPECT_TRUE(simulator.Cancel(a));
+  EXPECT_FALSE(simulator.Cancel(a));  // second cancel must not double-count
+  EXPECT_EQ(simulator.pending_count(), 1u);
+  simulator.Run();
+  EXPECT_EQ(simulator.events_executed(), 1u);
+  EXPECT_EQ(simulator.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionIsNoOp) {
+  Simulator simulator;
+  const EventId a = simulator.ScheduleAt(1, EventPriority::kDefault, [] {});
+  simulator.Run();
+  EXPECT_FALSE(simulator.Cancel(a));
+  EXPECT_EQ(simulator.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, EventObserversSeeEveryExecutedEventInOrder) {
+  Simulator simulator;
+  std::vector<TimeNs> observed;
+  std::vector<TimeNs> fired;
+  simulator.AddEventObserver([&](TimeNs now) { observed.push_back(now); });
+  const EventId cancelled = simulator.ScheduleAt(5, EventPriority::kDefault, [] {});
+  for (TimeNs t : {10, 20, 30}) {
+    simulator.ScheduleAt(t, EventPriority::kDefault, [&, t] { fired.push_back(t); });
+  }
+  simulator.Cancel(cancelled);  // skipped entries must not reach observers
+  simulator.Run();
+  EXPECT_EQ(observed, (std::vector<TimeNs>{10, 20, 30}));
+  EXPECT_EQ(observed, fired);
+}
+
 }  // namespace
 }  // namespace crn::sim

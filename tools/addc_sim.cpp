@@ -44,6 +44,10 @@ Execution:
   --metric=accumulated|highest|mixed   Coolest metric (default accumulated)
   --continuous-interval-ms=F      run continuous collection (ADDC only)
   --snapshots=INT                 rounds for continuous mode (default 6)
+  --audit                         attach the runtime invariant auditor to every
+                                  ADDC run (prints the report; also dual-runs
+                                  rep 0 to verify trace-digest determinism);
+                                  exits nonzero on any violation
   --trace=FILE                    write per-transmission CSV (single rep, ADDC)
   --svg=FILE                      render the deployment + CDS tree as SVG
   --csv                           machine-readable result rows
@@ -108,6 +112,7 @@ int main(int argc, char** argv) {
 
   const auto reps = static_cast<std::int32_t>(flags.GetInt("reps", 1));
   const bool csv = flags.GetBool("csv", false);
+  const bool audit = flags.GetBool("audit", false);
   const std::string trace_path = flags.GetString("trace", "");
   const std::string svg_path = flags.GetString("svg", "");
   const double continuous_ms = flags.GetDouble("continuous-interval-ms", 0.0);
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
   }
 
   bool all_completed = true;
+  bool audit_clean = true;
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     const core::Scenario scenario(config, rep);
     if (!svg_path.empty() && rep == 0) {
@@ -206,15 +212,42 @@ int main(int argc, char** argv) {
         all_completed &= mac.finished();
         continue;
       }
-      const core::CollectionResult result = core::RunAddc(scenario);
+      core::RunOptions options;
+      core::AuditReport audit_report;
+      if (audit) options.audit_report = &audit_report;
+      const core::CollectionResult result = core::RunAddc(scenario, options);
       all_completed &= result.completed;
       PrintResultRow(result, csv);
+      if (audit) {
+        audit_clean &= audit_report.ok();
+        if (!csv) {
+          std::cout << "  audit: " << audit_report.Summary() << "\n";
+          for (const std::string& violation : audit_report.first_violations) {
+            std::cout << "    violation: " << violation << "\n";
+          }
+        }
+        if (rep == 0) {
+          const core::DeterminismReport determinism =
+              core::CheckAddcDeterminism(scenario, options);
+          audit_clean &= determinism.identical;
+          if (!csv) {
+            std::cout << "  determinism: dual-run digests "
+                      << (determinism.identical ? "identical" : "DIVERGED") << " ("
+                      << std::hex << determinism.first_digest << " vs "
+                      << determinism.second_digest << std::dec << ")\n";
+          }
+        }
+      }
     }
     if (algorithm == "coolest" || algorithm == "both") {
       const core::CollectionResult result = core::RunCoolest(scenario, metric);
       all_completed &= result.completed;
       PrintResultRow(result, csv);
     }
+  }
+  if (audit && !audit_clean) {
+    std::cerr << "audit: invariant violations or digest divergence detected\n";
+    return 1;
   }
   return all_completed ? 0 : 1;
 }

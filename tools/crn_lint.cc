@@ -1,0 +1,394 @@
+// crn_lint — repo-specific static checker for the ADDC codebase.
+//
+// Scans src/, tests/, and bench/ for the project's known correctness
+// footguns and fails the build (it runs as a ctest) when any appears:
+//
+//   banned-rng          rand()/std::mt19937/std::random_device anywhere but
+//                       common/rng.h — std distributions are not bit-stable
+//                       across standard libraries, which breaks the
+//                       same-seed determinism guarantee.
+//   wall-clock          system_clock/steady_clock/high_resolution_clock in
+//                       src/ — simulation state must depend on sim::TimeNs
+//                       only (bench/ and tests/ may time themselves).
+//   raw-db-conversion   std::pow(10, …) in src/ outside common/units.h —
+//                       dB↔linear conversions go through DbToLinear /
+//                       SirThreshold so thresholds stay strongly typed.
+//   unordered-iteration iterating an unordered_map/unordered_set declared
+//                       in the same src/ file — iteration order is
+//                       implementation-defined and must never feed
+//                       simulation-visible state.
+//   float-in-physics    the float keyword in src/ — all physics runs in
+//                       double; narrowing silently changes results across
+//                       platforms.
+//   header-guard        a src/ header whose #ifndef guard does not match
+//                       its path (CRN_<PATH>_H_).
+//
+// A finding on a line containing `crn-lint-ok` is suppressed (use
+// sparingly, with justification in an adjacent comment).
+//
+//   crn_lint <repo_root>              scan the tree (exit 1 on findings)
+//   crn_lint --self-test <repo_root>  prove each rule fires on its fixture
+//                                     in tools/lint_fixtures/
+//
+// Fixture files encode their logical in-tree path in the file name with
+// `__` as the separator (src__sim__bad_clock.cc ⇒ src/sim/bad_clock.cc), so
+// path-scoped rules apply to them exactly as they would in the tree.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;  // logical (repo-relative) path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `word` occurs in `line` with non-identifier characters (or the
+// string edge) on both sides.
+bool ContainsWord(const std::string& line, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// `rand` used as a function call: word-bounded `rand` followed by `(`.
+bool ContainsCallOf(const std::string& line, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    std::size_t end = pos + name.size();
+    while (end < line.size() && line[end] == ' ') ++end;
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+    pos = pos + name.size();
+  }
+  return false;
+}
+
+// Strips string/char literals and comments so rule matching never fires on
+// documentation or message text. `in_block_comment` carries /* */ state
+// across lines.
+std::string StripCommentsAndStrings(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == quote) {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Names of variables declared in this file with an unordered container
+// type. A heuristic, but one that matches the codebase's declaration style.
+std::vector<std::string> UnorderedContainerNames(const std::vector<std::string>& code) {
+  std::vector<std::string> names;
+  for (const std::string& line : code) {
+    for (const char* type : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = line.find(type);
+      if (pos == std::string::npos) continue;
+      std::size_t i = line.find('<', pos);
+      if (i == std::string::npos) continue;
+      int depth = 0;
+      for (; i < line.size(); ++i) {
+        if (line[i] == '<') ++depth;
+        if (line[i] == '>' && --depth == 0) break;
+      }
+      if (i >= line.size()) continue;  // multi-line type; skip
+      ++i;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '&')) ++i;
+      std::string name;
+      while (i < line.size() && IsIdentChar(line[i])) name.push_back(line[i++]);
+      if (!name.empty()) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::string ExpectedHeaderGuard(const std::string& logical_path) {
+  // src/geom/vec2.h ⇒ CRN_GEOM_VEC2_H_
+  std::string trimmed = logical_path;
+  if (trimmed.rfind("src/", 0) == 0) trimmed = trimmed.substr(4);
+  std::string guard = "CRN_";
+  for (char c : trimmed) {
+    guard.push_back(IsIdentChar(c) ? static_cast<char>(std::toupper(
+                                         static_cast<unsigned char>(c)))
+                                   : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+// Scans one file's contents under its logical (repo-relative) path.
+std::vector<Finding> ScanFile(const std::string& logical_path,
+                              const std::vector<std::string>& raw_lines) {
+  std::vector<Finding> findings;
+  const bool in_src = StartsWith(logical_path, "src/");
+  const bool is_rng_home = logical_path == "src/common/rng.h";
+  const bool is_units_home = logical_path == "src/common/units.h";
+  const bool is_header = logical_path.size() > 2 &&
+                         logical_path.compare(logical_path.size() - 2, 2, ".h") == 0;
+
+  // Pre-strip comments/strings, remembering raw lines for suppression.
+  std::vector<std::string> code;
+  code.reserve(raw_lines.size());
+  bool in_block_comment = false;
+  for (const std::string& raw : raw_lines) {
+    code.push_back(StripCommentsAndStrings(raw, in_block_comment));
+  }
+
+  auto add = [&](int line_index, const char* rule, std::string message) {
+    if (raw_lines[line_index].find("crn-lint-ok") != std::string::npos) return;
+    findings.push_back(
+        Finding{logical_path, line_index + 1, rule, std::move(message)});
+  };
+
+  const std::vector<std::string> unordered_names =
+      in_src ? UnorderedContainerNames(code) : std::vector<std::string>{};
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (line.empty()) continue;
+
+    if (!is_rng_home) {
+      if (ContainsWord(line, "mt19937") || ContainsWord(line, "random_device")) {
+        add(static_cast<int>(i), "banned-rng",
+            "std <random> engines are not bit-stable across standard "
+            "libraries; use crn::Rng (common/rng.h)");
+      } else if (ContainsCallOf(line, "rand") || ContainsCallOf(line, "srand")) {
+        add(static_cast<int>(i), "banned-rng",
+            "rand() has global hidden state; use crn::Rng (common/rng.h)");
+      }
+    }
+
+    if (in_src) {
+      if (ContainsWord(line, "system_clock") || ContainsWord(line, "steady_clock") ||
+          ContainsWord(line, "high_resolution_clock")) {
+        add(static_cast<int>(i), "wall-clock",
+            "wall-clock reads break per-seed determinism; simulation state "
+            "must depend on sim::TimeNs only");
+      }
+      if (!is_units_home &&
+          (line.find("pow(10") != std::string::npos ||
+           line.find("pow (10") != std::string::npos)) {
+        add(static_cast<int>(i), "raw-db-conversion",
+            "convert dB through DbToLinear()/SirThreshold (common/units.h), "
+            "not raw std::pow(10, ...)");
+      }
+      if (ContainsWord(line, "float")) {
+        add(static_cast<int>(i), "float-in-physics",
+            "physics runs in double; float narrows results "
+            "platform-dependently");
+      }
+      for (const std::string& name : unordered_names) {
+        const bool range_for = line.find("for") != std::string::npos &&
+                               line.find(": " + name) != std::string::npos;
+        const bool explicit_iter = line.find(name + ".begin()") != std::string::npos ||
+                                   line.find(name + ".cbegin()") != std::string::npos;
+        if (range_for || explicit_iter) {
+          add(static_cast<int>(i), "unordered-iteration",
+              "iteration order of '" + name +
+                  "' is implementation-defined and must not feed "
+                  "simulation-visible state");
+        }
+      }
+    }
+  }
+
+  if (in_src && is_header) {
+    const std::string expected = ExpectedHeaderGuard(logical_path);
+    bool found_ifndef = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      std::istringstream tokens(code[i]);
+      std::string directive;
+      std::string guard;
+      tokens >> directive >> guard;
+      if (directive != "#ifndef") continue;
+      found_ifndef = true;
+      if (guard != expected) {
+        add(static_cast<int>(i), "header-guard",
+            "guard '" + guard + "' does not match path (expected '" + expected +
+                "')");
+      }
+      break;
+    }
+    if (!found_ifndef) {
+      findings.push_back(Finding{logical_path, 1, "header-guard",
+                                 "missing #ifndef include guard (expected '" +
+                                     ExpectedHeaderGuard(logical_path) + "')"});
+    }
+  }
+
+  return findings;
+}
+
+std::vector<std::string> ReadLines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool HasSourceExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+int RunTreeScan(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tests", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
+      std::cerr << "crn_lint: missing directory " << dir << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && HasSourceExtension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    const std::string logical = fs::relative(file, root).generic_string();
+    for (Finding& f : ScanFile(logical, ReadLines(file))) {
+      findings.push_back(std::move(f));
+    }
+  }
+  for (const Finding& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+              << "\n";
+  }
+  std::cout << "crn_lint: " << files.size() << " files scanned, "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
+
+int RunSelfTest(const fs::path& root) {
+  const fs::path fixtures = root / "tools" / "lint_fixtures";
+  // Every rule must demonstrably fire on its fixture; the clean fixture
+  // must stay silent. A rule that silently stops matching would otherwise
+  // rot into a no-op while the tree scan stays green.
+  const std::map<std::string, std::string> expected = {
+      {"src__common__bad_rng.cc", "banned-rng"},
+      {"src__sim__bad_clock.cc", "wall-clock"},
+      {"src__spectrum__bad_db.cc", "raw-db-conversion"},
+      {"src__mac__bad_iteration.cc", "unordered-iteration"},
+      {"src__core__bad_float.cc", "float-in-physics"},
+      {"src__geom__bad_guard.h", "header-guard"},
+      {"src__core__clean_fixture.cc", ""},
+  };
+  int failures = 0;
+  for (const auto& [file_name, rule] : expected) {
+    const fs::path file = fixtures / file_name;
+    if (!fs::exists(file)) {
+      std::cout << "FAIL " << file_name << ": fixture missing\n";
+      ++failures;
+      continue;
+    }
+    std::string logical = file_name;
+    std::size_t pos = 0;
+    while ((pos = logical.find("__", pos)) != std::string::npos) {
+      logical.replace(pos, 2, "/");
+    }
+    const std::vector<Finding> findings = ScanFile(logical, ReadLines(file));
+    if (rule.empty()) {
+      if (findings.empty()) {
+        std::cout << "PASS " << file_name << ": clean\n";
+      } else {
+        std::cout << "FAIL " << file_name << ": expected no findings, got "
+                  << findings.size() << " ([" << findings.front().rule << "] line "
+                  << findings.front().line << ")\n";
+        ++failures;
+      }
+      continue;
+    }
+    const bool fired =
+        std::any_of(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; });
+    if (fired) {
+      std::cout << "PASS " << file_name << ": [" << rule << "] fired\n";
+    } else {
+      std::cout << "FAIL " << file_name << ": [" << rule << "] did not fire\n";
+      ++failures;
+    }
+  }
+  std::cout << "crn_lint self-test: " << (expected.size() - failures) << "/"
+            << expected.size() << " fixtures ok\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool self_test = false;
+  std::string root;
+  for (const std::string& arg : args) {
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "usage: crn_lint [--self-test] <repo_root>\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: crn_lint [--self-test] <repo_root>\n";
+    return 2;
+  }
+  return self_test ? RunSelfTest(root) : RunTreeScan(root);
+}

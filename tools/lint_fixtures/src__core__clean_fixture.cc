@@ -1,0 +1,18 @@
+// Lint fixture (logical path src/core/clean_fixture.cc): idiomatic code that
+// must produce zero findings — including banned words inside comments and
+// string literals, which the scanner strips before matching:
+//   a comment may mention std::mt19937, rand(), float, or steady_clock.
+#include <string>
+
+namespace crn::core {
+
+inline constexpr double kReferenceLoss = 1.0e-3;
+
+// "float" and "pow(10" inside a string literal must not fire either.
+inline std::string CleanDescription() {
+  return "uses double, never float; converts via DbToLinear, not pow(10,x)";
+}
+
+double CleanScale(double value) { return value * kReferenceLoss; }
+
+}  // namespace crn::core
