@@ -14,66 +14,107 @@
 //     by interfering with primary users (the audit counts the violations),
 //     which a cognitive radio is not allowed to do.
 #include <iostream>
+#include <vector>
 
 #include "core/pcr.h"
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 #include "routing/coolest.h"
 
-int main() {
+namespace {
+
+struct Variant {
+  const char* label;
+  double margin;          // >0: Lemma-2/3 range with this margin
+  double sensing_factor;  // >0: bare factor·r instead
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Ablation A4 — decomposing the baseline's handicap",
       "(ours) the sensing range, not the routing tree, drives the Fig. 6 gap",
-      scale, std::cout);
+      options, std::cout);
 
-  std::vector<double> addc_delays;
-  for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-    const core::Scenario scenario(scale.base, rep);
-    addc_delays.push_back(core::RunAddc(scenario).delay_ms);
-  }
-  const auto addc = core::Summarize(addc_delays);
-  std::cout << "ADDC reference delay: "
-            << harness::FormatMeanStd(addc.mean, addc.stddev, 0) << " ms\n\n";
-
-  struct Variant {
-    const char* label;
-    double margin;          // >0: Lemma-2/3 range with this margin
-    double sensing_factor;  // >0: bare factor·r instead
-  };
   const Variant variants[] = {
       {"2x-margin range (default)", 2.0, 0.0},
       {"ADDC's tight PCR", 1.0, 0.0},
       {"conventional 2r (under-senses)", 0.0, 2.0},
   };
 
+  // Cell layout: reps ADDC-reference cells, then 3 × reps baseline cells.
+  const std::int64_t reps = options.repetitions;
+  std::vector<core::CollectionResult> results(4 * static_cast<std::size_t>(reps));
+  const harness::ParallelRunner runner(options.jobs);
+  runner.ForEachIndex(4 * reps, [&](std::int64_t index) {
+    const auto rep = static_cast<std::uint64_t>(index % reps);
+    const std::int64_t variant_index = index / reps;
+    if (variant_index == 0) {
+      const core::Scenario scenario(options.base, rep);
+      results[static_cast<std::size_t>(index)] = core::RunAddc(scenario);
+      return;
+    }
+    const Variant& variant = variants[variant_index - 1];
+    core::ScenarioConfig config = options.base;
+    config.audit_stride = 4;
+    if (variant.sensing_factor > 0.0) {
+      config.coolest_sensing_factor = variant.sensing_factor;
+    } else {
+      config.baseline_interference_margin = variant.margin;
+    }
+    const core::Scenario scenario(config, rep);
+    results[static_cast<std::size_t>(index)] = core::RunCoolest(scenario);
+  });
+
+  std::vector<double> addc_delays;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    addc_delays.push_back(results[static_cast<std::size_t>(rep)].delay_ms);
+  }
+  const auto addc = core::Summarize(addc_delays);
+  std::cout << "ADDC reference delay: "
+            << harness::FormatMeanStd(addc.mean, addc.stddev, 0) << " ms\n\n";
+
   harness::Table table({"baseline sensing rule", "range (m)", "delay (ms)",
                         "vs ADDC", "SU-caused PU violations"});
-  for (const Variant& variant : variants) {
+  harness::Json series = harness::Json::Array();
+  for (std::size_t variant = 0; variant < 3; ++variant) {
     std::vector<double> delays;
     std::int64_t violations = 0;
     double range = 0.0;
-    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-      core::ScenarioConfig config = scale.base;
-      config.audit_stride = 4;
-      if (variant.sensing_factor > 0.0) {
-        config.coolest_sensing_factor = variant.sensing_factor;
-      } else {
-        config.baseline_interference_margin = variant.margin;
-      }
-      const core::Scenario scenario(config, rep);
-      const core::CollectionResult result = core::RunCoolest(scenario);
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const core::CollectionResult& result =
+          results[(variant + 1) * static_cast<std::size_t>(reps) +
+                  static_cast<std::size_t>(rep)];
       delays.push_back(result.delay_ms);
       violations += result.mac.su_caused_violations;
       range = result.pcr;
     }
     const auto delay = core::Summarize(delays);
-    table.AddRow({variant.label, harness::FormatDouble(range, 1),
+    table.AddRow({variants[variant].label, harness::FormatDouble(range, 1),
                   harness::FormatMeanStd(delay.mean, delay.stddev, 0),
                   harness::FormatDouble(delay.mean / addc.mean, 2) + "x",
                   std::to_string(violations)});
+    harness::Json row = harness::Json::Object();
+    row["sensing_rule"] = variants[variant].label;
+    row["range_m"] = range;
+    row["coolest_delay_ms"] = harness::ToJson(delay);
+    row["vs_addc_ratio"] = delay.mean / addc.mean;
+    row["su_caused_violations"] = violations;
+    series.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
-  return 0;
+
+  harness::Json payload = harness::Json::Object();
+  payload["addc_reference_delay_ms"] = harness::ToJson(addc);
+  payload["variants"] = std::move(series);
+  return harness::WriteBenchJson("ablation_baseline_mac", options,
+                                 std::move(payload), timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

@@ -9,36 +9,51 @@
 // p_t = 0.3 drives p_o below 1e-4 and the run would take days of simulated
 // time — that observation is itself a finding recorded in EXPERIMENTS.md.
 #include <iostream>
+#include <vector>
 
 #include "core/pcr.h"
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
-  scale.base.pu_activity = 0.1;
+  harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  options.base.pu_activity = 0.1;
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Ablation A2 — paper vs corrected c2 (run at p_t=0.1)",
       "(ours) the printed c2 under-protects PUs; the corrected one is "
       "violation-free but slower",
-      scale, std::cout);
+      options, std::cout);
+
+  const core::C2Variant variants[] = {core::C2Variant::kPaper,
+                                      core::C2Variant::kCorrected};
+  const std::int64_t reps = options.repetitions;
+  std::vector<core::CollectionResult> results(2 * static_cast<std::size_t>(reps));
+  const harness::ParallelRunner runner(options.jobs);
+  runner.ForEachIndex(2 * reps, [&](std::int64_t index) {
+    core::ScenarioConfig config = options.base;
+    config.c2_variant = variants[index / reps];
+    config.audit_stride = 4;  // denser audit: violations are the point here
+    const core::Scenario scenario(config, static_cast<std::uint64_t>(index % reps));
+    results[static_cast<std::size_t>(index)] = core::RunAddc(scenario);
+  });
 
   harness::Table table({"c2 variant", "PCR (m)", "theory p_o", "ADDC delay (ms)",
                         "SU-caused PU violations", "audited"});
-  for (core::C2Variant variant :
-       {core::C2Variant::kPaper, core::C2Variant::kCorrected}) {
-    core::ScenarioConfig config = scale.base;
-    config.c2_variant = variant;
-    config.audit_stride = 4;  // denser audit: violations are the point here
+  harness::Json series = harness::Json::Array();
+  for (std::size_t variant = 0; variant < 2; ++variant) {
     std::vector<double> delays;
     std::int64_t violations = 0;
     std::int64_t audited = 0;
     double pcr = 0.0;
     double theory_po = 0.0;
-    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-      const core::Scenario scenario(config, rep);
-      const core::CollectionResult result = core::RunAddc(scenario);
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const core::CollectionResult& result =
+          results[variant * static_cast<std::size_t>(reps) +
+                  static_cast<std::size_t>(rep)];
       delays.push_back(result.delay_ms);
       violations += result.mac.su_caused_violations;
       audited += result.mac.audited_pu_receptions;
@@ -46,11 +61,23 @@ int main() {
       theory_po = result.theory_po;
     }
     const auto delay = core::Summarize(delays);
-    table.AddRow({core::ToString(variant), harness::FormatDouble(pcr, 2),
+    const std::string name = core::ToString(variants[variant]);
+    table.AddRow({name, harness::FormatDouble(pcr, 2),
                   harness::FormatDouble(theory_po, 5),
                   harness::FormatMeanStd(delay.mean, delay.stddev, 0),
                   std::to_string(violations), std::to_string(audited)});
+    harness::Json row = harness::Json::Object();
+    row["c2_variant"] = name;
+    row["pcr_m"] = pcr;
+    row["theory_po"] = theory_po;
+    row["addc_delay_ms"] = harness::ToJson(delay);
+    row["su_caused_violations"] = violations;
+    row["audited_pu_receptions"] = audited;
+    series.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
-  return 0;
+  return harness::WriteBenchJson("ablation_c2", options, std::move(series),
+                                 timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

@@ -2,24 +2,44 @@
 // accumulated, highest (bottleneck), or mixed. The paper only says Coolest
 // prefers "the most balanced and/or the lowest spectrum utilization" path;
 // this bench shows ADDC's advantage is robust to that modeling choice.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Ablation A3 — Coolest metric choice",
-      "(ours) ADDC wins against all three Coolest metrics of [17]", scale,
+      "(ours) ADDC wins against all three Coolest metrics of [17]", options,
       std::cout);
 
-  // One shared ADDC reference per repetition (same deployments).
+  // Cell layout: reps ADDC-reference cells, then 3 × reps Coolest cells —
+  // every variant runs on the same per-repetition deployments.
+  const routing::TemperatureMetric metrics[] = {
+      routing::TemperatureMetric::kAccumulated, routing::TemperatureMetric::kHighest,
+      routing::TemperatureMetric::kMixed};
+  const std::int64_t reps = options.repetitions;
+  std::vector<core::CollectionResult> results(4 * static_cast<std::size_t>(reps));
+  const harness::ParallelRunner runner(options.jobs);
+  runner.ForEachIndex(4 * reps, [&](std::int64_t index) {
+    const auto rep = static_cast<std::uint64_t>(index % reps);
+    const core::Scenario scenario(options.base, rep);
+    const std::int64_t variant = index / reps;
+    results[static_cast<std::size_t>(index)] =
+        variant == 0 ? core::RunAddc(scenario)
+                     : core::RunCoolest(scenario, metrics[variant - 1]);
+  });
+
   std::vector<double> addc_delays;
-  for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-    const core::Scenario scenario(scale.base, rep);
-    addc_delays.push_back(core::RunAddc(scenario).delay_ms);
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    addc_delays.push_back(results[static_cast<std::size_t>(rep)].delay_ms);
   }
   const auto addc = core::Summarize(addc_delays);
   std::cout << "ADDC reference delay: "
@@ -27,25 +47,39 @@ int main() {
 
   harness::Table table({"Coolest metric", "delay (ms)", "vs ADDC", "avg hops",
                         "max route depth"});
-  for (routing::TemperatureMetric metric :
-       {routing::TemperatureMetric::kAccumulated, routing::TemperatureMetric::kHighest,
-        routing::TemperatureMetric::kMixed}) {
+  harness::Json series = harness::Json::Array();
+  for (std::size_t variant = 0; variant < 3; ++variant) {
     std::vector<double> delays, hops;
     std::int32_t depth = 0;
-    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-      const core::Scenario scenario(scale.base, rep);
-      const core::CollectionResult result = core::RunCoolest(scenario, metric);
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const core::CollectionResult& result =
+          results[(variant + 1) * static_cast<std::size_t>(reps) +
+                  static_cast<std::size_t>(rep)];
       delays.push_back(result.delay_ms);
       hops.push_back(result.avg_hops);
       depth = std::max(depth, result.max_route_depth);
     }
     const auto delay = core::Summarize(delays);
-    table.AddRow({routing::ToString(metric),
-                  harness::FormatMeanStd(delay.mean, delay.stddev, 0),
+    const double avg_hops = core::Summarize(hops).mean;
+    const std::string name = routing::ToString(metrics[variant]);
+    table.AddRow({name, harness::FormatMeanStd(delay.mean, delay.stddev, 0),
                   harness::FormatDouble(delay.mean / addc.mean, 2) + "x",
-                  harness::FormatDouble(core::Summarize(hops).mean, 2),
-                  std::to_string(depth)});
+                  harness::FormatDouble(avg_hops, 2), std::to_string(depth)});
+    harness::Json row = harness::Json::Object();
+    row["metric"] = name;
+    row["coolest_delay_ms"] = harness::ToJson(delay);
+    row["vs_addc_ratio"] = delay.mean / addc.mean;
+    row["avg_hops"] = avg_hops;
+    row["max_route_depth"] = static_cast<std::int64_t>(depth);
+    series.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
-  return 0;
+
+  harness::Json payload = harness::Json::Object();
+  payload["addc_reference_delay_ms"] = harness::ToJson(addc);
+  payload["metrics"] = std::move(series);
+  return harness::WriteBenchJson("ablation_coolest_metric", options,
+                                 std::move(payload), timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

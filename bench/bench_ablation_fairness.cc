@@ -5,40 +5,68 @@
 // bench quantifies the cost/benefit: delay and Jain delivery fairness with
 // the rule enabled and disabled.
 #include <iostream>
+#include <vector>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Ablation A1 — fairness wait on/off",
-      "(ours) line 12 trades little delay for per-flow fairness", scale,
+      "(ours) line 12 trades little delay for per-flow fairness", options,
       std::cout);
+
+  const bool cases[] = {true, false};
+  const std::int64_t reps = options.repetitions;
+  std::vector<core::CollectionResult> results(2 * static_cast<std::size_t>(reps));
+  const harness::ParallelRunner runner(options.jobs);
+  runner.ForEachIndex(2 * reps, [&](std::int64_t index) {
+    core::ScenarioConfig config = options.base;
+    config.fairness_wait = cases[index / reps];
+    const core::Scenario scenario(config, static_cast<std::uint64_t>(index % reps));
+    results[static_cast<std::size_t>(index)] = core::RunAddc(scenario);
+  });
 
   harness::Table table({"fairness wait", "ADDC delay (ms)", "Jain index",
                         "capacity (·W)", "completed"});
-  for (bool enabled : {true, false}) {
-    core::ScenarioConfig config = scale.base;
-    config.fairness_wait = enabled;
+  harness::Json series = harness::Json::Array();
+  for (std::size_t variant = 0; variant < 2; ++variant) {
     std::vector<double> delays, jains, capacities;
     std::int32_t completed = 0;
-    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-      const core::Scenario scenario(config, rep);
-      const core::CollectionResult result = core::RunAddc(scenario);
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const core::CollectionResult& result =
+          results[variant * static_cast<std::size_t>(reps) +
+                  static_cast<std::size_t>(rep)];
       delays.push_back(result.delay_ms);
       jains.push_back(result.jain_delivery_fairness);
       capacities.push_back(result.capacity_fraction);
       completed += result.completed ? 1 : 0;
     }
+    const bool enabled = cases[variant];
     const auto delay = core::Summarize(delays);
+    const double jain = core::Summarize(jains).mean;
+    const double capacity = core::Summarize(capacities).mean;
     table.AddRow({enabled ? "on (Algorithm 1)" : "off",
                   harness::FormatMeanStd(delay.mean, delay.stddev, 0),
-                  harness::FormatDouble(core::Summarize(jains).mean, 3),
-                  harness::FormatDouble(core::Summarize(capacities).mean, 4),
-                  std::to_string(completed) + "/" + std::to_string(scale.repetitions)});
+                  harness::FormatDouble(jain, 3), harness::FormatDouble(capacity, 4),
+                  std::to_string(completed) + "/" +
+                      std::to_string(options.repetitions)});
+    harness::Json row = harness::Json::Object();
+    row["fairness_wait"] = enabled;
+    row["addc_delay_ms"] = harness::ToJson(delay);
+    row["jain_mean"] = jain;
+    row["capacity_mean"] = capacity;
+    row["completed"] = static_cast<std::int64_t>(completed);
+    series.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
-  return 0;
+  return harness::WriteBenchJson("ablation_fairness", options, std::move(series),
+                                 timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

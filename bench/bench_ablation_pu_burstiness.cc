@@ -7,48 +7,83 @@
 // neighborhoods, long free runs let the backlog flush. This bench measures
 // how far Fig. 6's delays move when only burstiness changes.
 #include <iostream>
+#include <vector>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+namespace {
+
+struct Case {
+  crn::pu::ActivityProcess process;
+  double burst;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Ablation A6 — PU activity burstiness at fixed duty cycle",
-      "(ours) Lemma 7's p_o is burst-invariant; delay is not", scale,
+      "(ours) Lemma 7's p_o is burst-invariant; delay is not", options,
       std::cout);
 
-  harness::Table table({"activity process", "mean burst (slots)", "ADDC delay (ms)",
-                        "Coolest delay (ms)", "measured p_o (ADDC)"});
-  struct Case {
-    pu::ActivityProcess process;
-    double burst;
-  };
   const Case cases[] = {{pu::ActivityProcess::kIid, 1.0},
                         {pu::ActivityProcess::kMarkov, 2.0},
                         {pu::ActivityProcess::kMarkov, 4.0},
                         {pu::ActivityProcess::kMarkov, 8.0},
                         {pu::ActivityProcess::kMarkov, 16.0}};
-  for (const Case& c : cases) {
-    core::ScenarioConfig config = scale.base;
+  const std::int64_t reps = options.repetitions;
+  std::vector<core::ComparisonResult> results(5 * static_cast<std::size_t>(reps));
+  const harness::ParallelRunner runner(options.jobs);
+  runner.ForEachIndex(5 * reps, [&](std::int64_t index) {
+    const Case& c = cases[index / reps];
+    core::ScenarioConfig config = options.base;
     config.pu_activity_process = c.process;
     config.pu_mean_burst_slots = c.burst;
+    results[static_cast<std::size_t>(index)] =
+        core::RunComparison(config, static_cast<std::uint64_t>(index % reps));
+  });
+
+  harness::Table table({"activity process", "mean burst (slots)", "ADDC delay (ms)",
+                        "Coolest delay (ms)", "measured p_o (ADDC)"});
+  harness::Json series = harness::Json::Array();
+  for (std::size_t variant = 0; variant < 5; ++variant) {
     std::vector<double> addc_delays, coolest_delays, pos;
-    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-      const core::ComparisonResult result = core::RunComparison(config, rep);
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const core::ComparisonResult& result =
+          results[variant * static_cast<std::size_t>(reps) +
+                  static_cast<std::size_t>(rep)];
       addc_delays.push_back(result.addc.delay_ms);
       coolest_delays.push_back(result.coolest.delay_ms);
       pos.push_back(result.addc.measured_po);
     }
+    const Case& c = cases[variant];
     const auto addc = core::Summarize(addc_delays);
     const auto coolest = core::Summarize(coolest_delays);
-    table.AddRow({pu::ToString(c.process),
-                  harness::FormatDouble(c.process == pu::ActivityProcess::kIid ? 1.0 / (1.0 - scale.base.pu_activity) : c.burst, 1),
+    const double measured_po = core::Summarize(pos).mean;
+    const double mean_burst = c.process == pu::ActivityProcess::kIid
+                                  ? 1.0 / (1.0 - options.base.pu_activity)
+                                  : c.burst;
+    table.AddRow({pu::ToString(c.process), harness::FormatDouble(mean_burst, 1),
                   harness::FormatMeanStd(addc.mean, addc.stddev, 0),
                   harness::FormatMeanStd(coolest.mean, coolest.stddev, 0),
-                  harness::FormatDouble(core::Summarize(pos).mean, 4)});
+                  harness::FormatDouble(measured_po, 4)});
+    harness::Json row = harness::Json::Object();
+    row["activity_process"] = std::string(pu::ToString(c.process));
+    row["mean_burst_slots"] = mean_burst;
+    row["addc_delay_ms"] = harness::ToJson(addc);
+    row["coolest_delay_ms"] = harness::ToJson(coolest);
+    row["measured_po"] = measured_po;
+    series.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
-  return 0;
+  return harness::WriteBenchJson("ablation_pu_burstiness", options,
+                                 std::move(series), timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

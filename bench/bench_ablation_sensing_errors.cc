@@ -5,9 +5,12 @@
 // inflate delay. This bench quantifies both failure axes around the
 // perfect-sensing operating point.
 #include <iostream>
+#include <vector>
 
 #include "core/collection.h"
 #include "graph/cds_tree.h"
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -28,43 +31,68 @@ crn::core::CollectionResult RunWithSensingErrors(const crn::core::Scenario& scen
   return core::RunWithNextHops(scenario, std::move(next_hop), "ADDC/errors", options);
 }
 
+struct Case {
+  double fa;
+  double md;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
-  core::ScenarioConfig config = scale.base;
-  config.audit_stride = 4;
+  harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  options.base.audit_stride = 4;
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Ablation A5 — imperfect spectrum sensing",
-      "(ours) missed detections harm PUs; false alarms cost delay", scale,
+      "(ours) missed detections harm PUs; false alarms cost delay", options,
       std::cout);
 
-  struct Case {
-    double fa;
-    double md;
-  };
   const Case cases[] = {{0.0, 0.0}, {0.1, 0.0}, {0.3, 0.0},
                         {0.0, 0.05}, {0.0, 0.15}, {0.1, 0.05}};
+  const std::int64_t reps = options.repetitions;
+  std::vector<core::CollectionResult> results(6 * static_cast<std::size_t>(reps));
+  const harness::ParallelRunner runner(options.jobs);
+  runner.ForEachIndex(6 * reps, [&](std::int64_t index) {
+    const Case& c = cases[index / reps];
+    const core::Scenario scenario(options.base,
+                                  static_cast<std::uint64_t>(index % reps));
+    results[static_cast<std::size_t>(index)] =
+        RunWithSensingErrors(scenario, c.fa, c.md);
+  });
+
   harness::Table table({"P(false alarm)", "P(missed detection)", "ADDC delay (ms)",
                         "SU-caused PU violations", "SIR failures"});
-  for (const Case& c : cases) {
+  harness::Json series = harness::Json::Array();
+  for (std::size_t variant = 0; variant < 6; ++variant) {
     std::vector<double> delays;
     std::int64_t violations = 0;
     std::int64_t sir_failures = 0;
-    for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
-      const core::Scenario scenario(config, rep);
-      const core::CollectionResult result = RunWithSensingErrors(scenario, c.fa, c.md);
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const core::CollectionResult& result =
+          results[variant * static_cast<std::size_t>(reps) +
+                  static_cast<std::size_t>(rep)];
       delays.push_back(result.delay_ms);
       violations += result.mac.su_caused_violations;
       sir_failures +=
           result.mac.outcomes[static_cast<int>(mac::TxOutcome::kSirFailure)];
     }
+    const Case& c = cases[variant];
     const auto delay = core::Summarize(delays);
     table.AddRow({harness::FormatDouble(c.fa, 2), harness::FormatDouble(c.md, 2),
                   harness::FormatMeanStd(delay.mean, delay.stddev, 0),
                   std::to_string(violations), std::to_string(sir_failures)});
+    harness::Json row = harness::Json::Object();
+    row["false_alarm"] = c.fa;
+    row["missed_detection"] = c.md;
+    row["addc_delay_ms"] = harness::ToJson(delay);
+    row["su_caused_violations"] = violations;
+    row["sir_failures"] = sir_failures;
+    series.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
-  return 0;
+  return harness::WriteBenchJson("ablation_sensing_errors", options,
+                                 std::move(series), timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

@@ -7,10 +7,18 @@
 // η_p, η_s. Both c2 variants are printed (DESIGN.md §4): "paper" is what
 // Fig. 4 plots; "corrected" is the constant the concurrency guarantee
 // actually needs.
+//
+// This bench is formula-only (no simulation), so --jobs, --scale and --reps
+// do not change its output; the flags are still accepted so the whole suite
+// shares one CLI, and the four tables are also emitted as BENCH_fig4.json.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/pcr.h"
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 namespace {
@@ -34,30 +42,46 @@ PcrParams Fig4Defaults(double alpha) {
 }
 
 template <typename Setter>
-void SweepTable(const std::string& title, const std::string& parameter,
-                const std::vector<double>& values, Setter&& set) {
+crn::harness::Json SweepTable(const std::string& title, const std::string& parameter,
+                              const std::vector<double>& values, Setter&& set) {
   std::cout << "== Fig. 4: PCR vs " << title << " ==\n";
   Table table({parameter, "PCR α=3 paper (m)", "PCR α=4 paper (m)",
                "PCR α=3 corrected (m)", "PCR α=4 corrected (m)"});
+  crn::harness::Json rows = crn::harness::Json::Array();
   for (double value : values) {
     PcrParams p3 = Fig4Defaults(3.0);
     PcrParams p4 = Fig4Defaults(4.0);
     set(p3, value);
     set(p4, value);
-    table.AddRow(
-        {FormatDouble(value, 1),
-         FormatDouble(ProperCarrierSensingRange(p3, C2Variant::kPaper), 2),
-         FormatDouble(ProperCarrierSensingRange(p4, C2Variant::kPaper), 2),
-         FormatDouble(ProperCarrierSensingRange(p3, C2Variant::kCorrected), 2),
-         FormatDouble(ProperCarrierSensingRange(p4, C2Variant::kCorrected), 2)});
+    const double a3_paper = ProperCarrierSensingRange(p3, C2Variant::kPaper);
+    const double a4_paper = ProperCarrierSensingRange(p4, C2Variant::kPaper);
+    const double a3_corrected = ProperCarrierSensingRange(p3, C2Variant::kCorrected);
+    const double a4_corrected = ProperCarrierSensingRange(p4, C2Variant::kCorrected);
+    table.AddRow({FormatDouble(value, 1), FormatDouble(a3_paper, 2),
+                  FormatDouble(a4_paper, 2), FormatDouble(a3_corrected, 2),
+                  FormatDouble(a4_corrected, 2)});
+    crn::harness::Json row = crn::harness::Json::Object();
+    row["value"] = value;
+    row["pcr_alpha3_paper_m"] = a3_paper;
+    row["pcr_alpha4_paper_m"] = a4_paper;
+    row["pcr_alpha3_corrected_m"] = a3_corrected;
+    row["pcr_alpha4_corrected_m"] = a4_corrected;
+    rows.Push(std::move(row));
   }
   table.PrintMarkdown(std::cout);
   std::cout << "\n";
+  crn::harness::Json sweep = crn::harness::Json::Object();
+  sweep["parameter"] = parameter;
+  sweep["rows"] = std::move(rows);
+  return sweep;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace crn;
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   std::cout << "# Reproduction of Fig. 4 — Cai et al., ICDCS 2012\n"
             << "# Paper claims: PCR(α=3) > PCR(α=4); PCR non-decreasing in "
                "P_p, P_s, η_p, η_s\n\n";
@@ -65,13 +89,21 @@ int main() {
   const std::vector<double> powers{5, 10, 15, 20, 25, 30};
   const std::vector<double> thresholds_db{4, 6, 8, 10, 12, 14, 16};
 
-  SweepTable("P_p (PU power)", "P_p", powers,
-             [](PcrParams& p, double v) { p.pu_power = v; });
-  SweepTable("P_s (SU power)", "P_s", powers,
-             [](PcrParams& p, double v) { p.su_power = v; });
-  SweepTable("η_p (PU SIR threshold, dB)", "η_p (dB)", thresholds_db,
-             [](PcrParams& p, double v) { p.eta_p = crn::SirThreshold::FromDb(v); });
-  SweepTable("η_s (SU SIR threshold, dB)", "η_s (dB)", thresholds_db,
-             [](PcrParams& p, double v) { p.eta_s = crn::SirThreshold::FromDb(v); });
-  return 0;
+  harness::Json sweeps = harness::Json::Array();
+  sweeps.Push(SweepTable("P_p (PU power)", "P_p", powers,
+                         [](PcrParams& p, double v) { p.pu_power = v; }));
+  sweeps.Push(SweepTable("P_s (SU power)", "P_s", powers,
+                         [](PcrParams& p, double v) { p.su_power = v; }));
+  sweeps.Push(SweepTable("η_p (PU SIR threshold, dB)", "η_p (dB)", thresholds_db,
+                         [](PcrParams& p, double v) {
+                           p.eta_p = crn::SirThreshold::FromDb(v);
+                         }));
+  sweeps.Push(SweepTable("η_s (SU SIR threshold, dB)", "η_s (dB)", thresholds_db,
+                         [](PcrParams& p, double v) {
+                           p.eta_s = crn::SirThreshold::FromDb(v);
+                         }));
+  return harness::WriteBenchJson("fig4", options, std::move(sweeps),
+                                 timer.Seconds(), std::cout)
+             ? 0
+             : 1;
 }

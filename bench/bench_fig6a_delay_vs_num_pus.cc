@@ -2,30 +2,41 @@
 // ADDC and Coolest. Paper claims: delay increases with N (fast — the wait
 // for spectrum opportunities dominates), and ADDC beats Coolest (~2.7x on
 // average across the sweep).
+#include <cmath>
 #include <iostream>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Fig. 6(a) — delay vs number of PUs N",
-      "delay grows quickly with N; ADDC ~2.7x lower than Coolest", scale,
+      "delay grows quickly with N; ADDC ~2.7x lower than Coolest", options,
       std::cout);
 
   // The paper sweeps N to 2x its default; with the baseline's margined
   // sensing range that point exceeds the simulation-time ceiling (p_o is
   // exponential in N), so the default sweep stops at 1.5x — the growth
   // shape is already unambiguous there.
-  std::vector<harness::SweepPoint> points;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 6(a): delay vs N";
+  spec.parameter_name = "N";
+  spec.repetitions = options.repetitions;
+  spec.jobs = options.jobs;
   for (double factor : {0.25, 0.5, 0.75, 1.0, 1.5}) {
-    core::ScenarioConfig config = scale.base;
+    core::ScenarioConfig config = options.base;
     config.num_pus =
-        static_cast<std::int32_t>(std::lround(scale.base.num_pus * factor));
-    points.push_back({std::to_string(config.num_pus), config});
+        static_cast<std::int32_t>(std::lround(options.base.num_pus * factor));
+    spec.points.push_back({std::to_string(config.num_pus), config});
   }
-  harness::RunDelaySweep("Fig. 6(a): delay vs N", "N", points, scale.repetitions,
-                         std::cout);
-  return 0;
+  const harness::SweepResult result = harness::RunSweep(spec);
+  harness::RenderDelayTable(result, std::cout);
+  return harness::WriteBenchJson("fig6a", options, {result}, timer.Seconds(),
+                                 std::cout)
+             ? 0
+             : 1;
 }

@@ -2,30 +2,41 @@
 // ADDC and Coolest, with the area fixed (the paper's Fig. 6 caption pins
 // A = 250x250 while n varies). Paper claims: delay increases with n (more
 // slowly than with N), and ADDC beats Coolest (~2.8x).
+#include <cmath>
 #include <iostream>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Fig. 6(b) — delay vs number of SUs n",
-      "delay grows with n (slower than Fig. 6(a)); ADDC ~2.8x lower", scale,
+      "delay grows with n (slower than Fig. 6(a)); ADDC ~2.8x lower", options,
       std::cout);
 
   // With A fixed, n below the default is sub-critical for unit-disk
   // connectivity (≈5 expected neighbors at 0.5x — the paper's standing
   // connectedness assumption fails there, at full scale too), so the sweep
   // grows n upward from the default.
-  std::vector<harness::SweepPoint> points;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 6(b): delay vs n";
+  spec.parameter_name = "n";
+  spec.repetitions = options.repetitions;
+  spec.jobs = options.jobs;
   for (double factor : {1.0, 1.25, 1.5, 1.75, 2.0}) {
-    core::ScenarioConfig config = scale.base;
+    core::ScenarioConfig config = options.base;
     config.num_sus =
-        static_cast<std::int32_t>(std::lround(scale.base.num_sus * factor));
-    points.push_back({std::to_string(config.num_sus), config});
+        static_cast<std::int32_t>(std::lround(options.base.num_sus * factor));
+    spec.points.push_back({std::to_string(config.num_sus), config});
   }
-  harness::RunDelaySweep("Fig. 6(b): delay vs n", "n", points, scale.repetitions,
-                         std::cout);
-  return 0;
+  const harness::SweepResult result = harness::RunSweep(spec);
+  harness::RenderDelayTable(result, std::cout);
+  return harness::WriteBenchJson("fig6b", options, {result}, timer.Seconds(),
+                                 std::cout)
+             ? 0
+             : 1;
 }

@@ -3,26 +3,36 @@
 // opportunities shrink as (1 - p_t)^{πR_pcr²N/A}), ADDC ~3.1x lower.
 #include <iostream>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Fig. 6(c) — delay vs PU transmission probability p_t",
-      "delay increases very fast with p_t; ADDC ~3.1x lower", scale, std::cout);
+      "delay increases very fast with p_t; ADDC ~3.1x lower", options, std::cout);
 
   // p_t = 0.5 drives the baseline past the simulation-time ceiling
   // (expected waits grow as (1-p_t)^{-πR²N/A}), so the sweep tops out at
   // 0.45; the "very fast increase" the paper reports is fully visible.
-  std::vector<harness::SweepPoint> points;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 6(c): delay vs p_t";
+  spec.parameter_name = "p_t";
+  spec.repetitions = options.repetitions;
+  spec.jobs = options.jobs;
   for (double pt : {0.1, 0.2, 0.3, 0.4, 0.45}) {
-    core::ScenarioConfig config = scale.base;
+    core::ScenarioConfig config = options.base;
     config.pu_activity = pt;
-    points.push_back({harness::FormatDouble(pt, 2), config});
+    spec.points.push_back({harness::FormatDouble(pt, 2), config});
   }
-  harness::RunDelaySweep("Fig. 6(c): delay vs p_t", "p_t", points,
-                         scale.repetitions, std::cout);
-  return 0;
+  const harness::SweepResult result = harness::RunSweep(spec);
+  harness::RenderDelayTable(result, std::cout);
+  return harness::WriteBenchJson("fig6c", options, {result}, timer.Seconds(),
+                                 std::cout)
+             ? 0
+             : 1;
 }

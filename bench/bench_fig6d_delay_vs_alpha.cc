@@ -11,25 +11,35 @@
 #include <iostream>
 
 #include "common/env.h"
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
-  scale.base.pu_activity = GetEnvDouble("CRN_PT", 0.15);
+  harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  options.base.pu_activity = GetEnvDouble("CRN_PT", 0.15);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Fig. 6(d) — delay vs path-loss exponent α",
       "delay decreases with α; ADDC ~1.7x lower (run at p_t=0.15, see header)",
-      scale, std::cout);
+      options, std::cout);
 
-  std::vector<harness::SweepPoint> points;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 6(d): delay vs alpha";
+  spec.parameter_name = "alpha";
+  spec.repetitions = options.repetitions;
+  spec.jobs = options.jobs;
   for (double alpha : {3.0, 3.25, 3.5, 3.75, 4.0}) {
-    core::ScenarioConfig config = scale.base;
+    core::ScenarioConfig config = options.base;
     config.alpha = alpha;
-    points.push_back({harness::FormatDouble(alpha, 2), config});
+    spec.points.push_back({harness::FormatDouble(alpha, 2), config});
   }
-  harness::RunDelaySweep("Fig. 6(d): delay vs alpha", "alpha", points,
-                         scale.repetitions, std::cout);
-  return 0;
+  const harness::SweepResult result = harness::RunSweep(spec);
+  harness::RenderDelayTable(result, std::cout);
+  return harness::WriteBenchJson("fig6d", options, {result}, timer.Seconds(),
+                                 std::cout)
+             ? 0
+             : 1;
 }

@@ -3,26 +3,36 @@
 // interference shrinks concurrency and opportunities); ADDC ~2.6x lower.
 #include <iostream>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Fig. 6(e) — delay vs PU transmission power P_p",
-      "delay increases with P_p; ADDC ~2.6x lower", scale, std::cout);
+      "delay increases with P_p; ADDC ~2.6x lower", options, std::cout);
 
   // Swept upward from P_p = P_s = 10: below the other network's power the
   // PCR formula is U-shaped in P_p (c1 = P_p/max(P_p,P_s)), which would
   // invert the trend — Fig. 4 sweeps the same way.
-  std::vector<harness::SweepPoint> points;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 6(e): delay vs P_p";
+  spec.parameter_name = "P_p";
+  spec.repetitions = options.repetitions;
+  spec.jobs = options.jobs;
   for (double power : {10.0, 15.0, 20.0, 25.0, 30.0}) {
-    core::ScenarioConfig config = scale.base;
+    core::ScenarioConfig config = options.base;
     config.pu_power = power;
-    points.push_back({harness::FormatDouble(power, 0), config});
+    spec.points.push_back({harness::FormatDouble(power, 0), config});
   }
-  harness::RunDelaySweep("Fig. 6(e): delay vs P_p", "P_p", points,
-                         scale.repetitions, std::cout);
-  return 0;
+  const harness::SweepResult result = harness::RunSweep(spec);
+  harness::RenderDelayTable(result, std::cout);
+  return harness::WriteBenchJson("fig6e", options, {result}, timer.Seconds(),
+                                 std::cout)
+             ? 0
+             : 1;
 }

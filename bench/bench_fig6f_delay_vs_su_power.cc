@@ -3,25 +3,35 @@
 // with each other and must defer more broadly); ADDC ~2.7x lower.
 #include <iostream>
 
+#include "harness/json_writer.h"
+#include "harness/parallel_runner.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crn;
-  harness::BenchScale scale = harness::ResolveBenchScale();
+  const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
+  const harness::WallTimer timer;
   harness::PrintBenchHeader(
       "Fig. 6(f) — delay vs SU transmission power P_s",
-      "delay increases with P_s; ADDC ~2.7x lower", scale, std::cout);
+      "delay increases with P_s; ADDC ~2.7x lower", options, std::cout);
 
   // Swept upward from P_s = P_p = 10 for the same reason as Fig. 6(e): the
   // PCR formula is U-shaped around equal powers.
-  std::vector<harness::SweepPoint> points;
+  harness::SweepSpec spec;
+  spec.title = "Fig. 6(f): delay vs P_s";
+  spec.parameter_name = "P_s";
+  spec.repetitions = options.repetitions;
+  spec.jobs = options.jobs;
   for (double power : {10.0, 15.0, 20.0, 25.0, 30.0}) {
-    core::ScenarioConfig config = scale.base;
+    core::ScenarioConfig config = options.base;
     config.su_power = power;
-    points.push_back({harness::FormatDouble(power, 0), config});
+    spec.points.push_back({harness::FormatDouble(power, 0), config});
   }
-  harness::RunDelaySweep("Fig. 6(f): delay vs P_s", "P_s", points,
-                         scale.repetitions, std::cout);
-  return 0;
+  const harness::SweepResult result = harness::RunSweep(spec);
+  harness::RenderDelayTable(result, std::cout);
+  return harness::WriteBenchJson("fig6f", options, {result}, timer.Seconds(),
+                                 std::cout)
+             ? 0
+             : 1;
 }

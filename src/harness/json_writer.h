@@ -1,0 +1,106 @@
+// Structured results emission: every bench binary writes BENCH_<name>.json
+// next to its Markdown tables, giving the repo a machine-readable perf and
+// accuracy trajectory (per-point mean/std/CI, ratios, wall time, scale,
+// seed, trace digest).
+//
+// Json is a small insertion-ordered value tree — enough to serialize bench
+// results deterministically (object keys keep insertion order, doubles use
+// shortest-round-trip formatting, non-finite doubles become null). It is a
+// writer only; nothing in the repo needs to parse JSON back.
+#ifndef CRN_HARNESS_JSON_WRITER_H_
+#define CRN_HARNESS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/metrics.h"
+#include "harness/sweep.h"
+
+namespace crn::harness {
+
+class Json {
+ public:
+  Json() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): scalar literals are values.
+  Json(std::nullptr_t) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(bool value) : value_(value) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(double value) : value_(value) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::int64_t value) : value_(value) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::uint64_t value) : value_(value) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(int value) : value_(static_cast<std::int64_t>(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(const char* value) : value_(std::string(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::string value) : value_(std::move(value)) {}
+
+  static Json Object();
+  static Json Array();
+
+  // Object access: inserts the key (preserving insertion order) when
+  // missing. The value must be an object (or null, which becomes one).
+  Json& operator[](const std::string& key);
+
+  // Array append. The value must be an array (or null, which becomes one).
+  void Push(Json element);
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+
+  // Serializes with 2-space indentation and a deterministic layout.
+  void Dump(std::ostream& out) const;
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  using JsonArray = std::vector<Json>;
+  using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+  void DumpValue(std::ostream& out, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, JsonArray, JsonObject>
+      value_ = nullptr;
+};
+
+// "\" and control characters escaped per RFC 8259; exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+// Shortest round-trip decimal for a double; NaN/Inf serialize as "null".
+std::string FormatJsonNumber(double value);
+
+// 64-bit digests as "0x%016x" strings (JSON numbers above 2^53 are lossy).
+std::string DigestHex(std::uint64_t digest);
+
+// mean/stddev/min/max/count plus a normal-approximation 95% CI half-width.
+Json ToJson(const core::SampleStats& stats);
+Json ToJson(const ComparisonSummary& summary, const std::string& label);
+Json ToJson(const SweepResult& result);
+
+// Scale/seed/jobs envelope shared by every bench JSON.
+Json BenchEnvelope(const std::string& name, const BenchOptions& options);
+
+// Writes `root` (plus trailing newline); false + stderr note on I/O error.
+bool WriteJsonFile(const Json& root, const std::string& path);
+
+// Standard emission for sweep benches: envelope + "sweeps" array, written
+// to options.json_out (default BENCH_<name>.json), announced on `log`.
+bool WriteBenchJson(const std::string& name, const BenchOptions& options,
+                    const std::vector<SweepResult>& sweeps, double wall_seconds,
+                    std::ostream& log);
+
+// Emission for benches with bespoke tables: envelope + "series" payload.
+bool WriteBenchJson(const std::string& name, const BenchOptions& options,
+                    Json series, double wall_seconds, std::ostream& log);
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_JSON_WRITER_H_

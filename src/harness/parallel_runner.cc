@@ -1,0 +1,49 @@
+#include "harness/parallel_runner.h"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.h"
+
+namespace crn::harness {
+
+std::int32_t ResolveJobs(std::int32_t requested) {
+  if (requested >= 1) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::max<std::int32_t>(1, static_cast<std::int32_t>(hardware));
+}
+
+ParallelRunner::ParallelRunner(std::int32_t jobs) : jobs_(ResolveJobs(jobs)) {}
+
+void ParallelRunner::ForEachIndex(
+    std::int64_t count, const std::function<void(std::int64_t)>& fn) const {
+  if (count <= 0) return;
+  if (jobs_ == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // One pool per fan-out: experiment cells are seconds-long simulations, so
+  // thread startup is noise, and a fresh pool keeps the runner stateless.
+  ThreadPool pool(static_cast<std::size_t>(
+      std::min<std::int64_t>(jobs_, count)));
+  std::vector<std::future<void>> cells;
+  cells.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    cells.push_back(pool.Submit([&fn, i] { fn(i); }));
+  }
+  // Collect in index order: every cell finishes (no abandoned work), and
+  // the lowest-index exception is the one that propagates.
+  std::exception_ptr first_error;
+  for (std::future<void>& cell : cells) {
+    try {
+      cell.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace crn::harness

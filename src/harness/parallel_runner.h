@@ -1,0 +1,62 @@
+// Deterministic fan-out of independent experiment cells over a ThreadPool.
+//
+// Every (sweep point × repetition × algorithm) cell of an experiment is an
+// independent simulation: each one builds its own Scenario and derives all
+// randomness from (config.seed, repetition), never from shared state. The
+// runner therefore only has to execute cells and let the caller reduce the
+// per-index results in a fixed order — the output is bit-identical at every
+// jobs value, which tests/harness/parallel_sweep_test.cc pins against the
+// inline (jobs = 1) engine via the auditor's trace digests.
+#ifndef CRN_HARNESS_PARALLEL_RUNNER_H_
+#define CRN_HARNESS_PARALLEL_RUNNER_H_
+
+#include <chrono>  // crn-lint-ok: harness wall-time only, never simulation state
+#include <cstdint>
+#include <functional>
+
+namespace crn::harness {
+
+// Maps a jobs request to a worker count: values >= 1 are taken literally,
+// 0 (and negatives) mean "auto" — the hardware concurrency, floored at 1.
+std::int32_t ResolveJobs(std::int32_t requested);
+
+class ParallelRunner {
+ public:
+  // `jobs` is taken through ResolveJobs(); a resolved value of 1 runs every
+  // cell inline on the calling thread (the serial engine — no pool, no
+  // synchronization).
+  explicit ParallelRunner(std::int32_t jobs);
+
+  [[nodiscard]] std::int32_t jobs() const { return jobs_; }
+
+  // Runs fn(0) .. fn(count - 1), all indices exactly once. Parallel
+  // execution order is unspecified; callers must write results only to
+  // their own index. If cells throw, the lowest-index exception is
+  // rethrown after every cell has finished.
+  void ForEachIndex(std::int64_t count,
+                    const std::function<void(std::int64_t)>& fn) const;
+
+ private:
+  std::int32_t jobs_;
+};
+
+// Wall-clock stopwatch for experiment timing (bench JSON, speedup
+// reporting). Quarantined here so simulation code keeps depending on
+// sim::TimeNs only — the crn_lint wall-clock rule still guards src/.
+class WallTimer {
+ public:
+  WallTimer()
+      : start_(std::chrono::steady_clock::now()) {}  // crn-lint-ok: harness timing
+
+  [[nodiscard]] double Seconds() const {
+    const auto now = std::chrono::steady_clock::now();  // crn-lint-ok: harness timing
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;  // crn-lint-ok: harness timing
+};
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_PARALLEL_RUNNER_H_

@@ -1,96 +1,217 @@
 #include "harness/sweep.h"
 
+#include <cstdlib>
+#include <iostream>
+
 #include "common/env.h"
+#include "harness/flags.h"
+#include "harness/parallel_runner.h"
 #include "harness/table.h"
 
 namespace crn::harness {
 
+namespace {
+
+// Order-sensitive FNV-1a fold of a 64-bit value into an accumulator; used
+// to combine per-cell trace digests into point- and sweep-level digests.
+constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+std::uint64_t FoldDigest(std::uint64_t accumulator, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    accumulator ^= (value >> (8 * byte)) & 0xFFU;
+    accumulator *= 0x100000001B3ULL;
+  }
+  return accumulator;
+}
+
+// One experiment cell: (point, repetition, algorithm). Cells are laid out
+// point-major, repetition next, ADDC before Coolest — the same order the
+// serial reduction consumes, so results are independent of which worker
+// finishes first.
+struct CellOutcome {
+  core::CollectionResult result;
+  std::uint64_t digest = 0;
+};
+
+}  // namespace
+
+SweepResult RunSweep(const SweepSpec& spec) {
+  const WallTimer timer;
+  SweepResult sweep;
+  sweep.title = spec.title;
+  sweep.parameter_name = spec.parameter_name;
+  sweep.repetitions = spec.repetitions;
+  sweep.jobs = ResolveJobs(spec.jobs);
+  if (!spec.points.empty()) sweep.seed = spec.points.front().config.seed;
+
+  const auto reps = static_cast<std::int64_t>(spec.repetitions);
+  const std::int64_t cells_per_point = 2 * reps;
+  const std::int64_t cell_count =
+      cells_per_point * static_cast<std::int64_t>(spec.points.size());
+  std::vector<CellOutcome> cells(static_cast<std::size_t>(cell_count));
+
+  const ParallelRunner runner(spec.jobs);
+  runner.ForEachIndex(cell_count, [&](std::int64_t index) {
+    const auto point = static_cast<std::size_t>(index / cells_per_point);
+    const std::int64_t rest = index % cells_per_point;
+    const auto rep = static_cast<std::uint64_t>(rest / 2);
+    const bool is_addc = rest % 2 == 0;
+    // Each cell deploys its own Scenario: deployment is a pure function of
+    // (config, rep), so ADDC and Coolest still see identical topologies
+    // without sharing any state across threads.
+    const core::Scenario scenario(spec.points[point].config, rep);
+    CellOutcome& cell = cells[static_cast<std::size_t>(index)];
+    if (is_addc) {
+      core::RunOptions options;
+      core::AuditReport report;
+      if (spec.collect_digests) options.audit_report = &report;
+      cell.result = core::RunAddc(scenario, options);
+      if (spec.collect_digests) cell.digest = report.trace_digest;
+    } else {
+      cell.result = core::RunCoolest(scenario, spec.metric);
+    }
+  });
+
+  // Reduction, strictly in (point, repetition) order: identical floating-
+  // point summation order at every jobs value.
+  std::uint64_t sweep_digest = kFnvOffsetBasis;
+  sweep.labels.reserve(spec.points.size());
+  sweep.summaries.reserve(spec.points.size());
+  for (std::size_t point = 0; point < spec.points.size(); ++point) {
+    std::vector<double> addc_delay, coolest_delay;
+    std::vector<double> addc_capacity, coolest_capacity;
+    std::vector<double> addc_jain, coolest_jain;
+    std::vector<double> bounds;
+    ComparisonSummary summary;
+    std::uint64_t point_digest = kFnvOffsetBasis;
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      const std::size_t base = static_cast<std::size_t>(
+          static_cast<std::int64_t>(point) * cells_per_point + 2 * rep);
+      const core::CollectionResult& addc = cells[base].result;
+      const core::CollectionResult& coolest = cells[base + 1].result;
+      addc_delay.push_back(addc.delay_ms);
+      coolest_delay.push_back(coolest.delay_ms);
+      addc_capacity.push_back(addc.capacity_fraction);
+      coolest_capacity.push_back(coolest.capacity_fraction);
+      addc_jain.push_back(addc.jain_delivery_fairness);
+      coolest_jain.push_back(coolest.jain_delivery_fairness);
+      bounds.push_back(addc.theorem2_delay_bound_ms);
+      summary.addc_completed += addc.completed ? 1 : 0;
+      summary.coolest_completed += coolest.completed ? 1 : 0;
+      summary.su_caused_violations +=
+          addc.mac.su_caused_violations + coolest.mac.su_caused_violations;
+      point_digest = FoldDigest(point_digest, cells[base].digest);
+      sweep_digest = FoldDigest(sweep_digest, cells[base].digest);
+    }
+    summary.addc_delay_ms = core::Summarize(addc_delay);
+    summary.coolest_delay_ms = core::Summarize(coolest_delay);
+    summary.delay_ratio =
+        summary.addc_delay_ms.mean > 0.0
+            ? summary.coolest_delay_ms.mean / summary.addc_delay_ms.mean
+            : 0.0;
+    summary.addc_capacity = core::Summarize(addc_capacity);
+    summary.coolest_capacity = core::Summarize(coolest_capacity);
+    summary.addc_jain_mean = core::Summarize(addc_jain).mean;
+    summary.coolest_jain_mean = core::Summarize(coolest_jain).mean;
+    summary.theorem2_bound_ms_mean = core::Summarize(bounds).mean;
+    if (spec.collect_digests) summary.addc_trace_digest = point_digest;
+    sweep.labels.push_back(spec.points[point].label);
+    sweep.summaries.push_back(summary);
+  }
+  if (spec.collect_digests) sweep.trace_digest = sweep_digest;
+  sweep.wall_seconds = timer.Seconds();
+  return sweep;
+}
+
 ComparisonSummary RunRepeatedComparison(const core::ScenarioConfig& config,
                                         std::int32_t repetitions,
                                         routing::TemperatureMetric metric) {
-  std::vector<double> addc_delay, coolest_delay;
-  std::vector<double> addc_capacity, coolest_capacity;
-  std::vector<double> addc_jain, coolest_jain;
-  std::vector<double> bounds;
-  ComparisonSummary summary;
-  for (std::int32_t rep = 0; rep < repetitions; ++rep) {
-    const core::ComparisonResult result = core::RunComparison(config, rep, metric);
-    addc_delay.push_back(result.addc.delay_ms);
-    coolest_delay.push_back(result.coolest.delay_ms);
-    addc_capacity.push_back(result.addc.capacity_fraction);
-    coolest_capacity.push_back(result.coolest.capacity_fraction);
-    addc_jain.push_back(result.addc.jain_delivery_fairness);
-    coolest_jain.push_back(result.coolest.jain_delivery_fairness);
-    bounds.push_back(result.addc.theorem2_delay_bound_ms);
-    summary.addc_completed += result.addc.completed ? 1 : 0;
-    summary.coolest_completed += result.coolest.completed ? 1 : 0;
-    summary.su_caused_violations += result.addc.mac.su_caused_violations +
-                                    result.coolest.mac.su_caused_violations;
-  }
-  summary.addc_delay_ms = core::Summarize(addc_delay);
-  summary.coolest_delay_ms = core::Summarize(coolest_delay);
-  summary.delay_ratio = summary.addc_delay_ms.mean > 0.0
-                            ? summary.coolest_delay_ms.mean / summary.addc_delay_ms.mean
-                            : 0.0;
-  summary.addc_capacity = core::Summarize(addc_capacity);
-  summary.coolest_capacity = core::Summarize(coolest_capacity);
-  summary.addc_jain_mean = core::Summarize(addc_jain).mean;
-  summary.coolest_jain_mean = core::Summarize(coolest_jain).mean;
-  summary.theorem2_bound_ms_mean = core::Summarize(bounds).mean;
-  return summary;
+  SweepSpec spec;
+  spec.points.push_back({"", config});
+  spec.repetitions = repetitions;
+  spec.metric = metric;
+  spec.jobs = 1;
+  return RunSweep(spec).summaries.front();
 }
 
-std::vector<ComparisonSummary> RunDelaySweep(const std::string& title,
-                                             const std::string& parameter_name,
-                                             const std::vector<SweepPoint>& points,
-                                             std::int32_t repetitions,
-                                             std::ostream& out,
-                                             routing::TemperatureMetric metric) {
-  out << "== " << title << " ==\n";
-  Table table({parameter_name, "ADDC delay (ms)", "Coolest delay (ms)",
+void RenderDelayTable(const SweepResult& result, std::ostream& out) {
+  out << "== " << result.title << " ==\n";
+  Table table({result.parameter_name, "ADDC delay (ms)", "Coolest delay (ms)",
                "Coolest/ADDC", "ADDC capacity (·W)", "violations"});
-  std::vector<ComparisonSummary> summaries;
-  summaries.reserve(points.size());
-  for (const SweepPoint& point : points) {
-    const ComparisonSummary s = RunRepeatedComparison(point.config, repetitions, metric);
-    table.AddRow({point.label,
+  for (std::size_t i = 0; i < result.summaries.size(); ++i) {
+    const ComparisonSummary& s = result.summaries[i];
+    table.AddRow({result.labels[i],
                   FormatMeanStd(s.addc_delay_ms.mean, s.addc_delay_ms.stddev, 0),
                   FormatMeanStd(s.coolest_delay_ms.mean, s.coolest_delay_ms.stddev, 0),
                   FormatDouble(s.delay_ratio, 2),
                   FormatDouble(s.addc_capacity.mean, 4),
                   std::to_string(s.su_caused_violations)});
-    summaries.push_back(s);
   }
   table.PrintMarkdown(out);
   out << "\n";
-  return summaries;
 }
 
-BenchScale ResolveBenchScale() {
-  BenchScale scale;
-  scale.full_scale = GetEnvBool("CRN_FULL_SCALE", false);
-  if (scale.full_scale) {
-    scale.base = core::ScenarioConfig::PaperDefaults();
-    scale.repetitions = 10;  // the paper repeats each point 10 times
-  } else {
-    const double factor = GetEnvDouble("CRN_SCALE", 0.25);
-    scale.base = core::ScenarioConfig::ScaledDefaults(factor);
-    scale.repetitions = 3;
+namespace {
+
+constexpr const char* kBenchUsage =
+    R"(Common bench flags (environment fallback in parentheses):
+  --full-scale        the paper's exact configuration (CRN_FULL_SCALE=1)
+  --scale=F           density-preserving scale factor, default 0.25 (CRN_SCALE)
+  --reps=K            repetitions per point (CRN_REPS)
+  --jobs=J            worker threads; 0 = hardware concurrency (CRN_JOBS)
+  --seed=S            root scenario seed (CRN_SEED)
+  --json-out=PATH     BENCH json path, default BENCH_<name>.json (CRN_JSON_OUT)
+  --help              this message
+)";
+
+}  // namespace
+
+BenchOptions ResolveBenchOptions(int argc, const char* const* argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::cout << kBenchUsage;
+    std::exit(0);
   }
-  scale.repetitions =
-      static_cast<std::int32_t>(GetEnvInt("CRN_REPS", scale.repetitions));
-  return scale;
+  BenchOptions options;
+  options.full_scale =
+      flags.GetBool("full-scale", GetEnvBool("CRN_FULL_SCALE", false));
+  if (options.full_scale) {
+    options.base = core::ScenarioConfig::PaperDefaults();
+    options.repetitions = 10;  // the paper repeats each point 10 times
+  } else {
+    const double factor = flags.GetDouble("scale", GetEnvDouble("CRN_SCALE", 0.25));
+    options.base = core::ScenarioConfig::ScaledDefaults(factor);
+    options.repetitions = 3;
+  }
+  options.repetitions = static_cast<std::int32_t>(
+      flags.GetInt("reps", GetEnvInt("CRN_REPS", options.repetitions)));
+  options.jobs =
+      static_cast<std::int32_t>(flags.GetInt("jobs", GetEnvInt("CRN_JOBS", 0)));
+  options.base.seed = static_cast<std::uint64_t>(flags.GetInt(
+      "seed", GetEnvInt("CRN_SEED", static_cast<std::int64_t>(options.base.seed))));
+  options.json_out = flags.GetString("json-out", GetEnv("CRN_JSON_OUT").value_or(""));
+  if (!flags.errors().empty() || !flags.UnconsumedFlags().empty()) {
+    for (const std::string& error : flags.errors()) {
+      std::cerr << "error: " << error << "\n";
+    }
+    for (const std::string& unknown : flags.UnconsumedFlags()) {
+      std::cerr << "error: unknown flag " << unknown << "\n";
+    }
+    std::cerr << kBenchUsage;
+    std::exit(2);
+  }
+  return options;
 }
 
 void PrintBenchHeader(const std::string& figure, const std::string& claim,
-                      const BenchScale& scale, std::ostream& out) {
+                      const BenchOptions& options, std::ostream& out) {
   out << "# Reproduction of " << figure << " — Cai et al., ICDCS 2012\n";
   out << "# Paper claim: " << claim << "\n";
-  out << "# Scale: " << (scale.full_scale ? "FULL (paper)" : "scaled-down")
-      << "  n=" << scale.base.num_sus << "  N=" << scale.base.num_pus
-      << "  A=" << scale.base.area_side << "x" << scale.base.area_side
-      << "  reps=" << scale.repetitions
-      << "  (set CRN_FULL_SCALE=1 for the paper configuration)\n\n";
+  out << "# Scale: " << (options.full_scale ? "FULL (paper)" : "scaled-down")
+      << "  n=" << options.base.num_sus << "  N=" << options.base.num_pus
+      << "  A=" << options.base.area_side << "x" << options.base.area_side
+      << "  reps=" << options.repetitions << "  jobs=" << ResolveJobs(options.jobs)
+      << "  (--full-scale for the paper configuration, --help for flags)\n\n";
 }
 
 }  // namespace crn::harness

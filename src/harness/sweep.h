@@ -1,7 +1,18 @@
-// Experiment sweep runner: repeats ADDC-vs-Coolest comparisons over a list
-// of configurations and prints the Fig.-6-style series (parameter value,
-// mean ± std delay for each algorithm, ratio). This is the engine behind
-// every bench binary.
+// Experiment sweep engine: repeats ADDC-vs-Coolest comparisons over a list
+// of configurations — the engine behind every bench binary.
+//
+// The API is split into a compute phase and a render phase. RunSweep()
+// takes a SweepSpec (what to run, how many repetitions, how many worker
+// threads) and returns a SweepResult value; RenderDelayTable() and the
+// json_writer consume that value afterwards. No entry point here touches an
+// std::ostream while computing.
+//
+// Parallelism never changes results: every (point × repetition × algorithm)
+// cell is an independent simulation keyed by (config.seed, point, rep,
+// algorithm) — each cell deploys its own Scenario and derives every RNG
+// stream from (config.seed, rep), so a sweep is bit-identical at any jobs
+// value. tests/harness/parallel_sweep_test.cc pins jobs=1 against jobs=4,
+// summaries and trace digests both.
 #ifndef CRN_HARNESS_SWEEP_H_
 #define CRN_HARNESS_SWEEP_H_
 
@@ -30,11 +41,10 @@ struct ComparisonSummary {
   std::int32_t coolest_completed = 0;
   std::int64_t su_caused_violations = 0;  // summed over both algorithms
   double theorem2_bound_ms_mean = 0.0;
+  // FNV fold of the per-repetition ADDC trace digests (invariant_auditor.h),
+  // in repetition order; 0 unless SweepSpec.collect_digests was set.
+  std::uint64_t addc_trace_digest = 0;
 };
-
-ComparisonSummary RunRepeatedComparison(
-    const core::ScenarioConfig& config, std::int32_t repetitions,
-    routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated);
 
 // One point of a sweep: label shown in the table plus its configuration.
 struct SweepPoint {
@@ -42,28 +52,67 @@ struct SweepPoint {
   core::ScenarioConfig config;
 };
 
-// Runs every point and prints the delay table; returns the summaries in
-// point order for further processing (EXPERIMENTS.md extraction, tests).
-std::vector<ComparisonSummary> RunDelaySweep(
-    const std::string& title, const std::string& parameter_name,
-    const std::vector<SweepPoint>& points, std::int32_t repetitions,
-    std::ostream& out,
+// The compute request. `jobs` follows ResolveJobs() (parallel_runner.h):
+// >= 1 literal, 0 = hardware concurrency; 1 runs inline (the serial
+// engine). collect_digests attaches the invariant auditor to every ADDC
+// cell and folds its trace digests into the result — attaching the auditor
+// never changes a run's behaviour or digest.
+struct SweepSpec {
+  std::string title;
+  std::string parameter_name;
+  std::vector<SweepPoint> points;
+  std::int32_t repetitions = 1;
+  routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated;
+  std::int32_t jobs = 1;
+  bool collect_digests = false;
+};
+
+// The compute result, consumed by RenderDelayTable() / json_writer.
+struct SweepResult {
+  std::string title;
+  std::string parameter_name;
+  std::vector<std::string> labels;             // one per point
+  std::vector<ComparisonSummary> summaries;    // one per point, point order
+  std::int32_t repetitions = 0;
+  std::int32_t jobs = 1;                       // resolved worker count used
+  std::uint64_t seed = 0;                      // points.front().config.seed
+  std::uint64_t trace_digest = 0;              // fold over all cells; 0 if off
+  double wall_seconds = 0.0;
+};
+
+SweepResult RunSweep(const SweepSpec& spec);
+
+// Serial single-point convenience used by tests and custom benches.
+ComparisonSummary RunRepeatedComparison(
+    const core::ScenarioConfig& config, std::int32_t repetitions,
     routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated);
 
-// Bench scaling resolved from the environment (DESIGN.md §2):
-//   CRN_FULL_SCALE=1 -> the paper's exact configuration, 10 repetitions;
-//   CRN_SCALE=<f>    -> density-preserving scale factor (default 0.25);
-//   CRN_REPS=<k>     -> repetition override.
-struct BenchScale {
+// Render phase: the Fig.-6-style Markdown delay table for a computed sweep.
+void RenderDelayTable(const SweepResult& result, std::ostream& out);
+
+// Bench configuration, resolved exactly once from CLI flags with
+// environment-variable fallback (DESIGN.md §2):
+//   --full-scale / CRN_FULL_SCALE=1   the paper's configuration, 10 reps;
+//   --scale=F    / CRN_SCALE=F        density-preserving factor (def. 0.25);
+//   --reps=K     / CRN_REPS=K         repetition override;
+//   --jobs=J     / CRN_JOBS=J         worker threads (0 = hardware, def.);
+//   --seed=S     / CRN_SEED=S         root scenario seed;
+//   --json-out=P / CRN_JSON_OUT=P     BENCH json path (def. BENCH_<name>.json).
+struct BenchOptions {
   core::ScenarioConfig base;
   std::int32_t repetitions = 3;
   bool full_scale = false;
+  std::int32_t jobs = 0;  // 0 = auto (ResolveJobs)
+  std::string json_out;   // "" = default path
 };
-BenchScale ResolveBenchScale();
+
+// Parses argv (strictly: unknown flags are fatal) and the environment.
+// Handles --help itself. Exits the process on usage errors.
+BenchOptions ResolveBenchOptions(int argc, const char* const* argv);
 
 // Standard bench banner: what is being reproduced and at what scale.
 void PrintBenchHeader(const std::string& figure, const std::string& claim,
-                      const BenchScale& scale, std::ostream& out);
+                      const BenchOptions& options, std::ostream& out);
 
 }  // namespace crn::harness
 

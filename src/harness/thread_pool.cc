@@ -1,0 +1,56 @@
+#include "harness/thread_pool.h"
+
+#include <stdexcept>
+
+namespace crn::harness {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      throw std::runtime_error("ThreadPool::Submit after Shutdown");
+    }
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::Worker() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Exceptions are captured by the packaged_task inside `job`; a raw job
+    // that throws would terminate, exactly like an unhandled exception on
+    // the main thread.
+    job();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace crn::harness

@@ -1,0 +1,63 @@
+// Fixed-size worker pool behind the parallel experiment engine.
+//
+// Workers drain a FIFO queue, so a single-threaded pool executes jobs in
+// exact submission order. Submit() returns a std::future that either yields
+// the job's result or rethrows the exception it died with — the engine
+// propagates the lowest-index failure to the caller. The destructor (and
+// Shutdown()) finishes every queued job before joining; work is never
+// silently dropped.
+#ifndef CRN_HARNESS_THREAD_POOL_H_
+#define CRN_HARNESS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace crn::harness {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueues `fn`; the future yields its return value or rethrows. Throws
+  // std::runtime_error when called after Shutdown().
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> Submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  // Completes all queued jobs, then joins every worker. Idempotent; also
+  // run by the destructor.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> job);
+  void Worker();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_THREAD_POOL_H_

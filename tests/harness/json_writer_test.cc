@@ -1,0 +1,134 @@
+#include "harness/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace crn::harness {
+namespace {
+
+TEST(JsonTest, ScalarsSerialize) {
+  EXPECT_EQ(Json(true).ToString(), "true");
+  EXPECT_EQ(Json(nullptr).ToString(), "null");
+  EXPECT_EQ(Json(42).ToString(), "42");
+  EXPECT_EQ(Json(2.5).ToString(), "2.5");
+  EXPECT_EQ(Json("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Json().ToString(), "null");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrder) {
+  Json json = Json::Object();
+  json["zeta"] = 1;
+  json["alpha"] = 2;
+  const std::string text = json.ToString();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+}
+
+TEST(JsonTest, OperatorBracketUpdatesExistingKey) {
+  Json json = Json::Object();
+  json["k"] = 1;
+  json["k"] = 2;
+  EXPECT_EQ(json.ToString(), "{\n  \"k\": 2\n}");
+}
+
+TEST(JsonTest, EmptyContainersStayCompact) {
+  EXPECT_EQ(Json::Object().ToString(), "{}");
+  EXPECT_EQ(Json::Array().ToString(), "[]");
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak\t"), "line\\nbreak\\t");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, NumbersUseShortestRoundTrip) {
+  EXPECT_EQ(FormatJsonNumber(0.5), "0.5");
+  EXPECT_EQ(FormatJsonNumber(0.25), "0.25");
+  EXPECT_EQ(FormatJsonNumber(std::nan("")), "null");
+  EXPECT_EQ(FormatJsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonTest, DigestHexIsFixedWidthLowercase) {
+  EXPECT_EQ(DigestHex(0xABCULL), "0x0000000000000abc");
+  EXPECT_EQ(DigestHex(0xFFFFFFFFFFFFFFFFULL), "0xffffffffffffffff");
+}
+
+TEST(JsonTest, SampleStatsIncludeCi95HalfWidth) {
+  core::SampleStats stats;
+  stats.mean = 10.0;
+  stats.stddev = 2.0;
+  stats.min = 8.0;
+  stats.max = 12.0;
+  stats.count = 4;
+  const std::string text = ToJson(stats).ToString();
+  EXPECT_NE(text.find("\"mean\": 10"), std::string::npos);
+  // 1.96 * 2 / sqrt(4)
+  EXPECT_NE(text.find("\"ci95\": 1.96"), std::string::npos);
+}
+
+TEST(JsonTest, SweepResultSerializesPointsAndDigests) {
+  SweepResult result;
+  result.title = "t";
+  result.parameter_name = "p";
+  result.labels = {"A"};
+  ComparisonSummary summary;
+  summary.addc_trace_digest = 0x12;
+  result.summaries = {summary};
+  result.trace_digest = 0x34;
+  const std::string text = ToJson(result).ToString();
+  EXPECT_NE(text.find("\"points\""), std::string::npos);
+  EXPECT_NE(text.find("\"label\": \"A\""), std::string::npos);
+  EXPECT_NE(text.find("\"addc_trace_digest\": \"0x0000000000000012\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"trace_digest\": \"0x0000000000000034\""),
+            std::string::npos);
+}
+
+TEST(JsonWriterTest, WriteBenchJsonWritesEnvelopeAndSeries) {
+  BenchOptions options;
+  const std::string path = ::testing::TempDir() + "bench_json_test.json";
+  options.json_out = path;
+  Json series = Json::Array();
+  Json row = Json::Object();
+  row["value"] = 1.5;
+  series.Push(std::move(row));
+  std::ostringstream log;
+  ASSERT_TRUE(WriteBenchJson("unit", options, std::move(series), 0.25, log));
+  EXPECT_NE(log.str().find(path), std::string::npos);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(text.find("\"scale\""), std::string::npos);
+  EXPECT_NE(text.find("\"series\""), std::string::npos);
+  EXPECT_NE(text.find("\"wall_seconds\": 0.25"), std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(JsonWriterTest, SweepsOverloadEmitsSweepArray) {
+  BenchOptions options;
+  const std::string path = ::testing::TempDir() + "bench_json_sweeps_test.json";
+  options.json_out = path;
+  SweepResult result;
+  result.title = "sweep title";
+  std::ostringstream log;
+  ASSERT_TRUE(WriteBenchJson("unit2", options, {result}, 0.5, log));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"sweeps\""), std::string::npos);
+  EXPECT_NE(text.find("\"title\": \"sweep title\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crn::harness

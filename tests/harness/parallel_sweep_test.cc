@@ -1,0 +1,82 @@
+// The parallel engine's contract: a sweep is bit-identical at any jobs
+// value. Every cell deploys its own Scenario from (config.seed, rep) and the
+// reduction runs in fixed (point, repetition) order, so jobs=4 must
+// reproduce the serial engine exactly — summaries and the auditor's trace
+// digests both.
+#include <gtest/gtest.h>
+
+#include "harness/sweep.h"
+
+namespace crn::harness {
+namespace {
+
+SweepSpec TinySpec(std::int32_t jobs) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.05);
+  config.seed = 11;
+  SweepSpec spec;
+  spec.title = "equivalence";
+  spec.parameter_name = "p_t";
+  spec.points.push_back({"0.3", config});
+  config.pu_activity = 0.2;
+  spec.points.push_back({"0.2", config});
+  spec.repetitions = 2;
+  spec.jobs = jobs;
+  spec.collect_digests = true;
+  return spec;
+}
+
+void ExpectStatsIdentical(const core::SampleStats& a, const core::SampleStats& b) {
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.count, b.count);
+}
+
+TEST(ParallelSweepTest, SerialAndParallelSweepsAreBitIdentical) {
+  const SweepResult serial = RunSweep(TinySpec(1));
+  const SweepResult parallel = RunSweep(TinySpec(4));
+  EXPECT_EQ(serial.jobs, 1);
+  EXPECT_EQ(parallel.jobs, 4);
+  EXPECT_EQ(serial.labels, parallel.labels);
+  ASSERT_EQ(serial.summaries.size(), parallel.summaries.size());
+  for (std::size_t i = 0; i < serial.summaries.size(); ++i) {
+    const ComparisonSummary& a = serial.summaries[i];
+    const ComparisonSummary& b = parallel.summaries[i];
+    ExpectStatsIdentical(a.addc_delay_ms, b.addc_delay_ms);
+    ExpectStatsIdentical(a.coolest_delay_ms, b.coolest_delay_ms);
+    EXPECT_EQ(a.delay_ratio, b.delay_ratio);
+    ExpectStatsIdentical(a.addc_capacity, b.addc_capacity);
+    ExpectStatsIdentical(a.coolest_capacity, b.coolest_capacity);
+    EXPECT_EQ(a.addc_jain_mean, b.addc_jain_mean);
+    EXPECT_EQ(a.coolest_jain_mean, b.coolest_jain_mean);
+    EXPECT_EQ(a.addc_completed, b.addc_completed);
+    EXPECT_EQ(a.coolest_completed, b.coolest_completed);
+    EXPECT_EQ(a.su_caused_violations, b.su_caused_violations);
+    EXPECT_EQ(a.theorem2_bound_ms_mean, b.theorem2_bound_ms_mean);
+    EXPECT_NE(a.addc_trace_digest, 0u);
+    EXPECT_EQ(a.addc_trace_digest, b.addc_trace_digest);
+  }
+  EXPECT_NE(serial.trace_digest, 0u);
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+}
+
+TEST(ParallelSweepTest, DigestCollectionDoesNotChangeResults) {
+  SweepSpec with_digests = TinySpec(1);
+  with_digests.points.resize(1);
+  with_digests.repetitions = 1;
+  SweepSpec without_digests = with_digests;
+  without_digests.collect_digests = false;
+  const SweepResult audited = RunSweep(with_digests);
+  const SweepResult plain = RunSweep(without_digests);
+  ExpectStatsIdentical(audited.summaries.front().addc_delay_ms,
+                       plain.summaries.front().addc_delay_ms);
+  ExpectStatsIdentical(audited.summaries.front().coolest_delay_ms,
+                       plain.summaries.front().coolest_delay_ms);
+  EXPECT_NE(audited.summaries.front().addc_trace_digest, 0u);
+  EXPECT_EQ(plain.summaries.front().addc_trace_digest, 0u);
+  EXPECT_EQ(plain.trace_digest, 0u);
+}
+
+}  // namespace
+}  // namespace crn::harness

@@ -1,0 +1,103 @@
+#include "harness/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/parallel_runner.h"
+
+namespace crn::harness {
+namespace {
+
+TEST(ThreadPoolTest, SingleWorkerRunsJobsInSubmissionOrder) {
+  std::vector<int> order;
+  ThreadPool pool(1);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTheJobsValue) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.Submit([]() -> int { throw std::runtime_error("cell failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsEveryQueuedJob) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { ++done; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ThreadCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ParallelRunnerTest, ResolveJobsLiteralAndAuto) {
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(5), 5);
+  EXPECT_GE(ResolveJobs(0), 1);
+  EXPECT_GE(ResolveJobs(-2), 1);
+}
+
+TEST(ParallelRunnerTest, ForEachIndexCoversEveryIndexExactlyOnce) {
+  const ParallelRunner runner(4);
+  std::vector<int> hits(37, 0);
+  runner.ForEachIndex(37, [&](std::int64_t index) {
+    ++hits[static_cast<std::size_t>(index)];
+  });
+  for (const int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(ParallelRunnerTest, LowestIndexExceptionWins) {
+  const ParallelRunner runner(4);
+  try {
+    runner.ForEachIndex(8, [](std::int64_t index) {
+      if (index == 2 || index == 5) {
+        throw std::runtime_error("cell " + std::to_string(index));
+      }
+    });
+    FAIL() << "expected ForEachIndex to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "cell 2");
+  }
+}
+
+TEST(ParallelRunnerTest, SingleJobRunsInlineOnTheCallingThread) {
+  const ParallelRunner runner(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  runner.ForEachIndex(4, [&](std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+}  // namespace
+}  // namespace crn::harness

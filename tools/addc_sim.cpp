@@ -10,11 +10,13 @@
 //   addc_sim --continuous-interval-ms=5000 --snapshots=6
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "core/collection.h"
 #include "core/scenario.h"
 #include "graph/cds_tree.h"
 #include "harness/flags.h"
+#include "harness/parallel_runner.h"
 #include "harness/svg_export.h"
 #include "harness/table.h"
 #include "mac/trace.h"
@@ -42,6 +44,9 @@ Scenario (defaults: the paper's Fig. 6 configuration scaled by --scale):
 Execution:
   --algorithm=addc|coolest|both   (default both)
   --metric=accumulated|highest|mixed   Coolest metric (default accumulated)
+  --jobs=INT              run repetitions in parallel (default 1 = serial;
+                          0 = hardware concurrency). Output is bit-identical
+                          to serial; trace and continuous runs stay serial.
   --continuous-interval-ms=F      run continuous collection (ADDC only)
   --snapshots=INT                 rounds for continuous mode (default 6)
   --audit                         attach the runtime invariant auditor to every
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
   if (metric_name == "mixed") metric = routing::TemperatureMetric::kMixed;
 
   const auto reps = static_cast<std::int32_t>(flags.GetInt("reps", 1));
+  const auto jobs = static_cast<std::int32_t>(flags.GetInt("jobs", 1));
   const bool csv = flags.GetBool("csv", false);
   const bool audit = flags.GetBool("audit", false);
   const std::string trace_path = flags.GetString("trace", "");
@@ -136,6 +142,99 @@ int main(int argc, char** argv) {
 
   bool all_completed = true;
   bool audit_clean = true;
+
+  // Parallel standard path: every repetition is an independent cell (the
+  // Scenario is a pure function of (config, rep)), so the cells run on a
+  // ParallelRunner and the rows print afterwards in repetition order —
+  // bit-identical to the serial loop below. Trace and continuous runs keep
+  // the serial path.
+  if (jobs != 1 && continuous_ms <= 0.0 && trace_path.empty()) {
+    struct RepOutcome {
+      double pcr = 0.0;
+      bool has_addc = false;
+      bool has_coolest = false;
+      core::CollectionResult addc;
+      core::CollectionResult coolest;
+      core::AuditReport audit_report;
+      core::DeterminismReport determinism;
+    };
+    std::vector<RepOutcome> outcomes(static_cast<std::size_t>(reps));
+    const harness::ParallelRunner runner(jobs);
+    runner.ForEachIndex(reps, [&](std::int64_t rep) {
+      RepOutcome& outcome = outcomes[static_cast<std::size_t>(rep)];
+      const core::Scenario scenario(config, static_cast<std::uint64_t>(rep));
+      outcome.pcr = scenario.pcr();
+      if (algorithm == "addc" || algorithm == "both") {
+        outcome.has_addc = true;
+        core::RunOptions options;
+        if (audit) options.audit_report = &outcome.audit_report;
+        outcome.addc = core::RunAddc(scenario, options);
+        if (audit && rep == 0) {
+          outcome.determinism = core::CheckAddcDeterminism(scenario, options);
+        }
+      }
+      if (algorithm == "coolest" || algorithm == "both") {
+        outcome.has_coolest = true;
+        outcome.coolest = core::RunCoolest(scenario, metric);
+      }
+    });
+    if (!svg_path.empty()) {
+      const core::Scenario scenario(config, 0);
+      const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+      std::ofstream out(svg_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << svg_path << "\n";
+        return 2;
+      }
+      harness::SvgOptions svg_options;
+      svg_options.pcr_m = scenario.pcr();
+      harness::WriteSvg(out, scenario.secondary_graph(), &tree,
+                        scenario.pu_positions(), svg_options);
+      std::cout << "topology rendered to " << svg_path << "\n";
+    }
+    for (std::int32_t rep = 0; rep < reps; ++rep) {
+      const RepOutcome& outcome = outcomes[static_cast<std::size_t>(rep)];
+      if (!csv) {
+        std::cout << "== rep " << rep << " (n=" << config.num_sus
+                  << ", N=" << config.num_pus << ", p_t=" << config.pu_activity
+                  << ", PCR=" << harness::FormatDouble(outcome.pcr, 2) << " m) ==\n";
+      }
+      if (outcome.has_addc) {
+        all_completed &= outcome.addc.completed;
+        PrintResultRow(outcome.addc, csv);
+        if (audit) {
+          audit_clean &= outcome.audit_report.ok();
+          if (!csv) {
+            std::cout << "  audit: " << outcome.audit_report.Summary() << "\n";
+            for (const std::string& violation :
+                 outcome.audit_report.first_violations) {
+              std::cout << "    violation: " << violation << "\n";
+            }
+          }
+          if (rep == 0) {
+            audit_clean &= outcome.determinism.identical;
+            if (!csv) {
+              std::cout << "  determinism: dual-run digests "
+                        << (outcome.determinism.identical ? "identical" : "DIVERGED")
+                        << " (" << std::hex << outcome.determinism.first_digest
+                        << " vs " << outcome.determinism.second_digest << std::dec
+                        << ")\n";
+            }
+          }
+        }
+      }
+      if (outcome.has_coolest) {
+        all_completed &= outcome.coolest.completed;
+        PrintResultRow(outcome.coolest, csv);
+      }
+    }
+    if (audit && !audit_clean) {
+      std::cerr << "audit: invariant violations or digest divergence detected\n";
+      return 1;
+    }
+    return all_completed ? 0 : 1;
+  }
+
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     const core::Scenario scenario(config, rep);
     if (!svg_path.empty() && rep == 0) {

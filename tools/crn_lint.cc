@@ -20,6 +20,11 @@
 //   float-in-physics    the float keyword in src/ — all physics runs in
 //                       double; narrowing silently changes results across
 //                       platforms.
+//   shared-mutable-rng  a static or thread_local Rng in src/ — the parallel
+//                       experiment engine runs cells on a thread pool, and a
+//                       process-wide mutable generator is both a data race
+//                       and a determinism leak; every cell must derive its
+//                       own Rng from its (seed, point, rep, algorithm) tuple.
 //   header-guard        a src/ header whose #ifndef guard does not match
 //                       its path (CRN_<PATH>_H_).
 //
@@ -229,6 +234,14 @@ std::vector<Finding> ScanFile(const std::string& logical_path,
             "physics runs in double; float narrows results "
             "platform-dependently");
       }
+      if ((ContainsWord(line, "static") || ContainsWord(line, "thread_local")) &&
+          ContainsWord(line, "Rng") && !ContainsWord(line, "const") &&
+          !ContainsWord(line, "constexpr")) {
+        add(static_cast<int>(i), "shared-mutable-rng",
+            "a static/thread_local Rng is shared or thread-dependent state "
+            "under the parallel runner; derive a local Rng from the cell's "
+            "(seed, point, rep, algorithm) tuple instead");
+      }
       for (const std::string& name : unordered_names) {
         const bool range_for = line.find("for") != std::string::npos &&
                                line.find(": " + name) != std::string::npos;
@@ -327,6 +340,7 @@ int RunSelfTest(const fs::path& root) {
       {"src__spectrum__bad_db.cc", "raw-db-conversion"},
       {"src__mac__bad_iteration.cc", "unordered-iteration"},
       {"src__core__bad_float.cc", "float-in-physics"},
+      {"src__harness__bad_shared_rng.cc", "shared-mutable-rng"},
       {"src__geom__bad_guard.h", "header-guard"},
       {"src__core__clean_fixture.cc", ""},
   };
