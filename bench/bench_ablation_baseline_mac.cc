@@ -19,6 +19,7 @@
 #include "core/pcr.h"
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 #include "routing/coolest.h"
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Ablation A4 — decomposing the baseline's handicap",
       "(ours) the sensing range, not the routing tree, drives the Fig. 6 gap",
@@ -70,7 +72,7 @@ int main(int argc, char** argv) {
     }
     const core::Scenario scenario(config, rep);
     results[static_cast<std::size_t>(index)] = core::RunCoolest(scenario);
-  });
+  }, &profiler);
 
   std::vector<double> addc_delays;
   for (std::int64_t rep = 0; rep < reps; ++rep) {
@@ -114,7 +116,7 @@ int main(int argc, char** argv) {
   payload["addc_reference_delay_ms"] = harness::ToJson(addc);
   payload["variants"] = std::move(series);
   return harness::WriteBenchJson("ablation_baseline_mac", options,
-                                 std::move(payload), timer.Seconds(), std::cout)
+                                 std::move(payload), timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

@@ -14,6 +14,7 @@
 #include "core/pcr.h"
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   options.base.pu_activity = 0.1;
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Ablation A2 — paper vs corrected c2 (run at p_t=0.1)",
       "(ours) the printed c2 under-protects PUs; the corrected one is "
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
     config.audit_stride = 4;  // denser audit: violations are the point here
     const core::Scenario scenario(config, static_cast<std::uint64_t>(index % reps));
     results[static_cast<std::size_t>(index)] = core::RunAddc(scenario);
-  });
+  }, &profiler);
 
   harness::Table table({"c2 variant", "PCR (m)", "theory p_o", "ADDC delay (ms)",
                         "SU-caused PU violations", "audited"});
@@ -77,7 +79,7 @@ int main(int argc, char** argv) {
   }
   table.PrintMarkdown(std::cout);
   return harness::WriteBenchJson("ablation_c2", options, std::move(series),
-                                 timer.Seconds(), std::cout)
+                                 timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

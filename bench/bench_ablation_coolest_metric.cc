@@ -8,6 +8,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Ablation A3 — Coolest metric choice",
       "(ours) ADDC wins against all three Coolest metrics of [17]", options,
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
     results[static_cast<std::size_t>(index)] =
         variant == 0 ? core::RunAddc(scenario)
                      : core::RunCoolest(scenario, metrics[variant - 1]);
-  });
+  }, &profiler);
 
   std::vector<double> addc_delays;
   for (std::int64_t rep = 0; rep < reps; ++rep) {
@@ -79,7 +81,7 @@ int main(int argc, char** argv) {
   payload["addc_reference_delay_ms"] = harness::ToJson(addc);
   payload["metrics"] = std::move(series);
   return harness::WriteBenchJson("ablation_coolest_metric", options,
-                                 std::move(payload), timer.Seconds(), std::cout)
+                                 std::move(payload), timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

@@ -9,6 +9,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Ablation A1 — fairness wait on/off",
       "(ours) line 12 trades little delay for per-flow fairness", options,
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
     config.fairness_wait = cases[index / reps];
     const core::Scenario scenario(config, static_cast<std::uint64_t>(index % reps));
     results[static_cast<std::size_t>(index)] = core::RunAddc(scenario);
-  });
+  }, &profiler);
 
   harness::Table table({"fairness wait", "ADDC delay (ms)", "Jain index",
                         "capacity (·W)", "completed"});
@@ -66,7 +68,7 @@ int main(int argc, char** argv) {
   }
   table.PrintMarkdown(std::cout);
   return harness::WriteBenchJson("ablation_fairness", options, std::move(series),
-                                 timer.Seconds(), std::cout)
+                                 timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

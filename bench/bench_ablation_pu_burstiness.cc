@@ -11,6 +11,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Ablation A6 — PU activity burstiness at fixed duty cycle",
       "(ours) Lemma 7's p_o is burst-invariant; delay is not", options,
@@ -47,7 +49,7 @@ int main(int argc, char** argv) {
     config.pu_mean_burst_slots = c.burst;
     results[static_cast<std::size_t>(index)] =
         core::RunComparison(config, static_cast<std::uint64_t>(index % reps));
-  });
+  }, &profiler);
 
   harness::Table table({"activity process", "mean burst (slots)", "ADDC delay (ms)",
                         "Coolest delay (ms)", "measured p_o (ADDC)"});
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
   }
   table.PrintMarkdown(std::cout);
   return harness::WriteBenchJson("ablation_pu_burstiness", options,
-                                 std::move(series), timer.Seconds(), std::cout)
+                                 std::move(series), timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

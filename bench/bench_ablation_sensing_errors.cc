@@ -11,6 +11,7 @@
 #include "graph/cds_tree.h"
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   options.base.audit_stride = 4;
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Ablation A5 — imperfect spectrum sensing",
       "(ours) missed detections harm PUs; false alarms cost delay", options,
@@ -59,7 +61,7 @@ int main(int argc, char** argv) {
                                   static_cast<std::uint64_t>(index % reps));
     results[static_cast<std::size_t>(index)] =
         RunWithSensingErrors(scenario, c.fa, c.md);
-  });
+  }, &profiler);
 
   harness::Table table({"P(false alarm)", "P(missed detection)", "ADDC delay (ms)",
                         "SU-caused PU violations", "SIR failures"});
@@ -92,7 +94,7 @@ int main(int argc, char** argv) {
   }
   table.PrintMarkdown(std::cout);
   return harness::WriteBenchJson("ablation_sensing_errors", options,
-                                 std::move(series), timer.Seconds(), std::cout)
+                                 std::move(series), timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

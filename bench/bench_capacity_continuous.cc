@@ -13,6 +13,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   }
   options.base.pu_activity = 0.2;
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Capacity (Theorem 2) — continuous collection sustainability",
       "(ours) snapshot delays stay flat inside capacity, diverge outside",
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
         sim::FromMilliseconds(single.delay_ms / factors[index]));
     results[static_cast<std::size_t>(index)] =
         core::RunAddcContinuous(scenario, interval, rounds);
-  });
+  }, &profiler);
 
   harness::Table table({"load factor f", "interval (ms)", "mean snapshot delay (ms)",
                         "drift (ms/round)", "sustainable", "achieved rate (·W)"});
@@ -87,7 +89,7 @@ int main(int argc, char** argv) {
   payload["rounds"] = static_cast<std::int64_t>(rounds);
   payload["load_factors"] = std::move(series);
   return harness::WriteBenchJson("capacity_continuous", options,
-                                 std::move(payload), timer.Seconds(), std::cout)
+                                 std::move(payload), timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

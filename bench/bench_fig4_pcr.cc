@@ -18,6 +18,7 @@
 #include "core/pcr.h"
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   std::cout << "# Reproduction of Fig. 4 — Cai et al., ICDCS 2012\n"
             << "# Paper claims: PCR(α=3) > PCR(α=4); PCR non-decreasing in "
                "P_p, P_s, η_p, η_s\n\n";
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
                            p.eta_s = crn::SirThreshold::FromDb(v);
                          }));
   return harness::WriteBenchJson("fig4", options, std::move(sweeps),
-                                 timer.Seconds(), std::cout)
+                                 timer.Seconds(), std::cout, &profiler)
              ? 0
              : 1;
 }

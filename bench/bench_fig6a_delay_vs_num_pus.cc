@@ -7,12 +7,14 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Fig. 6(a) — delay vs number of PUs N",
       "delay grows quickly with N; ADDC ~2.7x lower than Coolest", options,
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   spec.parameter_name = "N";
   spec.repetitions = options.repetitions;
   spec.jobs = options.jobs;
+  spec.profiler = &profiler;
   for (double factor : {0.25, 0.5, 0.75, 1.0, 1.5}) {
     core::ScenarioConfig config = options.base;
     config.num_pus =
@@ -36,7 +39,7 @@ int main(int argc, char** argv) {
   const harness::SweepResult result = harness::RunSweep(spec);
   harness::RenderDelayTable(result, std::cout);
   return harness::WriteBenchJson("fig6a", options, {result}, timer.Seconds(),
-                                 std::cout)
+                                 std::cout, &profiler)
              ? 0
              : 1;
 }

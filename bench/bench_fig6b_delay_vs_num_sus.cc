@@ -7,12 +7,14 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Fig. 6(b) — delay vs number of SUs n",
       "delay grows with n (slower than Fig. 6(a)); ADDC ~2.8x lower", options,
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   spec.parameter_name = "n";
   spec.repetitions = options.repetitions;
   spec.jobs = options.jobs;
+  spec.profiler = &profiler;
   for (double factor : {1.0, 1.25, 1.5, 1.75, 2.0}) {
     core::ScenarioConfig config = options.base;
     config.num_sus =
@@ -36,7 +39,7 @@ int main(int argc, char** argv) {
   const harness::SweepResult result = harness::RunSweep(spec);
   harness::RenderDelayTable(result, std::cout);
   return harness::WriteBenchJson("fig6b", options, {result}, timer.Seconds(),
-                                 std::cout)
+                                 std::cout, &profiler)
              ? 0
              : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -12,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Fig. 6(c) — delay vs PU transmission probability p_t",
       "delay increases very fast with p_t; ADDC ~3.1x lower", options, std::cout);
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
   spec.parameter_name = "p_t";
   spec.repetitions = options.repetitions;
   spec.jobs = options.jobs;
+  spec.profiler = &profiler;
   for (double pt : {0.1, 0.2, 0.3, 0.4, 0.45}) {
     core::ScenarioConfig config = options.base;
     config.pu_activity = pt;
@@ -32,7 +35,7 @@ int main(int argc, char** argv) {
   const harness::SweepResult result = harness::RunSweep(spec);
   harness::RenderDelayTable(result, std::cout);
   return harness::WriteBenchJson("fig6c", options, {result}, timer.Seconds(),
-                                 std::cout)
+                                 std::cout, &profiler)
              ? 0
              : 1;
 }

@@ -13,6 +13,7 @@
 #include "common/env.h"
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   options.base.pu_activity = GetEnvDouble("CRN_PT", 0.15);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Fig. 6(d) — delay vs path-loss exponent α",
       "delay decreases with α; ADDC ~1.7x lower (run at p_t=0.15, see header)",
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   spec.parameter_name = "alpha";
   spec.repetitions = options.repetitions;
   spec.jobs = options.jobs;
+  spec.profiler = &profiler;
   for (double alpha : {3.0, 3.25, 3.5, 3.75, 4.0}) {
     core::ScenarioConfig config = options.base;
     config.alpha = alpha;
@@ -39,7 +42,7 @@ int main(int argc, char** argv) {
   const harness::SweepResult result = harness::RunSweep(spec);
   harness::RenderDelayTable(result, std::cout);
   return harness::WriteBenchJson("fig6d", options, {result}, timer.Seconds(),
-                                 std::cout)
+                                 std::cout, &profiler)
              ? 0
              : 1;
 }

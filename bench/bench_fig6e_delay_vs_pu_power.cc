@@ -5,6 +5,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -12,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Fig. 6(e) — delay vs PU transmission power P_p",
       "delay increases with P_p; ADDC ~2.6x lower", options, std::cout);
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
   spec.parameter_name = "P_p";
   spec.repetitions = options.repetitions;
   spec.jobs = options.jobs;
+  spec.profiler = &profiler;
   for (double power : {10.0, 15.0, 20.0, 25.0, 30.0}) {
     core::ScenarioConfig config = options.base;
     config.pu_power = power;
@@ -32,7 +35,7 @@ int main(int argc, char** argv) {
   const harness::SweepResult result = harness::RunSweep(spec);
   harness::RenderDelayTable(result, std::cout);
   return harness::WriteBenchJson("fig6e", options, {result}, timer.Seconds(),
-                                 std::cout)
+                                 std::cout, &profiler)
              ? 0
              : 1;
 }

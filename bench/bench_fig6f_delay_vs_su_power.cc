@@ -5,6 +5,7 @@
 
 #include "harness/json_writer.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
 
@@ -12,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace crn;
   const harness::BenchOptions options = harness::ResolveBenchOptions(argc, argv);
   const harness::WallTimer timer;
+  harness::RunProfiler profiler;
   harness::PrintBenchHeader(
       "Fig. 6(f) — delay vs SU transmission power P_s",
       "delay increases with P_s; ADDC ~2.7x lower", options, std::cout);
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   spec.parameter_name = "P_s";
   spec.repetitions = options.repetitions;
   spec.jobs = options.jobs;
+  spec.profiler = &profiler;
   for (double power : {10.0, 15.0, 20.0, 25.0, 30.0}) {
     core::ScenarioConfig config = options.base;
     config.su_power = power;
@@ -31,7 +34,7 @@ int main(int argc, char** argv) {
   const harness::SweepResult result = harness::RunSweep(spec);
   harness::RenderDelayTable(result, std::cout);
   return harness::WriteBenchJson("fig6f", options, {result}, timer.Seconds(),
-                                 std::cout)
+                                 std::cout, &profiler)
              ? 0
              : 1;
 }

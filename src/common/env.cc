@@ -22,7 +22,8 @@ std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
     if (pos == raw->size()) return parsed;
   } catch (const std::exception&) {
   }
-  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";
+  // Deliberate operator-facing warning: silently ignoring a typo is worse.
+  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";  // crn-lint-ok
   return fallback;
 }
 
@@ -35,7 +36,8 @@ double GetEnvDouble(const std::string& name, double fallback) {
     if (pos == raw->size()) return parsed;
   } catch (const std::exception&) {
   }
-  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";
+  // Deliberate operator-facing warning: silently ignoring a typo is worse.
+  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";  // crn-lint-ok
   return fallback;
 }
 
@@ -44,7 +46,8 @@ bool GetEnvBool(const std::string& name, bool fallback) {
   if (!raw) return fallback;
   if (*raw == "1" || *raw == "true" || *raw == "yes" || *raw == "on") return true;
   if (*raw == "0" || *raw == "false" || *raw == "no" || *raw == "off") return false;
-  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";
+  // Deliberate operator-facing warning: silently ignoring a typo is worse.
+  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";  // crn-lint-ok
   return fallback;
 }
 

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "core/invariant_auditor.h"
 #include "core/metrics.h"
+#include "obs/mac_metrics.h"
 #include "core/theory.h"
 #include "graph/cds_tree.h"
 #include "sim/simulator.h"
@@ -93,6 +94,17 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
     }
     auditor.emplace(audit_config);
     auditor->Attach(simulator, mac, &primary);
+    if (options.metrics != nullptr) auditor->BindMetrics(*options.metrics);
+  }
+  // Observability sinks: attaching is opt-in and passive — with no sink the
+  // MAC's lifecycle emits early-out and the run is byte-identical.
+  std::optional<obs::MacMetricsCollector> metrics_collector;
+  if (options.metrics != nullptr) {
+    metrics_collector.emplace(*options.metrics, options.metrics_series_stride);
+    metrics_collector->Attach(mac);
+  }
+  if (options.spans != nullptr) {
+    options.spans->Attach(mac);
   }
   mac.StartSnapshotCollection();
   simulator.Run();

@@ -16,6 +16,8 @@
 #include "core/invariant_auditor.h"
 #include "core/scenario.h"
 #include "mac/collection_mac.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 #include "routing/coolest.h"
 #include "sim/time.h"
 
@@ -66,6 +68,18 @@ struct RunOptions {
   // behaviour or trace digest (invariant_auditor.h).
   AuditReport* audit_report = nullptr;
   AuditConfig audit;
+
+  // --- observability sinks (DESIGN.md §"Observability") -----------------
+  // All null by default: with no sink attached the MAC's emit helpers
+  // early-out and the run's behaviour, digests, and stdout are byte-
+  // identical to an uninstrumented build. When set, both must outlive the
+  // call. `metrics` collects the MAC instrument set (and, when the auditor
+  // runs, mirrors its violation counters as audit.violations_total{...});
+  // `spans` records per-packet lifecycle spans for trace export.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::PacketSpanTracer* spans = nullptr;
+  // Registry series stride in slots (metrics != nullptr only).
+  std::int32_t metrics_series_stride = 64;
 };
 
 // Runs ADDC on the given deployed scenario. `options` passes MAC-model

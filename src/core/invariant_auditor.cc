@@ -38,6 +38,19 @@ void InvariantAuditor::Attach(sim::Simulator& simulator, mac::CollectionMac& mac
   mac.AddTxObserver([this](const mac::TxEvent& event) { OnTxEnd(event); });
 }
 
+void InvariantAuditor::BindMetrics(obs::MetricsRegistry& registry) {
+  viol_time_ =
+      &registry.GetCounter("audit.violations_total", {{"invariant", "event-time"}});
+  viol_separation_ =
+      &registry.GetCounter("audit.violations_total", {{"invariant", "separation"}});
+  viol_su_sir_ =
+      &registry.GetCounter("audit.violations_total", {{"invariant", "su-sir"}});
+  viol_pu_protection_ = &registry.GetCounter("audit.violations_total",
+                                             {{"invariant", "pu-protection"}});
+  viol_routing_ =
+      &registry.GetCounter("audit.violations_total", {{"invariant", "routing"}});
+}
+
 void InvariantAuditor::OnTxStart(mac::NodeId transmitter, mac::NodeId receiver,
                                  sim::TimeNs start, sim::TimeNs end) {
   (void)receiver;
@@ -54,6 +67,7 @@ void InvariantAuditor::OnTxStart(mac::NodeId transmitter, mac::NodeId receiver,
       ++report_.separation_checks;
       if (geom::DistanceSquared(other.position, position) < min_separation_sq) {
         ++report_.separation_violations;
+        if (viol_separation_ != nullptr) viol_separation_->Add();
         std::ostringstream out;
         out << "t=" << simulator_->now() << ": transmitters " << transmitter
             << " and " << other.transmitter << " concurrently active "
@@ -106,6 +120,7 @@ void InvariantAuditor::CheckPuProtection() {
         signal / (interference_pu + interference_su) >= eta;
     if (ok_without_su && !ok_with_su) {
       ++report_.pu_protection_violations;
+      if (viol_pu_protection_ != nullptr) viol_pu_protection_->Add();
       std::ostringstream out;
       out << "t=" << simulator_->now() << ": SU interference flipped PU " << p
           << "'s reception below eta_p";
@@ -146,6 +161,7 @@ void InvariantAuditor::OnTxEnd(const mac::TxEvent& event) {
     if (event.outcome == mac::TxOutcome::kSirFailure ||
         event.min_sir < mac_->config().eta_s.linear()) {
       ++report_.su_sir_violations;
+      if (viol_su_sir_ != nullptr) viol_su_sir_->Add();
       std::ostringstream out;
       out << "t=" << simulator_->now() << ": reception " << event.transmitter
           << "->" << event.receiver << " SIR floor " << event.min_sir
@@ -170,6 +186,7 @@ void InvariantAuditor::VerifyRouting() {
       cursor = mac_->next_hop(cursor);
       if (++steps >= n) {
         ++report_.routing_violations;
+        if (viol_routing_ != nullptr) viol_routing_->Add();
         std::ostringstream out;
         out << "t=" << simulator_->now() << ": routing cycle reachable from node "
             << v;
@@ -194,6 +211,7 @@ const AuditReport& InvariantAuditor::Finalize() {
   if (config_.check_event_time) {
     report_.events_observed = time_auditor_.events_observed();
     report_.time_violations = static_cast<std::int64_t>(time_auditor_.violations());
+    if (viol_time_ != nullptr) viol_time_->Add(report_.time_violations);
   }
   report_.trace_digest = digest_.value();
   return report_;

@@ -41,6 +41,7 @@
 #include "common/rng.h"
 #include "geom/vec2.h"
 #include "mac/collection_mac.h"
+#include "obs/metrics.h"
 #include "pu/primary_network.h"
 #include "sim/audit.h"
 #include "sim/simulator.h"
@@ -104,6 +105,13 @@ class InvariantAuditor {
   void Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
               pu::PrimaryNetwork* primary = nullptr);
 
+  // Mirrors every violation counter into `registry` as
+  // audit.violations_total{invariant=...} — one labeled counter per audited
+  // invariant, kept exactly in sync with the report (the addc_sim
+  // regression test cross-checks the totals). Call before the run; the
+  // registry must outlive the auditor's Finalize().
+  void BindMetrics(obs::MetricsRegistry& registry);
+
   // Re-validates the routing table immediately — call after FailNode /
   // UpdateNextHop churn; Finalize() runs it once more regardless.
   void VerifyRouting();
@@ -136,6 +144,12 @@ class InvariantAuditor {
   Rng receiver_rng_;
   std::vector<ActiveTx> active_;
   bool finalized_ = false;
+  // Optional metric mirrors (BindMetrics); null when no registry is bound.
+  obs::Counter* viol_time_ = nullptr;
+  obs::Counter* viol_separation_ = nullptr;
+  obs::Counter* viol_su_sir_ = nullptr;
+  obs::Counter* viol_pu_protection_ = nullptr;
+  obs::Counter* viol_routing_ = nullptr;
 };
 
 }  // namespace crn::core

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 
 namespace crn::harness {
 
@@ -195,9 +196,29 @@ Json ToJson(const SweepResult& result) {
   return json;
 }
 
+Json ToJson(const RunProfiler& profiler) {
+  Json json = Json::Object();
+  json["spans_total"] = static_cast<std::uint64_t>(profiler.spans().size());
+  Json phases = Json::Array();
+  for (const RunProfiler::PhaseStats& stats : profiler.PhaseSummary()) {
+    Json phase = Json::Object();
+    phase["phase"] = stats.phase;
+    phase["count"] = stats.count;
+    phase["total_s"] = stats.total_s;
+    phase["mean_s"] =
+        stats.count > 0 ? stats.total_s / static_cast<double>(stats.count) : 0.0;
+    phase["min_s"] = stats.min_s;
+    phase["max_s"] = stats.max_s;
+    phases.Push(std::move(phase));
+  }
+  json["phases"] = std::move(phases);
+  return json;
+}
+
 Json BenchEnvelope(const std::string& name, const BenchOptions& options) {
   Json json = Json::Object();
-  json["schema_version"] = 1;
+  // v2 = v1 plus the optional "profile" section (ToJson(RunProfiler)).
+  json["schema_version"] = 2;
   json["bench"] = name;
   json["source"] = "Cai et al., ICDCS 2012 (ADDC reproduction)";
   Json scale = Json::Object();
@@ -231,11 +252,24 @@ std::string BenchJsonPath(const std::string& name, const BenchOptions& options) 
 }
 
 bool FinishBenchJson(const std::string& name, const BenchOptions& options,
-                     Json root, double wall_seconds, std::ostream& log) {
+                     Json root, double wall_seconds, std::ostream& log,
+                     const RunProfiler* profiler) {
+  if (profiler != nullptr) root["profile"] = ToJson(*profiler);
   root["wall_seconds"] = wall_seconds;
   const std::string path = BenchJsonPath(name, options);
   if (!WriteJsonFile(root, path)) return false;
   log << "BENCH json: " << path << "\n";
+  if (profiler != nullptr && !options.trace_out.empty()) {
+    std::ofstream trace(options.trace_out);
+    if (!trace) {
+      std::cerr << "json_writer: cannot open " << options.trace_out
+                << " for writing\n";
+      return false;
+    }
+    profiler->WriteChromeTrace(trace);
+    if (!trace.good()) return false;
+    log << "BENCH trace: " << options.trace_out << "\n";
+  }
   return true;
 }
 
@@ -243,19 +277,22 @@ bool FinishBenchJson(const std::string& name, const BenchOptions& options,
 
 bool WriteBenchJson(const std::string& name, const BenchOptions& options,
                     const std::vector<SweepResult>& sweeps, double wall_seconds,
-                    std::ostream& log) {
+                    std::ostream& log, const RunProfiler* profiler) {
   Json root = BenchEnvelope(name, options);
   Json array = Json::Array();
   for (const SweepResult& sweep : sweeps) array.Push(ToJson(sweep));
   root["sweeps"] = std::move(array);
-  return FinishBenchJson(name, options, std::move(root), wall_seconds, log);
+  return FinishBenchJson(name, options, std::move(root), wall_seconds, log,
+                         profiler);
 }
 
 bool WriteBenchJson(const std::string& name, const BenchOptions& options,
-                    Json series, double wall_seconds, std::ostream& log) {
+                    Json series, double wall_seconds, std::ostream& log,
+                    const RunProfiler* profiler) {
   Json root = BenchEnvelope(name, options);
   root["series"] = std::move(series);
-  return FinishBenchJson(name, options, std::move(root), wall_seconds, log);
+  return FinishBenchJson(name, options, std::move(root), wall_seconds, log,
+                         profiler);
 }
 
 }  // namespace crn::harness

@@ -22,6 +22,8 @@
 
 namespace crn::harness {
 
+class RunProfiler;  // profiler.h
+
 class Json {
  public:
   Json() = default;
@@ -85,7 +87,13 @@ Json ToJson(const core::SampleStats& stats);
 Json ToJson(const ComparisonSummary& summary, const std::string& label);
 Json ToJson(const SweepResult& result);
 
-// Scale/seed/jobs envelope shared by every bench JSON.
+// Per-phase wall-clock aggregates: {"spans_total": N, "phases": [...]}
+// (the schema-v2 "profile" section).
+Json ToJson(const RunProfiler& profiler);
+
+// Scale/seed/jobs envelope shared by every bench JSON. schema_version 2:
+// v2 adds the optional "profile" section; every v1 field is unchanged, so
+// v1 consumers keep working.
 Json BenchEnvelope(const std::string& name, const BenchOptions& options);
 
 // Writes `root` (plus trailing newline); false + stderr note on I/O error.
@@ -93,13 +101,16 @@ bool WriteJsonFile(const Json& root, const std::string& path);
 
 // Standard emission for sweep benches: envelope + "sweeps" array, written
 // to options.json_out (default BENCH_<name>.json), announced on `log`.
+// A non-null profiler adds the "profile" section and, when
+// options.trace_out is set, also writes its Chrome trace there.
 bool WriteBenchJson(const std::string& name, const BenchOptions& options,
                     const std::vector<SweepResult>& sweeps, double wall_seconds,
-                    std::ostream& log);
+                    std::ostream& log, const RunProfiler* profiler = nullptr);
 
 // Emission for benches with bespoke tables: envelope + "series" payload.
 bool WriteBenchJson(const std::string& name, const BenchOptions& options,
-                    Json series, double wall_seconds, std::ostream& log);
+                    Json series, double wall_seconds, std::ostream& log,
+                    const RunProfiler* profiler = nullptr);
 
 }  // namespace crn::harness
 

@@ -1,0 +1,84 @@
+#include "harness/obs_export.h"
+
+#include <utility>
+
+namespace crn::harness {
+
+Json ToJson(const obs::SnapshotEntry& entry) {
+  Json json = Json::Object();
+  json["key"] = entry.key;
+  json["kind"] = obs::ToString(entry.kind);
+  if (entry.kind == obs::MetricKind::kHistogram) {
+    json["count"] = entry.count;
+    json["sum"] = entry.sum;
+    json["min"] = entry.min;
+    json["max"] = entry.max;
+    json["mean"] = entry.count == 0 ? 0.0
+                                    : static_cast<double>(entry.sum) /
+                                          static_cast<double>(entry.count);
+    Json buckets = Json::Array();
+    for (const auto& [bucket, count] : entry.buckets) {
+      Json pair = Json::Array();
+      pair.Push(static_cast<std::int64_t>(bucket));
+      pair.Push(count);
+      buckets.Push(std::move(pair));
+    }
+    json["buckets"] = std::move(buckets);
+  } else {
+    json["value"] = entry.value;
+  }
+  return json;
+}
+
+Json ToJson(const obs::Snapshot& snapshot) {
+  Json json = Json::Object();
+  json["at_ns"] = static_cast<std::int64_t>(snapshot.at);
+  Json entries = Json::Array();
+  for (const obs::SnapshotEntry& entry : snapshot.entries) {
+    entries.Push(ToJson(entry));
+  }
+  json["entries"] = std::move(entries);
+  return json;
+}
+
+Json ToJsonCompact(const obs::Snapshot& snapshot) {
+  Json json = Json::Object();
+  json["at_ns"] = static_cast<std::int64_t>(snapshot.at);
+  Json values = Json::Array();
+  for (const obs::SnapshotEntry& entry : snapshot.entries) {
+    Json row = Json::Array();
+    row.Push(entry.key);
+    if (entry.kind == obs::MetricKind::kHistogram) {
+      row.Push(entry.count);
+      row.Push(entry.sum);
+    } else {
+      row.Push(entry.value);
+    }
+    values.Push(std::move(row));
+  }
+  json["values"] = std::move(values);
+  return json;
+}
+
+Json ToJson(const obs::MetricsRegistry& registry, sim::TimeNs final_at) {
+  Json json = Json::Object();
+  json["schema_version"] = 1;
+  json["digest"] = DigestHex(registry.Digest());
+  json["final"] = ToJson(registry.Capture(final_at));
+  Json series = Json::Array();
+  for (const obs::Snapshot& snapshot : registry.series()) {
+    series.Push(ToJsonCompact(snapshot));
+  }
+  json["series"] = std::move(series);
+  return json;
+}
+
+bool WriteMetricsJson(const obs::MetricsRegistry& registry,
+                      sim::TimeNs final_at, const std::string& path,
+                      std::ostream& log) {
+  if (!WriteJsonFile(ToJson(registry, final_at), path)) return false;
+  log << "metrics json: " << path << "\n";
+  return true;
+}
+
+}  // namespace crn::harness

@@ -1,0 +1,49 @@
+// JSON emission for the observability layer: renders a MetricsRegistry
+// (final state plus any recorded sim-time series) through the same Json
+// value tree the bench writers use, for `addc_sim --metrics-out` and tests.
+//
+// Layout (deterministic: entries in sorted key order, series in record
+// order):
+//   {
+//     "schema_version": 1,
+//     "digest": "0x...",            // MetricsRegistry::Digest()
+//     "final": {"at_ns": T, "entries": [...]},
+//     "series": [{"at_ns": t0, "values": [...]}, ...]
+//   }
+// Final counter/gauge entries carry {"key","kind","value"}; histogram
+// entries carry {"key","kind","count","sum","min","max","mean","buckets"}
+// where buckets is [[bucket_index, count], ...] for non-empty buckets only.
+// Series snapshots are compact — one row per instrument, [key, value] for
+// counters/gauges and [key, count, sum] for histograms — because a run can
+// record thousands of them.
+#ifndef CRN_HARNESS_OBS_EXPORT_H_
+#define CRN_HARNESS_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "harness/json_writer.h"
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace crn::harness {
+
+Json ToJson(const obs::SnapshotEntry& entry);
+Json ToJson(const obs::Snapshot& snapshot);
+
+// The compact per-series-point form described above.
+Json ToJsonCompact(const obs::Snapshot& snapshot);
+
+// Full registry document: Capture(final_at) as "final" plus the recorded
+// series and the registry digest.
+Json ToJson(const obs::MetricsRegistry& registry, sim::TimeNs final_at);
+
+// Writes ToJson(registry, final_at) to `path`, announcing it on `log` as
+// "metrics json: <path>". Returns false (with a stderr note) on I/O error.
+bool WriteMetricsJson(const obs::MetricsRegistry& registry,
+                      sim::TimeNs final_at, const std::string& path,
+                      std::ostream& log);
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_OBS_EXPORT_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <future>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "harness/profiler.h"
 #include "harness/thread_pool.h"
 
 namespace crn::harness {
@@ -17,11 +19,24 @@ std::int32_t ResolveJobs(std::int32_t requested) {
 
 ParallelRunner::ParallelRunner(std::int32_t jobs) : jobs_(ResolveJobs(jobs)) {}
 
-void ParallelRunner::ForEachIndex(
-    std::int64_t count, const std::function<void(std::int64_t)>& fn) const {
+void ParallelRunner::ForEachIndex(std::int64_t count,
+                                  const std::function<void(std::int64_t)>& fn,
+                                  RunProfiler* profiler,
+                                  const std::string& phase) const {
   if (count <= 0) return;
+  // Same call for the serial and pooled paths: a profiled cell is one span
+  // labelled "<phase>[i]" on whichever worker ran it.
+  const auto run_cell = [&fn, profiler, &phase](std::int64_t i) {
+    if (profiler == nullptr) {
+      fn(i);
+      return;
+    }
+    RunProfiler::Scope scope(profiler, phase,
+                             phase + "[" + std::to_string(i) + "]");
+    fn(i);
+  };
   if (jobs_ == 1) {
-    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    for (std::int64_t i = 0; i < count; ++i) run_cell(i);
     return;
   }
   // One pool per fan-out: experiment cells are seconds-long simulations, so
@@ -31,7 +46,7 @@ void ParallelRunner::ForEachIndex(
   std::vector<std::future<void>> cells;
   cells.reserve(static_cast<std::size_t>(count));
   for (std::int64_t i = 0; i < count; ++i) {
-    cells.push_back(pool.Submit([&fn, i] { fn(i); }));
+    cells.push_back(pool.Submit([&run_cell, i] { run_cell(i); }));
   }
   // Collect in index order: every cell finishes (no abandoned work), and
   // the lowest-index exception is the one that propagates.

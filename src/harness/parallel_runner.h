@@ -13,8 +13,11 @@
 #include <chrono>  // crn-lint-ok: harness wall-time only, never simulation state
 #include <cstdint>
 #include <functional>
+#include <string>
 
 namespace crn::harness {
+
+class RunProfiler;  // profiler.h (which includes this header for WallTimer)
 
 // Maps a jobs request to a worker count: values >= 1 are taken literally,
 // 0 (and negatives) mean "auto" — the hardware concurrency, floored at 1.
@@ -33,8 +36,15 @@ class ParallelRunner {
   // execution order is unspecified; callers must write results only to
   // their own index. If cells throw, the lowest-index exception is
   // rethrown after every cell has finished.
+  //
+  // When `profiler` is non-null every cell is recorded as one wall-clock
+  // span "<phase>[i]" under `phase`, tagged with the worker that ran it.
+  // Profiling is observation-only: it never changes scheduling, execution
+  // order, or any result, and a null profiler costs one branch per cell.
   void ForEachIndex(std::int64_t count,
-                    const std::function<void(std::int64_t)>& fn) const;
+                    const std::function<void(std::int64_t)>& fn,
+                    RunProfiler* profiler = nullptr,
+                    const std::string& phase = "cells") const;
 
  private:
   std::int32_t jobs_;

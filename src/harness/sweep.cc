@@ -6,6 +6,7 @@
 #include "common/env.h"
 #include "harness/flags.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/table.h"
 
 namespace crn::harness {
@@ -31,6 +32,10 @@ std::uint64_t FoldDigest(std::uint64_t accumulator, std::uint64_t value) {
 struct CellOutcome {
   core::CollectionResult result;
   std::uint64_t digest = 0;
+  // Cell-local registry (ADDC cells, SweepSpec.metrics only): filled by the
+  // worker that ran the cell, folded into the caller's registry by the
+  // serial reduction below — never touched concurrently.
+  obs::MetricsRegistry metrics;
 };
 
 }  // namespace
@@ -51,29 +56,41 @@ SweepResult RunSweep(const SweepSpec& spec) {
   std::vector<CellOutcome> cells(static_cast<std::size_t>(cell_count));
 
   const ParallelRunner runner(spec.jobs);
-  runner.ForEachIndex(cell_count, [&](std::int64_t index) {
-    const auto point = static_cast<std::size_t>(index / cells_per_point);
-    const std::int64_t rest = index % cells_per_point;
-    const auto rep = static_cast<std::uint64_t>(rest / 2);
-    const bool is_addc = rest % 2 == 0;
-    // Each cell deploys its own Scenario: deployment is a pure function of
-    // (config, rep), so ADDC and Coolest still see identical topologies
-    // without sharing any state across threads.
-    const core::Scenario scenario(spec.points[point].config, rep);
-    CellOutcome& cell = cells[static_cast<std::size_t>(index)];
-    if (is_addc) {
-      core::RunOptions options;
-      core::AuditReport report;
-      if (spec.collect_digests) options.audit_report = &report;
-      cell.result = core::RunAddc(scenario, options);
-      if (spec.collect_digests) cell.digest = report.trace_digest;
-    } else {
-      cell.result = core::RunCoolest(scenario, spec.metric);
-    }
-  });
+  runner.ForEachIndex(
+      cell_count,
+      [&](std::int64_t index) {
+        const auto point = static_cast<std::size_t>(index / cells_per_point);
+        const std::int64_t rest = index % cells_per_point;
+        const auto rep = static_cast<std::uint64_t>(rest / 2);
+        const bool is_addc = rest % 2 == 0;
+        // Each cell deploys its own Scenario: deployment is a pure function
+        // of (config, rep), so ADDC and Coolest still see identical
+        // topologies without sharing any state across threads.
+        const core::Scenario scenario(spec.points[point].config, rep);
+        CellOutcome& cell = cells[static_cast<std::size_t>(index)];
+        if (is_addc) {
+          core::RunOptions options;
+          core::AuditReport report;
+          if (spec.collect_digests) options.audit_report = &report;
+          if (spec.metrics != nullptr) {
+            options.metrics = &cell.metrics;
+            // The sweep fold is state-only: per-cell series would interleave
+            // unrelated timelines in the merged registry.
+            options.metrics_series_stride = 0;
+          }
+          cell.result = core::RunAddc(scenario, options);
+          if (spec.collect_digests) cell.digest = report.trace_digest;
+        } else {
+          cell.result = core::RunCoolest(scenario, spec.metric);
+        }
+      },
+      spec.profiler, "cells");
 
   // Reduction, strictly in (point, repetition) order: identical floating-
-  // point summation order at every jobs value.
+  // point summation order at every jobs value. Cell registries fold into
+  // the caller's registry in the same fixed order, so merged metric state
+  // (and its digest) is jobs-invariant too.
+  const RunProfiler::Scope reduce_scope(spec.profiler, "reduce", "");
   std::uint64_t sweep_digest = kFnvOffsetBasis;
   sweep.labels.reserve(spec.points.size());
   sweep.summaries.reserve(spec.points.size());
@@ -102,6 +119,7 @@ SweepResult RunSweep(const SweepSpec& spec) {
           addc.mac.su_caused_violations + coolest.mac.su_caused_violations;
       point_digest = FoldDigest(point_digest, cells[base].digest);
       sweep_digest = FoldDigest(sweep_digest, cells[base].digest);
+      if (spec.metrics != nullptr) spec.metrics->Merge(cells[base].metrics);
     }
     summary.addc_delay_ms = core::Summarize(addc_delay);
     summary.coolest_delay_ms = core::Summarize(coolest_delay);
@@ -161,6 +179,8 @@ constexpr const char* kBenchUsage =
   --jobs=J            worker threads; 0 = hardware concurrency (CRN_JOBS)
   --seed=S            root scenario seed (CRN_SEED)
   --json-out=PATH     BENCH json path, default BENCH_<name>.json (CRN_JSON_OUT)
+  --trace-out=PATH    Chrome trace-event JSON of harness wall-clock spans
+                      (CRN_TRACE_OUT); load in Perfetto / chrome://tracing
   --help              this message
 )";
 
@@ -190,6 +210,8 @@ BenchOptions ResolveBenchOptions(int argc, const char* const* argv) {
   options.base.seed = static_cast<std::uint64_t>(flags.GetInt(
       "seed", GetEnvInt("CRN_SEED", static_cast<std::int64_t>(options.base.seed))));
   options.json_out = flags.GetString("json-out", GetEnv("CRN_JSON_OUT").value_or(""));
+  options.trace_out =
+      flags.GetString("trace-out", GetEnv("CRN_TRACE_OUT").value_or(""));
   if (!flags.errors().empty() || !flags.UnconsumedFlags().empty()) {
     for (const std::string& error : flags.errors()) {
       std::cerr << "error: " << error << "\n";

@@ -24,9 +24,12 @@
 #include "core/collection.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
+#include "obs/metrics.h"
 #include "routing/coolest.h"
 
 namespace crn::harness {
+
+class RunProfiler;  // profiler.h
 
 // Repetition summary for one configuration.
 struct ComparisonSummary {
@@ -65,6 +68,16 @@ struct SweepSpec {
   routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated;
   std::int32_t jobs = 1;
   bool collect_digests = false;
+
+  // Observability (both optional, both jobs-invariant):
+  // `metrics` — every ADDC cell runs with its own MetricsRegistry; the
+  // reduction folds them into this registry in the fixed (point, rep)
+  // order, so the merged state is bit-identical at any jobs value.
+  // `profiler` — wall-clock spans per cell and per sweep phase (compute /
+  // reduce) for BENCH profile sections and --trace-out; wall-clock values
+  // never enter results or digests.
+  obs::MetricsRegistry* metrics = nullptr;
+  RunProfiler* profiler = nullptr;
 };
 
 // The compute result, consumed by RenderDelayTable() / json_writer.
@@ -97,13 +110,15 @@ void RenderDelayTable(const SweepResult& result, std::ostream& out);
 //   --reps=K     / CRN_REPS=K         repetition override;
 //   --jobs=J     / CRN_JOBS=J         worker threads (0 = hardware, def.);
 //   --seed=S     / CRN_SEED=S         root scenario seed;
-//   --json-out=P / CRN_JSON_OUT=P     BENCH json path (def. BENCH_<name>.json).
+//   --json-out=P / CRN_JSON_OUT=P     BENCH json path (def. BENCH_<name>.json);
+//   --trace-out=P / CRN_TRACE_OUT=P   Chrome trace (profiler spans) path.
 struct BenchOptions {
   core::ScenarioConfig base;
   std::int32_t repetitions = 3;
   bool full_scale = false;
   std::int32_t jobs = 0;  // 0 = auto (ResolveJobs)
   std::string json_out;   // "" = default path
+  std::string trace_out;  // "" = no trace emission
 };
 
 // Parses argv (strictly: unknown flags are fatal) and the environment.

@@ -4,11 +4,21 @@
 
 namespace crn::harness {
 
+namespace {
+
+// 0 on any non-pool thread; workers overwrite it with their 1-based index.
+thread_local std::int32_t t_worker_index = 0;
+
+}  // namespace
+
+std::int32_t ThreadPool::current_worker_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { Worker(); });
+    const auto index = static_cast<std::int32_t>(i + 1);
+    workers_.emplace_back([this, index] { Worker(index); });
   }
 }
 
@@ -25,7 +35,8 @@ void ThreadPool::Enqueue(std::function<void()> job) {
   wake_.notify_one();
 }
 
-void ThreadPool::Worker() {
+void ThreadPool::Worker(std::int32_t index) {
+  t_worker_index = index;
   for (;;) {
     std::function<void()> job;
     {

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -33,6 +34,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  // 1-based index of the pool worker running the calling thread; 0 when the
+  // caller is not a pool worker (the main thread). Profiling hooks use this
+  // as a stable Chrome-trace tid — it never feeds simulation state.
+  [[nodiscard]] static std::int32_t current_worker_index();
+
   // Enqueues `fn`; the future yields its return value or rethrows. Throws
   // std::runtime_error when called after Shutdown().
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
@@ -49,7 +55,7 @@ class ThreadPool {
 
  private:
   void Enqueue(std::function<void()> job);
-  void Worker();
+  void Worker(std::int32_t index);
 
   std::mutex mutex_;
   std::condition_variable wake_;

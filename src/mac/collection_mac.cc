@@ -123,6 +123,9 @@ void CollectionMac::SeedSnapshot(const std::vector<NodeId>& producers,
   for (NodeId v : producers) {
     agents_[v].queue.push_back(Packet{v, now, 0, snapshot});
     ++expected_per_origin_[v];
+    EmitLifecycle(LifecycleEvent::Kind::kPacketCreated, v,
+                  &agents_[v].queue.back(),
+                  static_cast<std::int64_t>(agents_[v].queue.size()));
   }
   for (NodeId v : producers) {
     ActivateIfIdle(v);
@@ -166,12 +169,14 @@ void CollectionMac::FailNode(NodeId node) {
   }
   // Its queue is lost with it: shrink the expectations so termination and
   // snapshot accounting stay exact.
+  std::int64_t left = static_cast<std::int64_t>(agent.queue.size());
   for (const Packet& packet : agent.queue) {
     --expected_per_origin_[packet.origin];
     if (--snapshot_remaining_[packet.snapshot] == 0 &&
         snapshot_finish_[packet.snapshot] < 0) {
       snapshot_finish_[packet.snapshot] = simulator_.now();
     }
+    EmitLifecycle(LifecycleEvent::Kind::kPacketDropped, node, &packet, --left);
   }
   expected_packets_ -= static_cast<std::int64_t>(agent.queue.size());
   agent.queue.clear();
@@ -222,6 +227,10 @@ void CollectionMac::BeginContention(NodeId node) {
   agent.remaining = agent.backoff_drawn;
   agent.frozen = true;
   agent.expiry_event = sim::kInvalidEventId;
+  // Emitted before UpdateFreezeState below so lifecycle consumers see
+  // contention-started strictly before any same-instant resume.
+  EmitLifecycle(LifecycleEvent::Kind::kContentionStarted, node,
+                &agent.queue.front(), agent.backoff_drawn);
 
   // Join the sensing set.
   CRN_DCHECK(contending_slot_[node] < 0);
@@ -261,6 +270,7 @@ void CollectionMac::FreezeTimer(NodeId node) {
     simulator_.Cancel(agent.expiry_event);
     agent.expiry_event = sim::kInvalidEventId;
   }
+  EmitLifecycle(LifecycleEvent::Kind::kFrozen, node, nullptr, agent.remaining);
 }
 
 void CollectionMac::ResumeTimer(NodeId node) {
@@ -271,6 +281,7 @@ void CollectionMac::ResumeTimer(NodeId node) {
   agent.expiry_event =
       simulator_.ScheduleAfter(agent.remaining, sim::EventPriority::kTimerExpiry,
                                [this, node] { OnBackoffExpired(node); });
+  EmitLifecycle(LifecycleEvent::Kind::kResumed, node, nullptr, agent.remaining);
 }
 
 void CollectionMac::UpdateFreezeState(NodeId node) {
@@ -354,6 +365,7 @@ void CollectionMac::OnBackoffExpired(NodeId node) {
     agent.expiry_event =
         simulator_.ScheduleAfter(agent.remaining, sim::EventPriority::kTimerExpiry,
                                  [this, node] { OnBackoffExpired(node); });
+    EmitLifecycle(LifecycleEvent::Kind::kDeferred, node, nullptr, agent.remaining);
     return;
   }
   // The timer is fully consumed: record it as frozen-at-zero so
@@ -576,6 +588,8 @@ void CollectionMac::OnSlotBoundary() {
   primary_.ResampleSlot(activity_rng_);
   ++slot_index_;
   slot_start_time_ = now;
+  EmitLifecycle(LifecycleEvent::Kind::kSlotBoundary, graph::kInvalidNode, nullptr,
+                static_cast<std::int64_t>(primary_.active_transmitters().size()));
 
   // Spectrum handoff: transmitters sense the PU comeback and abort at once
   // (a missed detection lets the transmission ride on, harming the PU —
@@ -678,10 +692,14 @@ void CollectionMac::DeliverOrEnqueue(NodeId receiver, const Packet& packet) {
     if (--snapshot_remaining_[packet.snapshot] == 0) {
       snapshot_finish_[packet.snapshot] = simulator_.now();
     }
+    EmitLifecycle(LifecycleEvent::Kind::kPacketDelivered, receiver, &packet,
+                  packet.hops);
     CheckTermination();
     return;
   }
   agents_[receiver].queue.push_back(packet);
+  EmitLifecycle(LifecycleEvent::Kind::kPacketEnqueued, receiver, &packet,
+                static_cast<std::int64_t>(agents_[receiver].queue.size()));
   ActivateIfIdle(receiver);
 }
 
@@ -697,6 +715,18 @@ void CollectionMac::EmitTxEvent(const Transmission& tx, TxOutcome outcome,
   event.packet = packet;
   event.min_sir = tx.min_sir;
   for (const auto& observer : observers_) observer(event);
+}
+
+void CollectionMac::EmitLifecycle(LifecycleEvent::Kind kind, NodeId node,
+                                  const Packet* packet, std::int64_t value) {
+  if (lifecycle_observers_.empty()) return;
+  LifecycleEvent event;
+  event.kind = kind;
+  event.node = node;
+  event.time = simulator_.now();
+  if (packet != nullptr) event.packet = *packet;
+  event.value = value;
+  for (const auto& observer : lifecycle_observers_) observer(event);
 }
 
 void CollectionMac::CheckTermination() {

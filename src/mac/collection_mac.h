@@ -193,6 +193,14 @@ class CollectionMac {
     tx_start_observers_.push_back(std::move(observer));
   }
 
+  // Fires on every packet/contention lifecycle transition (packet.h's
+  // LifecycleEvent) — the observability layer's feed. Zero-cost when no
+  // observer is attached: the emit helper bails out before building the
+  // event, exactly like EmitTxEvent.
+  void AddLifecycleObserver(std::function<void(const LifecycleEvent&)> observer) {
+    lifecycle_observers_.push_back(std::move(observer));
+  }
+
   // --- network dynamics (§I: SUs may leave at any time) -----------------
   // Permanently removes an SU at the current simulation time: any in-flight
   // transmission is cut, its queued packets are lost with it (the expected
@@ -283,6 +291,9 @@ class CollectionMac {
 
   void DeliverOrEnqueue(NodeId receiver, const Packet& packet);
   void EmitTxEvent(const Transmission& tx, TxOutcome outcome, const Packet& packet);
+  // `packet` may be null for non-packet kinds (frozen/resumed/defer/slot).
+  void EmitLifecycle(LifecycleEvent::Kind kind, NodeId node, const Packet* packet,
+                     std::int64_t value);
   void CheckTermination();
 
   sim::Simulator& simulator_;
@@ -331,6 +342,7 @@ class CollectionMac {
   std::vector<std::function<void(NodeId, sim::TimeNs)>> contention_observers_;
   std::vector<std::function<void(NodeId, NodeId, sim::TimeNs, sim::TimeNs)>>
       tx_start_observers_;
+  std::vector<std::function<void(const LifecycleEvent&)>> lifecycle_observers_;
 
   MacStats stats_;
   std::int64_t expected_packets_ = 0;

@@ -45,6 +45,35 @@ struct TxEvent {
   double min_sir = 0.0;  // +inf when unopposed
 };
 
+// Observer record for the packet/contention lifecycle — the feed the
+// observability layer (obs::PacketSpanTracer, obs::MacMetricsCollector)
+// consumes. Together with TxEvent/tx-start observers it covers a packet's
+// whole life: created → enqueued per hop → contention (backoff, freeze,
+// resume, defer) → transmit → delivered or dropped.
+struct LifecycleEvent {
+  enum class Kind : std::uint8_t {
+    kPacketCreated,      // seeded at its origin; value = queue depth after
+    kPacketEnqueued,     // arrived at a relay; value = queue depth after
+    kPacketDelivered,    // reached the base station; value = hop count
+    kPacketDropped,      // lost with a failed node; value = queue depth left
+    kContentionStarted,  // backoff drawn (Alg. 1 line 3); value = t_i in ns
+    kFrozen,             // countdown paused (busy spectrum); value = remaining ns
+    kResumed,            // countdown resumed (free spectrum); value = remaining ns
+    kDeferred,           // slot-aware hold until the boundary; value = hold ns
+    kSlotBoundary,       // PU re-sample; node = -1, value = active PU count
+  };
+
+  Kind kind = Kind::kSlotBoundary;
+  NodeId node = graph::kInvalidNode;
+  sim::TimeNs time = 0;
+  // Valid for the four packet kinds and kContentionStarted (queue head).
+  Packet packet;
+  std::int64_t value = 0;  // kind-specific, see above
+};
+
+const char* ToString(LifecycleEvent::Kind kind);
+inline constexpr std::int32_t kLifecycleKindCount = 9;
+
 }  // namespace crn::mac
 
 #endif  // CRN_MAC_PACKET_H_

@@ -5,7 +5,7 @@
 namespace crn::mac {
 
 void TraceRecorder::Attach(CollectionMac& mac) {
-  mac.AddTxObserver([this](const TxEvent& event) { events_.push_back(event); });
+  mac.AddTxObserver([this](const TxEvent& event) { Record(event); });
 }
 
 void TraceRecorder::WriteCsv(std::ostream& out) const {
@@ -39,9 +39,18 @@ TraceRecorder::Summary TraceRecorder::Summarize() const {
     if (event.end > summary.last_end) summary.last_end = event.end;
     first = false;
   }
+  // airtime can legitimately be zero with a non-empty trace (every attempt
+  // sharing one instant); the guard keeps the fraction 0 instead of NaN.
   if (airtime > 0) {
     summary.useful_airtime_fraction =
         static_cast<double>(useful) / static_cast<double>(airtime);
+  }
+  if (summary.attempts > 0) {
+    for (std::int32_t outcome = 0; outcome < kTxOutcomeCount; ++outcome) {
+      summary.per_outcome_fraction[outcome] =
+          static_cast<double>(summary.per_outcome[outcome]) /
+          static_cast<double>(summary.attempts);
+    }
   }
   return summary;
 }

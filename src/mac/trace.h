@@ -18,6 +18,10 @@ class TraceRecorder {
   // Registers observers on `mac`; the recorder must outlive the run.
   void Attach(CollectionMac& mac);
 
+  // Appends one attempt — what the attached observer calls. Public so
+  // synthetic traces can be summarized without driving a simulation.
+  void Record(const TxEvent& event) { events_.push_back(event); }
+
   [[nodiscard]] const std::vector<TxEvent>& events() const { return events_; }
 
   // One row per transmission attempt:
@@ -27,10 +31,15 @@ class TraceRecorder {
   struct Summary {
     std::int64_t attempts = 0;
     std::int64_t per_outcome[kTxOutcomeCount] = {};
+    // per_outcome / attempts; all zeros when the trace is empty.
+    double per_outcome_fraction[kTxOutcomeCount] = {};
+    // Valid whenever attempts > 0 — including the degenerate trace where
+    // every attempt shares one timestamp (first_start == last_end).
     sim::TimeNs first_start = 0;
     sim::TimeNs last_end = 0;
     // Airtime efficiency: fraction of transmission time that carried a
-    // packet which ultimately succeeded.
+    // packet which ultimately succeeded. 0 (never NaN) when the trace is
+    // empty or every attempt has zero duration.
     double useful_airtime_fraction = 0.0;
   };
   [[nodiscard]] Summary Summarize() const;

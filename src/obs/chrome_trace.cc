@@ -1,0 +1,114 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace crn::obs {
+namespace {
+
+const char* PhaseString(ChromeTraceEvent::Phase phase) {
+  switch (phase) {
+    case ChromeTraceEvent::Phase::kComplete: return "X";
+    case ChromeTraceEvent::Phase::kAsyncBegin: return "b";
+    case ChromeTraceEvent::Phase::kAsyncEnd: return "e";
+    case ChromeTraceEvent::Phase::kInstant: return "i";
+    case ChromeTraceEvent::Phase::kMetadata: return "M";
+  }
+  return "i";
+}
+
+void WriteEscaped(const std::string& text, std::ostream& out) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Fixed-point microseconds with nanosecond resolution: ts values originate
+// either from TimeNs (exact thirds of decimal digits) or wall-clock seconds;
+// three fractional digits round-trip both without scientific notation.
+void WriteTs(double us, std::ostream& out) {
+  const bool negative = us < 0;
+  if (negative) us = -us;
+  const auto nanos = static_cast<unsigned long long>(us * 1000.0 + 0.5);
+  if (negative) out << '-';
+  out << nanos / 1000 << '.';
+  const unsigned long long frac = nanos % 1000;
+  out << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+void WriteEvent(const ChromeTraceEvent& event, std::ostream& out) {
+  out << "{\"name\":";
+  WriteEscaped(event.name, out);
+  out << ",\"cat\":";
+  WriteEscaped(event.category.empty() ? "crn" : event.category, out);
+  out << ",\"ph\":\"" << PhaseString(event.phase) << "\",\"ts\":";
+  WriteTs(event.ts_us, out);
+  if (event.phase == ChromeTraceEvent::Phase::kComplete) {
+    out << ",\"dur\":";
+    WriteTs(event.dur_us, out);
+  }
+  out << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
+  if (event.phase == ChromeTraceEvent::Phase::kAsyncBegin ||
+      event.phase == ChromeTraceEvent::Phase::kAsyncEnd) {
+    out << ",\"id\":" << event.id;
+  }
+  if (event.phase == ChromeTraceEvent::Phase::kInstant) {
+    out << ",\"s\":\"t\"";
+  }
+  if (!event.args.empty()) {
+    out << ",\"args\":{";
+    for (std::size_t i = 0; i < event.args.size(); ++i) {
+      if (i > 0) out << ',';
+      WriteEscaped(event.args[i].first, out);
+      out << ':';
+      WriteEscaped(event.args[i].second, out);
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<ChromeTraceEvent>& events,
+                      std::ostream& out) {
+  // Sort by (metadata first, ts, insertion order). Stable sort keeps the
+  // producer's deterministic emit order among equal timestamps.
+  std::vector<const ChromeTraceEvent*> order;
+  order.reserve(events.size());
+  for (const ChromeTraceEvent& event : events) order.push_back(&event);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const ChromeTraceEvent* a, const ChromeTraceEvent* b) {
+                     const bool a_meta =
+                         a->phase == ChromeTraceEvent::Phase::kMetadata;
+                     const bool b_meta =
+                         b->phase == ChromeTraceEvent::Phase::kMetadata;
+                     if (a_meta != b_meta) return a_meta;
+                     return a->ts_us < b->ts_us;
+                   });
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "\n";
+    WriteEvent(*order[i], out);
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace crn::obs

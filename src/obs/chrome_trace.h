@@ -1,0 +1,52 @@
+// Chrome trace-event JSON emission (the "JSON Array/Object Format" that
+// chrome://tracing and Perfetto both load). Shared by the packet-lifecycle
+// span tracer (sim-time spans) and the harness profiler (wall-clock spans):
+// both reduce their records to ChromeTraceEvent values and hand them to
+// WriteChromeTrace(), which sorts by timestamp and serializes.
+//
+// Timestamps are microseconds (the format's unit). Sim-time producers
+// convert TimeNs exactly (ns / 1000.0 — every TimeNs fits a double);
+// wall-clock producers convert seconds since their epoch.
+#ifndef CRN_OBS_CHROME_TRACE_H_
+#define CRN_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crn::obs {
+
+struct ChromeTraceEvent {
+  // Subset of phases the repo emits: complete spans, async (flow) spans,
+  // instants, and thread-name metadata.
+  enum class Phase : std::uint8_t {
+    kComplete,    // "X": ts + dur
+    kAsyncBegin,  // "b": needs id
+    kAsyncEnd,    // "e": needs id
+    kInstant,     // "i"
+    kMetadata,    // "M": thread_name (args: {"name": <first arg value>})
+  };
+
+  std::string name;
+  std::string category;
+  Phase phase = Phase::kInstant;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // kComplete only
+  std::int64_t pid = 1;
+  std::int64_t tid = 0;
+  std::uint64_t id = 0;  // async span correlation id
+  // Rendered verbatim as string args (insertion order).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Writes the object form: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+// Events are emitted in (ts, insertion order) — monotone timestamps, which
+// the CI trace validator asserts. Metadata events sort first at their ts.
+void WriteChromeTrace(const std::vector<ChromeTraceEvent>& events,
+                      std::ostream& out);
+
+}  // namespace crn::obs
+
+#endif  // CRN_OBS_CHROME_TRACE_H_

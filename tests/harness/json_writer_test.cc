@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/profiler.h"
+
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -105,13 +107,47 @@ TEST(JsonWriterTest, WriteBenchJsonWritesEnvelopeAndSeries) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   const std::string text = buffer.str();
-  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  // v2 = v1 plus the optional "profile" section; with no profiler attached
+  // the document body is exactly the v1 shape.
+  EXPECT_NE(text.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_EQ(text.find("\"profile\""), std::string::npos);
   EXPECT_NE(text.find("\"bench\": \"unit\""), std::string::npos);
   EXPECT_NE(text.find("\"scale\""), std::string::npos);
   EXPECT_NE(text.find("\"series\""), std::string::npos);
   EXPECT_NE(text.find("\"wall_seconds\": 0.25"), std::string::npos);
   ASSERT_FALSE(text.empty());
   EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(JsonWriterTest, ProfilerAddsProfileSectionAndTrace) {
+  BenchOptions options;
+  const std::string path = ::testing::TempDir() + "bench_json_profile_test.json";
+  const std::string trace_path = ::testing::TempDir() + "bench_trace_test.json";
+  options.json_out = path;
+  options.trace_out = trace_path;
+  RunProfiler profiler;
+  profiler.RecordSpan("cells", "cells[0]", 0.0, 1.0, 1);
+  profiler.RecordSpan("reduce", "", 1.0, 1.5, 0);
+  std::ostringstream log;
+  ASSERT_TRUE(WriteBenchJson("unit", options, Json::Array(), 0.25, log,
+                             &profiler));
+  EXPECT_NE(log.str().find(trace_path), std::string::npos);
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"profile\""), std::string::npos);
+  EXPECT_NE(text.find("\"spans_total\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"phase\": \"cells\""), std::string::npos);
+  EXPECT_NE(text.find("\"phase\": \"reduce\""), std::string::npos);
+
+  std::ifstream trace_in(trace_path);
+  std::stringstream trace_buffer;
+  trace_buffer << trace_in.rdbuf();
+  const std::string trace = trace_buffer.str();
+  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
 }
 
 TEST(JsonWriterTest, SweepsOverloadEmitsSweepArray) {

@@ -5,7 +5,9 @@
 // digests both.
 #include <gtest/gtest.h>
 
+#include "harness/profiler.h"
 #include "harness/sweep.h"
+#include "obs/metrics.h"
 
 namespace crn::harness {
 namespace {
@@ -59,6 +61,73 @@ TEST(ParallelSweepTest, SerialAndParallelSweepsAreBitIdentical) {
   }
   EXPECT_NE(serial.trace_digest, 0u);
   EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+}
+
+TEST(ParallelSweepTest, MetricsFoldIsBitIdenticalAcrossJobs) {
+  // The observability contract on the sweep engine: per-cell registries are
+  // merged in fixed (point, rep) order, so the folded state — digest and
+  // full snapshot both — cannot depend on the worker count.
+  obs::MetricsRegistry serial_metrics;
+  obs::MetricsRegistry parallel_metrics;
+  SweepSpec serial_spec = TinySpec(1);
+  serial_spec.metrics = &serial_metrics;
+  SweepSpec parallel_spec = TinySpec(4);
+  parallel_spec.metrics = &parallel_metrics;
+  const SweepResult serial = RunSweep(serial_spec);
+  const SweepResult parallel = RunSweep(parallel_spec);
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+
+  EXPECT_GT(serial_metrics.instrument_count(), 0u);
+  EXPECT_NE(serial_metrics.Digest(), 0u);
+  EXPECT_EQ(serial_metrics.Digest(), parallel_metrics.Digest());
+  const obs::Snapshot a = serial_metrics.Capture(0);
+  const obs::Snapshot b = parallel_metrics.Capture(0);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].key, b.entries[i].key);
+    EXPECT_EQ(a.entries[i].value, b.entries[i].value);
+    EXPECT_EQ(a.entries[i].count, b.entries[i].count);
+    EXPECT_EQ(a.entries[i].sum, b.entries[i].sum);
+    EXPECT_EQ(a.entries[i].buckets, b.entries[i].buckets);
+  }
+
+  // Sanity-check the folded totals: 2 points x 2 reps of ADDC cells, each
+  // producing one packet per SU (num_sus excludes the base station).
+  const std::int64_t produced_per_cell =
+      core::ScenarioConfig::ScaledDefaults(0.05).num_sus;
+  EXPECT_EQ(serial_metrics.GetCounter("mac.packets_created_total").value(),
+            4 * produced_per_cell);
+}
+
+TEST(ParallelSweepTest, ProfilerIsObservationOnly) {
+  // Attaching the wall-clock profiler must not perturb results or digests,
+  // and every cell plus the reduce phase must be covered by spans.
+  RunProfiler profiler;
+  SweepSpec profiled_spec = TinySpec(4);
+  profiled_spec.profiler = &profiler;
+  const SweepResult profiled = RunSweep(profiled_spec);
+  const SweepResult plain = RunSweep(TinySpec(4));
+  EXPECT_EQ(profiled.trace_digest, plain.trace_digest);
+  ASSERT_EQ(profiled.summaries.size(), plain.summaries.size());
+  for (std::size_t i = 0; i < profiled.summaries.size(); ++i) {
+    ExpectStatsIdentical(profiled.summaries[i].addc_delay_ms,
+                         plain.summaries[i].addc_delay_ms);
+  }
+
+  bool saw_cells = false;
+  bool saw_reduce = false;
+  std::int64_t cell_count = 0;
+  for (const RunProfiler::PhaseStats& stats : profiler.PhaseSummary()) {
+    if (stats.phase == "cells") {
+      saw_cells = true;
+      cell_count = stats.count;
+    }
+    if (stats.phase == "reduce") saw_reduce = true;
+  }
+  EXPECT_TRUE(saw_cells);
+  EXPECT_TRUE(saw_reduce);
+  // 2 points x 2 repetitions x 2 algorithms (ADDC and Coolest).
+  EXPECT_EQ(cell_count, 8);
 }
 
 TEST(ParallelSweepTest, DigestCollectionDoesNotChangeResults) {

@@ -1,6 +1,7 @@
 // Tests for the transmission trace recorder.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -84,8 +85,53 @@ TEST(TraceRecorderTest, SummaryCountsAndAirtime) {
   const TraceRecorder::Summary summary = recorder.Summarize();
   EXPECT_EQ(summary.attempts, 3);
   EXPECT_EQ(summary.per_outcome[static_cast<int>(TxOutcome::kSuccess)], 3);
+  EXPECT_DOUBLE_EQ(
+      summary.per_outcome_fraction[static_cast<int>(TxOutcome::kSuccess)], 1.0);
   EXPECT_DOUBLE_EQ(summary.useful_airtime_fraction, 1.0);
   EXPECT_GT(summary.last_end, summary.first_start);
+}
+
+TEST(TraceRecorderTest, SummaryOutcomeFractionsSumToOne) {
+  TraceRecorder recorder;
+  TxEvent event;
+  event.start = 100;
+  event.end = 200;
+  event.outcome = TxOutcome::kSuccess;
+  recorder.Record(event);
+  event.outcome = TxOutcome::kReceiverBusy;
+  recorder.Record(event);
+  event.outcome = TxOutcome::kSirFailure;
+  recorder.Record(event);
+  event.outcome = TxOutcome::kSuccess;
+  recorder.Record(event);
+  const TraceRecorder::Summary summary = recorder.Summarize();
+  EXPECT_EQ(summary.attempts, 4);
+  EXPECT_DOUBLE_EQ(
+      summary.per_outcome_fraction[static_cast<int>(TxOutcome::kSuccess)], 0.5);
+  double total = 0.0;
+  for (double fraction : summary.per_outcome_fraction) total += fraction;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(TraceRecorderTest, SummaryDegenerateSingleTimestampIsFinite) {
+  // Every attempt shares one instant: timestamps must still be reported and
+  // the airtime fraction must be 0, not NaN (total airtime is zero).
+  TraceRecorder recorder;
+  TxEvent event;
+  event.start = 7'000;
+  event.end = 7'000;
+  event.outcome = TxOutcome::kSuccess;
+  recorder.Record(event);
+  event.outcome = TxOutcome::kReceiverBusy;
+  recorder.Record(event);
+  const TraceRecorder::Summary summary = recorder.Summarize();
+  EXPECT_EQ(summary.attempts, 2);
+  EXPECT_EQ(summary.first_start, 7'000);
+  EXPECT_EQ(summary.last_end, 7'000);
+  EXPECT_FALSE(std::isnan(summary.useful_airtime_fraction));
+  EXPECT_DOUBLE_EQ(summary.useful_airtime_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(
+      summary.per_outcome_fraction[static_cast<int>(TxOutcome::kSuccess)], 0.5);
 }
 
 TEST(TraceRecorderTest, EmptyTrace) {

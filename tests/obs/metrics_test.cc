@@ -1,0 +1,143 @@
+// Unit tests for the deterministic metrics registry: key canonicalization,
+// instrument semantics, snapshots, the Merge() fold, and the digest
+// contract the parallel engine relies on.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace crn::obs {
+namespace {
+
+TEST(MetricKeyTest, RendersNameAndSortedLabels) {
+  EXPECT_EQ(RenderMetricKey("mac.attempts_total", {}), "mac.attempts_total");
+  EXPECT_EQ(RenderMetricKey("mac.tx_attempts_total", {{"outcome", "success"}}),
+            "mac.tx_attempts_total{outcome=success}");
+  // Label order never matters: the key sorts by label name.
+  EXPECT_EQ(RenderMetricKey("x", {{"b", "2"}, {"a", "1"}}),
+            RenderMetricKey("x", {{"a", "1"}, {"b", "2"}}));
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSharedPerKey) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("events_total", {{"kind", "x"}});
+  Counter& b = registry.GetCounter("events_total", {{"kind", "x"}});
+  EXPECT_EQ(&a, &b);
+  a.Add();
+  a.Add(2);
+  EXPECT_EQ(b.value(), 3);
+  // A different label set is a different instrument.
+  Counter& c = registry.GetCounter("events_total", {{"kind", "y"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramLogBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("delay_ns");
+  h.Record(0);   // bucket 0: <= 0
+  h.Record(-5);  // bucket 0 too (clamped)
+  h.Record(1);   // bucket 1: [1, 2)
+  h.Record(2);   // bucket 2: [2, 4)
+  h.Record(3);   // bucket 2
+  h.Record(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 1024);
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 2);
+  EXPECT_EQ(h.buckets()[11], 1);
+}
+
+TEST(MetricsRegistryTest, CaptureIsSortedAndSparse) {
+  MetricsRegistry registry;
+  registry.GetCounter("z_total").Add(9);
+  registry.GetGauge("a.depth").Set(4);
+  registry.GetHistogram("m.delay_ns").Record(5);
+  const Snapshot snapshot = registry.Capture(1234);
+  EXPECT_EQ(snapshot.at, 1234);
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+  EXPECT_EQ(snapshot.entries[0].key, "a.depth");
+  EXPECT_EQ(snapshot.entries[1].key, "m.delay_ns");
+  EXPECT_EQ(snapshot.entries[2].key, "z_total");
+  EXPECT_EQ(snapshot.entries[0].value, 4);
+  EXPECT_EQ(snapshot.entries[2].value, 9);
+  // Histograms keep only non-empty buckets.
+  ASSERT_EQ(snapshot.entries[1].buckets.size(), 1u);
+  EXPECT_EQ(snapshot.entries[1].buckets[0].first, 3);  // 5 in [4, 8)
+  EXPECT_EQ(snapshot.entries[1].buckets[0].second, 1);
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersAndHistogramsGaugesLastWin) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("n_total").Add(2);
+  b.GetCounter("n_total").Add(5);
+  b.GetCounter("only_in_b_total").Add(1);
+  a.GetGauge("depth").Set(3);
+  b.GetGauge("depth").Set(8);
+  a.GetHistogram("h").Record(1);
+  b.GetHistogram("h").Record(1);
+  b.GetHistogram("h").Record(100);
+  a.Merge(b);
+  EXPECT_EQ(a.GetCounter("n_total").value(), 7);
+  EXPECT_EQ(a.GetCounter("only_in_b_total").value(), 1);
+  EXPECT_EQ(a.GetGauge("depth").value(), 8);  // merged-in value wins
+  EXPECT_EQ(a.GetHistogram("h").count(), 3);
+  EXPECT_EQ(a.GetHistogram("h").sum(), 102);
+  EXPECT_EQ(a.GetHistogram("h").max(), 100);
+}
+
+TEST(MetricsRegistryTest, DigestReflectsStateNotSeries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("n_total").Add(3);
+  b.GetCounter("n_total").Add(3);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  // The series is presentation data; recording points must not perturb the
+  // state digest.
+  a.RecordSeriesPoint(100);
+  a.RecordSeriesPoint(200);
+  EXPECT_EQ(a.series().size(), 2u);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.GetCounter("n_total").Add(1);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(MetricsRegistryTest, MergeOrderFixedByCallerReproduces) {
+  // The sweep engine's contract: folding per-cell registries in a fixed
+  // order produces one well-defined state. Simulate two cells folded into
+  // fresh roots in the same order — identical outcomes.
+  auto make_cell = [](std::int64_t base) {
+    MetricsRegistry cell;
+    cell.GetCounter("n_total").Add(base);
+    cell.GetGauge("depth").Set(base);
+    cell.GetHistogram("h").Record(base);
+    return cell;
+  };
+  MetricsRegistry root1;
+  MetricsRegistry root2;
+  for (MetricsRegistry* root : {&root1, &root2}) {
+    const MetricsRegistry cell_a = make_cell(2);
+    const MetricsRegistry cell_b = make_cell(7);
+    root->Merge(cell_a);
+    root->Merge(cell_b);
+  }
+  EXPECT_EQ(root1.Digest(), root2.Digest());
+  EXPECT_EQ(root1.GetGauge("depth").value(), 7);
+}
+
+TEST(SnapshotDigestTest, MatchesRegistryDigestContract) {
+  MetricsRegistry registry;
+  registry.GetCounter("n_total").Add(42);
+  registry.GetHistogram("h").Record(9);
+  // Digest() is defined as the digest of the current state; capturing the
+  // same state twice must agree.
+  EXPECT_EQ(SnapshotDigest(registry.Capture(0)), SnapshotDigest(registry.Capture(0)));
+  const std::uint64_t before = registry.Digest();
+  registry.GetCounter("n_total").Add(1);
+  EXPECT_NE(registry.Digest(), before);
+}
+
+}  // namespace
+}  // namespace crn::obs

@@ -8,6 +8,7 @@
 //   addc_sim --algorithm=both --n=300 --num-pus=60 --area=100
 //   addc_sim --algorithm=addc --trace=/tmp/run.csv --seed=7
 //   addc_sim --continuous-interval-ms=5000 --snapshots=6
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -16,10 +17,13 @@
 #include "core/scenario.h"
 #include "graph/cds_tree.h"
 #include "harness/flags.h"
+#include "harness/obs_export.h"
 #include "harness/parallel_runner.h"
 #include "harness/svg_export.h"
 #include "harness/table.h"
 #include "mac/trace.h"
+#include "obs/metrics.h"
+#include "obs/span_tracer.h"
 
 namespace {
 
@@ -54,6 +58,13 @@ Execution:
                                   rep 0 to verify trace-digest determinism);
                                   exits nonzero on any violation
   --trace=FILE                    write per-transmission CSV (single rep, ADDC)
+  --trace-out=FILE                write packet-lifecycle spans (rep 0, ADDC) as
+                                  Chrome trace-event JSON — load the file in
+                                  Perfetto / chrome://tracing; forces serial
+  --metrics-out=FILE              write the metrics registry (ADDC runs, merged
+                                  over reps in rep order) as JSON
+  --metrics-stride=INT            slots between series snapshots in the metrics
+                                  JSON (default 1024; 0 = final state only)
   --svg=FILE                      render the deployment + CDS tree as SVG
   --csv                           machine-readable result rows
 )";
@@ -120,6 +131,10 @@ int main(int argc, char** argv) {
   const bool csv = flags.GetBool("csv", false);
   const bool audit = flags.GetBool("audit", false);
   const std::string trace_path = flags.GetString("trace", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const auto metrics_stride =
+      static_cast<std::int32_t>(flags.GetInt("metrics-stride", 1024));
   const std::string svg_path = flags.GetString("svg", "");
   const double continuous_ms = flags.GetDouble("continuous-interval-ms", 0.0);
   const auto snapshots = static_cast<std::int32_t>(flags.GetInt("snapshots", 6));
@@ -148,7 +163,8 @@ int main(int argc, char** argv) {
   // ParallelRunner and the rows print afterwards in repetition order —
   // bit-identical to the serial loop below. Trace and continuous runs keep
   // the serial path.
-  if (jobs != 1 && continuous_ms <= 0.0 && trace_path.empty()) {
+  if (jobs != 1 && continuous_ms <= 0.0 && trace_path.empty() &&
+      trace_out.empty()) {
     struct RepOutcome {
       double pcr = 0.0;
       bool has_addc = false;
@@ -157,6 +173,9 @@ int main(int argc, char** argv) {
       core::CollectionResult coolest;
       core::AuditReport audit_report;
       core::DeterminismReport determinism;
+      // Per-repetition registry (--metrics-out): merged in rep order after
+      // the fan-out, so the merged state is bit-identical to a serial run.
+      obs::MetricsRegistry metrics;
     };
     std::vector<RepOutcome> outcomes(static_cast<std::size_t>(reps));
     const harness::ParallelRunner runner(jobs);
@@ -168,9 +187,21 @@ int main(int argc, char** argv) {
         outcome.has_addc = true;
         core::RunOptions options;
         if (audit) options.audit_report = &outcome.audit_report;
+        if (!metrics_out.empty()) {
+          options.metrics = &outcome.metrics;
+          // Counters/histograms fold across every rep, but the time series
+          // is one run's timeline: only rep 0 records points, so the merged
+          // document's series stays monotone in sim-time.
+          options.metrics_series_stride = rep == 0 ? metrics_stride : 0;
+        }
         outcome.addc = core::RunAddc(scenario, options);
         if (audit && rep == 0) {
-          outcome.determinism = core::CheckAddcDeterminism(scenario, options);
+          // The dual run must not fold a second copy of rep 0 into the
+          // registry, so the determinism check runs without sinks.
+          core::RunOptions recheck = options;
+          recheck.metrics = nullptr;
+          recheck.spans = nullptr;
+          outcome.determinism = core::CheckAddcDeterminism(scenario, recheck);
         }
       }
       if (algorithm == "coolest" || algorithm == "both") {
@@ -228,12 +259,31 @@ int main(int argc, char** argv) {
         PrintResultRow(outcome.coolest, csv);
       }
     }
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry merged;
+      double final_ms = 0.0;
+      for (const RepOutcome& outcome : outcomes) {
+        merged.Merge(outcome.metrics);
+        if (outcome.has_addc) final_ms = std::max(final_ms, outcome.addc.delay_ms);
+      }
+      if (!harness::WriteMetricsJson(merged, sim::FromMilliseconds(final_ms),
+                                     metrics_out, std::cout)) {
+        return 2;
+      }
+    }
     if (audit && !audit_clean) {
       std::cerr << "audit: invariant violations or digest divergence detected\n";
       return 1;
     }
     return all_completed ? 0 : 1;
   }
+
+  // Serial path. Observability sinks accumulate across the rep loop: the
+  // span tracer watches rep 0's ADDC run, per-rep registries merge in rep
+  // order (identical to the parallel reduction above).
+  obs::PacketSpanTracer span_tracer;
+  obs::MetricsRegistry merged_metrics;
+  double metrics_final_ms = 0.0;
 
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     const core::Scenario scenario(config, rep);
@@ -296,6 +346,7 @@ int main(int argc, char** argv) {
                                mac_config, scenario.MakeRunRng().Stream("mac"));
         mac::TraceRecorder recorder;
         recorder.Attach(mac);
+        if (!trace_out.empty() && rep == 0) span_tracer.Attach(mac);
         mac.StartSnapshotCollection();
         simulator.Run();
         std::ofstream out(trace_path);
@@ -314,7 +365,19 @@ int main(int argc, char** argv) {
       core::RunOptions options;
       core::AuditReport audit_report;
       if (audit) options.audit_report = &audit_report;
+      obs::MetricsRegistry rep_metrics;
+      if (!metrics_out.empty()) {
+        options.metrics = &rep_metrics;
+        // Series points come from rep 0 only — merged counters span all
+        // reps, but a merged series would interleave rep-local timelines.
+        options.metrics_series_stride = rep == 0 ? metrics_stride : 0;
+      }
+      if (!trace_out.empty() && rep == 0) options.spans = &span_tracer;
       const core::CollectionResult result = core::RunAddc(scenario, options);
+      if (!metrics_out.empty()) {
+        merged_metrics.Merge(rep_metrics);
+        metrics_final_ms = std::max(metrics_final_ms, result.delay_ms);
+      }
       all_completed &= result.completed;
       PrintResultRow(result, csv);
       if (audit) {
@@ -326,8 +389,13 @@ int main(int argc, char** argv) {
           }
         }
         if (rep == 0) {
+          // Sinkless dual run: re-attaching the tracer or registry would
+          // double-count rep 0 (the check itself is observation-free).
+          core::RunOptions recheck = options;
+          recheck.metrics = nullptr;
+          recheck.spans = nullptr;
           const core::DeterminismReport determinism =
-              core::CheckAddcDeterminism(scenario, options);
+              core::CheckAddcDeterminism(scenario, recheck);
           audit_clean &= determinism.identical;
           if (!csv) {
             std::cout << "  determinism: dual-run digests "
@@ -343,6 +411,23 @@ int main(int argc, char** argv) {
       all_completed &= result.completed;
       PrintResultRow(result, csv);
     }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_out << "\n";
+      return 2;
+    }
+    span_tracer.WriteChromeTrace(out);
+    std::cout << "lifecycle trace: " << trace_out << " ("
+              << span_tracer.packets().size() << " packets, "
+              << span_tracer.attempts().size() << " attempts)\n";
+  }
+  if (!metrics_out.empty() &&
+      !harness::WriteMetricsJson(merged_metrics,
+                                 sim::FromMilliseconds(metrics_final_ms),
+                                 metrics_out, std::cout)) {
+    return 2;
   }
   if (audit && !audit_clean) {
     std::cerr << "audit: invariant violations or digest divergence detected\n";

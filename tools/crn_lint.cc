@@ -27,6 +27,11 @@
 //                       own Rng from its (seed, point, rep, algorithm) tuple.
 //   header-guard        a src/ header whose #ifndef guard does not match
 //                       its path (CRN_<PATH>_H_).
+//   library-io          std::cout/std::cerr in src/ outside src/harness/ —
+//                       library layers compute; only the harness (and the
+//                       tools/bench binaries) may talk to the terminal.
+//                       Observability goes through obs:: sinks, results
+//                       through return values and std::ostream parameters.
 //
 // A finding on a line containing `crn-lint-ok` is suppressed (use
 // sparingly, with justification in an adjacent comment).
@@ -229,6 +234,13 @@ std::vector<Finding> ScanFile(const std::string& logical_path,
             "convert dB through DbToLinear()/SirThreshold (common/units.h), "
             "not raw std::pow(10, ...)");
       }
+      if (!StartsWith(logical_path, "src/harness/") &&
+          (ContainsWord(line, "cout") || ContainsWord(line, "cerr"))) {
+        add(static_cast<int>(i), "library-io",
+            "library code must not write to the terminal; return values / "
+            "take an std::ostream / use an obs:: sink (src/harness/ is the "
+            "I/O layer)");
+      }
       if (ContainsWord(line, "float")) {
         add(static_cast<int>(i), "float-in-physics",
             "physics runs in double; float narrows results "
@@ -342,6 +354,7 @@ int RunSelfTest(const fs::path& root) {
       {"src__core__bad_float.cc", "float-in-physics"},
       {"src__harness__bad_shared_rng.cc", "shared-mutable-rng"},
       {"src__geom__bad_guard.h", "header-guard"},
+      {"src__mac__bad_io.cc", "library-io"},
       {"src__core__clean_fixture.cc", ""},
   };
   int failures = 0;

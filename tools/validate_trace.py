@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI validator for the observability layer's JSON artifacts.
+
+Checks, without any third-party dependency:
+  --trace FILE    Chrome trace-event / Perfetto JSON (obs/chrome_trace.cc):
+                  object form with "traceEvents", every event carries the
+                  required fields for its phase, timestamps are monotone
+                  non-decreasing in file order (the writer sorts), and async
+                  "b"/"e" events are balanced per correlation id.
+  --bench FILE    BENCH_<name>.json envelope (harness/json_writer.cc):
+                  schema_version == 2, and when a "profile" section is
+                  present it has the per-phase aggregate shape.
+  --metrics FILE  metrics registry export (harness/obs_export.cc):
+                  schema_version == 1, digest is 0x-hex, "final" entries are
+                  sorted by key, series timestamps are monotone.
+
+Exit code 0 when every given file validates; 1 with a message otherwise.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "b", "e", "i", "M"}
+
+
+def fail(message: str) -> None:
+    raise SystemExit(f"validate_trace: {message}")
+
+
+def validate_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("displayTimeUnit") != "ms":
+        fail(f"{path}: displayTimeUnit must be 'ms'")
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    last_ts = None
+    async_depth: dict[tuple[int, int], int] = {}
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event {index} missing '{key}'")
+        phase = event["ph"]
+        if phase not in VALID_PHASES:
+            fail(f"{path}: event {index} has unknown phase {phase!r}")
+        if phase == "M":
+            continue  # metadata sorts first and carries no timeline position
+        ts = float(event["ts"])
+        if ts < 0:
+            fail(f"{path}: event {index} has negative ts {ts}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: event {index} ts {ts} < previous {last_ts} "
+                 "(writer must emit monotone timestamps)")
+        last_ts = ts
+        if phase == "X" and float(event.get("dur", -1)) < 0:
+            fail(f"{path}: complete event {index} has negative duration")
+        if phase in ("b", "e"):
+            if "id" not in event:
+                fail(f"{path}: async event {index} missing 'id'")
+            key = (int(event["pid"]), int(event["id"]))
+            async_depth[key] = async_depth.get(key, 0) + (1 if phase == "b" else -1)
+            if async_depth[key] < 0:
+                fail(f"{path}: async end before begin for id {event['id']}")
+    unbalanced = {key: depth for key, depth in async_depth.items() if depth != 0}
+    if unbalanced:
+        fail(f"{path}: {len(unbalanced)} unbalanced async span id(s)")
+    print(f"validate_trace: {path}: {len(events)} events OK")
+
+
+def validate_bench(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema_version") != 2:
+        fail(f"{path}: schema_version must be 2, got "
+             f"{document.get('schema_version')!r}")
+    for key in ("bench", "scale", "wall_seconds"):
+        if key not in document:
+            fail(f"{path}: missing '{key}'")
+    profile = document.get("profile")
+    if profile is not None:
+        if "spans_total" not in profile or "phases" not in profile:
+            fail(f"{path}: profile section missing spans_total/phases")
+        for phase in profile["phases"]:
+            for key in ("phase", "count", "total_s", "mean_s", "min_s", "max_s"):
+                if key not in phase:
+                    fail(f"{path}: profile phase missing '{key}'")
+    print(f"validate_trace: {path}: schema v2 envelope OK"
+          + (" (with profile)" if profile is not None else ""))
+
+
+def validate_metrics(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema_version") != 1:
+        fail(f"{path}: metrics schema_version must be 1")
+    digest = document.get("digest", "")
+    if not (isinstance(digest, str) and digest.startswith("0x")
+            and len(digest) == 18):
+        fail(f"{path}: digest must be fixed-width 0x-hex, got {digest!r}")
+    final = document.get("final")
+    if not isinstance(final, dict) or "entries" not in final:
+        fail(f"{path}: missing final snapshot")
+    keys = [entry["key"] for entry in final["entries"]]
+    if keys != sorted(keys):
+        fail(f"{path}: final snapshot entries must be sorted by key")
+    last_at = None
+    for point in document.get("series", []):
+        at = int(point["at_ns"])
+        if last_at is not None and at < last_at:
+            fail(f"{path}: series at_ns not monotone")
+        last_at = at
+    print(f"validate_trace: {path}: metrics document OK "
+          f"({len(keys)} instruments, {len(document.get('series', []))} "
+          "series points)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[])
+    parser.add_argument("--bench", action="append", default=[])
+    parser.add_argument("--metrics", action="append", default=[])
+    arguments = parser.parse_args()
+    if not (arguments.trace or arguments.bench or arguments.metrics):
+        parser.error("give at least one of --trace/--bench/--metrics")
+    for path in arguments.trace:
+        validate_trace(path)
+    for path in arguments.bench:
+        validate_bench(path)
+    for path in arguments.metrics:
+        validate_metrics(path)
+
+
+if __name__ == "__main__":
+    main()
+    sys.exit(0)
