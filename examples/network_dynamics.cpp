@@ -63,16 +63,22 @@ int main() {
   for (graph::NodeId victim : victims) {
     simulator.ScheduleAt(when, sim::EventPriority::kDefault, [&, victim] {
       alive[victim] = 0;
-      const auto repairs =
+      core::RepairPlan plan =
           core::PlanLocalRepair(graph, bfs, next_hop, alive, victim);
+      // One-hop knowledge may not be enough once several connectors are
+      // gone; escalate to the multi-hop cascade rather than stranding them.
+      if (!plan.complete()) {
+        plan = core::PlanCascadeRepair(graph, next_hop, alive, scenario.sink());
+      }
       mac.FailNode(victim);
-      for (const auto& [node, new_hop] : repairs) {
+      for (const auto& [node, new_hop] : plan.repaired) {
         next_hop[node] = new_hop;  // keep the local table in sync
         mac.UpdateNextHop(node, new_hop);
       }
       std::cout << "t=" << sim::ToMilliseconds(simulator.now()) << " ms: connector "
-                << victim << " left; " << repairs.size()
-                << " orphans re-attached locally\n";
+                << victim << " left; " << plan.repaired.size()
+                << " orphans re-attached, " << plan.orphaned.size()
+                << " partitioned\n";
     });
     when += 100 * sim::kMillisecond;
   }

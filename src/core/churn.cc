@@ -6,10 +6,11 @@
 
 namespace crn::core {
 
-std::vector<std::pair<graph::NodeId, graph::NodeId>> PlanLocalRepair(
-    const graph::UnitDiskGraph& graph, const graph::BfsLayering& bfs,
-    const std::vector<graph::NodeId>& next_hop, const std::vector<char>& alive,
-    graph::NodeId failed_node) {
+RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
+                           const graph::BfsLayering& bfs,
+                           const std::vector<graph::NodeId>& next_hop,
+                           const std::vector<char>& alive,
+                           graph::NodeId failed_node) {
   CRN_CHECK(!alive[failed_node]) << "node " << failed_node << " is still alive";
   const auto n = graph.node_count();
 
@@ -48,7 +49,7 @@ std::vector<std::pair<graph::NodeId, graph::NodeId>> PlanLocalRepair(
   // boundary has healed — the fixed point of the local gossip. Every
   // adopted hop has a clean route at adoption time and repaired hops never
   // change again, so no cycle can form.
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> repairs;
+  RepairPlan plan;
   std::vector<char> repaired(orphans.size(), 0);
   std::size_t remaining = orphans.size();
   bool progress = true;
@@ -68,17 +69,77 @@ std::vector<std::pair<graph::NodeId, graph::NodeId>> PlanLocalRepair(
       }
       if (best == graph::kInvalidNode) continue;  // retry next round
       working[v] = best;
-      repairs.emplace_back(v, best);
+      plan.repaired.emplace_back(v, best);
       repaired[i] = 1;
       --remaining;
       progress = true;
     }
   }
-  CRN_CHECK(remaining == 0)
-      << remaining << " orphan(s) of node " << failed_node
-      << " have no live neighbor with a clean route; the network around "
-      << "them is partitioned";
-  return repairs;
+  // Whatever the gossip could not re-attach is partitioned from the base
+  // station; the caller decides whether that degrades or fails the run.
+  for (std::size_t i = 0; i < orphans.size(); ++i) {
+    if (!repaired[i]) plan.orphaned.push_back(orphans[i]);
+  }
+  return plan;
+}
+
+RepairPlan PlanCascadeRepair(const graph::UnitDiskGraph& graph,
+                             const std::vector<graph::NodeId>& next_hop,
+                             const std::vector<char>& alive, graph::NodeId sink) {
+  const auto n = graph.node_count();
+  CRN_CHECK(sink >= 0 && sink < n) << "sink " << sink << " out of range";
+  CRN_CHECK(alive[sink]) << "the base station cannot be dead";
+  CRN_CHECK(static_cast<graph::NodeId>(next_hop.size()) == n);
+  CRN_CHECK(static_cast<graph::NodeId>(alive.size()) == n);
+
+  // Memoized route classification: kClean routes reach the sink over live
+  // nodes, kBroken ones dead-end at a failed node or cycle.
+  enum class Route : char { kUnknown, kClean, kBroken };
+  std::vector<Route> route(static_cast<std::size_t>(n), Route::kUnknown);
+  route[sink] = Route::kClean;
+  std::vector<graph::NodeId> path;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!alive[v] || route[v] != Route::kUnknown) continue;
+    path.clear();
+    graph::NodeId cursor = v;
+    while (route[cursor] == Route::kUnknown && alive[cursor] &&
+           static_cast<graph::NodeId>(path.size()) <= n) {
+      path.push_back(cursor);
+      cursor = next_hop[cursor];
+    }
+    const Route verdict = (alive[cursor] && route[cursor] == Route::kClean)
+                              ? Route::kClean
+                              : Route::kBroken;
+    for (graph::NodeId u : path) route[u] = verdict;
+  }
+
+  // Multi-source BFS from the clean set across live edges: each broken node
+  // reached adopts its BFS predecessor, so the repaired region is layered by
+  // distance-to-clean-set and applying the pairs in discovery order keeps
+  // every intermediate table acyclic.
+  RepairPlan plan;
+  std::vector<graph::NodeId> frontier;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (alive[v] && route[v] == Route::kClean) frontier.push_back(v);
+  }
+  std::vector<graph::NodeId> next_frontier;
+  while (!frontier.empty()) {
+    next_frontier.clear();
+    for (graph::NodeId u : frontier) {
+      for (graph::NodeId v : graph.Neighbors(u)) {
+        if (!alive[v] || route[v] != Route::kBroken) continue;
+        route[v] = Route::kClean;
+        plan.repaired.emplace_back(v, u);
+        next_frontier.push_back(v);
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (alive[v] && route[v] == Route::kBroken) plan.orphaned.push_back(v);
+  }
+  return plan;
 }
 
 }  // namespace crn::core

@@ -2,29 +2,65 @@
 // leave the network ... at any time. In this case, centralized and
 // synchronized algorithms cannot adapt").
 //
-// The repair rule is the local decision each orphaned SU can take with
-// one-hop knowledge: re-attach to a live neighbor strictly closer to the
-// base station (smaller BFS level), preferring dominators — the same
-// preference the original tree construction used. Level-monotone
-// re-attachment can never create a routing cycle.
+// Two repair rules, escalating in scope:
+//
+//  * PlanLocalRepair — the local decision each orphaned SU can take with
+//    one-hop knowledge: re-attach to a live neighbor strictly closer to the
+//    base station (smaller BFS level), preferring dominators — the same
+//    preference the original tree construction used. Level-monotone
+//    re-attachment can never create a routing cycle.
+//  * PlanCascadeRepair — multi-hop re-rooting of every broken subtree: a
+//    deterministic multi-source BFS grows the set of clean-routed nodes
+//    outward across live edges, so orphans deep inside a dead region (or
+//    under several simultaneous failures) re-attach through each other in
+//    shortest-hop order. Strictly more powerful than local repair, needs no
+//    BFS layering, and costs O(V + E).
+//
+// Neither rule throws on partition: nodes with no live path to the base
+// station are reported as `orphaned` and the caller decides whether that is
+// graceful degradation (delivery ratio < 1) or a test failure.
 #ifndef CRN_CORE_CHURN_H_
 #define CRN_CORE_CHURN_H_
 
+#include <utility>
 #include <vector>
 
 #include "graph/unit_disk_graph.h"
 
 namespace crn::core {
 
-// Computes the repair for every node whose next hop is `failed_node`:
-// each picks its live neighbor with the smallest (BFS level, id) among
-// strictly-lower-level neighbors. Returns (node, new_next_hop) pairs;
-// throws if some orphan has no live lower-level neighbor (the network
-// around it is partitioned — a cascade repair or re-deployment is needed).
-std::vector<std::pair<graph::NodeId, graph::NodeId>> PlanLocalRepair(
-    const graph::UnitDiskGraph& graph, const graph::BfsLayering& bfs,
-    const std::vector<graph::NodeId>& next_hop, const std::vector<char>& alive,
-    graph::NodeId failed_node);
+// Result of a repair planning pass. Applying `repaired` in order keeps the
+// routing table acyclic at every step (each adopted hop already has a clean
+// route when its pair is applied). `orphaned` lists live nodes left without
+// any live route to the base station — the network around them is
+// partitioned until a node recovers or is redeployed.
+struct RepairPlan {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> repaired;
+  std::vector<graph::NodeId> orphaned;
+
+  [[nodiscard]] bool complete() const { return orphaned.empty(); }
+};
+
+// Computes the repair for every node whose route passes through
+// `failed_node`: each picks its live neighbor with the smallest (BFS level,
+// id) among neighbors holding a verified clean route, iterated to the
+// gossip fixed point. Orphans that no round can re-attach are reported in
+// `orphaned` (never thrown on).
+RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
+                           const graph::BfsLayering& bfs,
+                           const std::vector<graph::NodeId>& next_hop,
+                           const std::vector<char>& alive,
+                           graph::NodeId failed_node);
+
+// Re-roots every live node whose current route fails to reach `sink` over
+// live nodes (any number of simultaneous failures and recoveries): a
+// multi-source BFS from the clean-routed set across live edges assigns each
+// reached node its BFS predecessor as next hop — shortest-hop re-rooting.
+// Unreached nodes are `orphaned`. Deterministic: sources seed in id order
+// and neighbors expand in the graph's CSR order.
+RepairPlan PlanCascadeRepair(const graph::UnitDiskGraph& graph,
+                             const std::vector<graph::NodeId>& next_hop,
+                             const std::vector<char>& alive, graph::NodeId sink);
 
 }  // namespace crn::core
 

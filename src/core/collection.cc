@@ -62,6 +62,9 @@ mac::MacConfig MakeMacConfig(const ScenarioConfig& config, double sensing_range,
   mac_config.slot_aware_defer = options.slot_aware_defer;
   mac_config.sensing_false_alarm = options.sensing_false_alarm;
   mac_config.sensing_missed_detection = options.sensing_missed_detection;
+  if (options.faults != nullptr) {
+    mac_config.dead_hop_retx_budget = options.faults->retx_budget;
+  }
   return mac_config;
 }
 
@@ -106,10 +109,31 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   if (options.spans != nullptr) {
     options.spans->Attach(mac);
   }
+  // Fault injection: seeded from the run rng so one scenario seed fixes the
+  // whole faulted run. An empty compiled timeline attaches nothing and the
+  // run is byte-identical to an uninjected one.
+  std::optional<faults::FaultInjector> injector;
+  if (options.faults != nullptr) {
+    injector.emplace(*options.faults, scenario.MakeRunRng().Stream("faults"));
+    injector->Attach(simulator, mac, scenario.secondary_graph(), &primary,
+                     options.metrics);
+    if (auditor.has_value() && injector->armed()) {
+      // Re-audit routing acyclicity after every self-healing pass, not just
+      // at the end — a transiently cyclic table would go unseen otherwise.
+      injector->AddRepairObserver([&auditor] { auditor->VerifyRouting(); });
+    }
+  }
   mac.StartSnapshotCollection();
   simulator.Run();
   if (auditor.has_value()) {
     *options.audit_report = auditor->Finalize();
+  }
+  if (injector.has_value()) {
+    if (options.fault_report != nullptr) *options.fault_report = injector->report();
+    if (options.metrics != nullptr && injector->armed()) {
+      options.metrics->GetGauge("mac.delivery_ratio_ppm")
+          .Set(static_cast<std::int64_t>(mac.stats().delivery_ratio() * 1e6 + 0.5));
+    }
   }
 
   CollectionResult result;
@@ -126,6 +150,7 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
     result.avg_hops = static_cast<double>(result.mac.delivered_hops_total) /
                       static_cast<double>(result.mac.delivered);
   }
+  result.delivery_ratio = result.mac.delivery_ratio();
 
   std::vector<double> delivery_ms;
   delivery_ms.reserve(mac.delivery_time().size());

@@ -15,6 +15,8 @@
 
 #include "core/invariant_auditor.h"
 #include "core/scenario.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "mac/collection_mac.h"
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
@@ -30,6 +32,10 @@ struct CollectionResult {
   double capacity_fraction = 0.0;   // achieved rate / W (W = 1 packet/slot)
   double jain_delivery_fairness = 0.0;  // Jain index over delivery times
   double avg_hops = 0.0;            // mean per-packet hop count at delivery
+  // delivered / seeded: 1.0 on fault-free runs, < 1 when churn partitioned
+  // the network or the retransmission budget dropped packets (graceful
+  // degradation — see DESIGN.md §9).
+  double delivery_ratio = 1.0;
 
   // Spectrum-side diagnostics.
   double theory_po = 0.0;           // Lemma 7's p_o
@@ -80,6 +86,17 @@ struct RunOptions {
   obs::PacketSpanTracer* spans = nullptr;
   // Registry series stride in slots (metrics != nullptr only).
   std::int32_t metrics_series_stride = 64;
+
+  // --- fault injection (DESIGN.md §9) -----------------------------------
+  // When non-null, a faults::FaultInjector drives the plan through the run
+  // (seeded from the scenario's run rng, stream "faults") and self-heals the
+  // routing table after every crash/recovery. A plan with an empty compiled
+  // timeline attaches nothing — the run stays byte-identical to one without
+  // `faults` set (pinned by tests/faults/fault_injector_test.cc). The plan's
+  // retx_budget is forwarded into MacConfig::dead_hop_retx_budget.
+  // `fault_report` (optional) receives the injector's accounting.
+  const faults::FaultPlan* faults = nullptr;
+  faults::FaultReport* fault_report = nullptr;
 };
 
 // Runs ADDC on the given deployed scenario. `options` passes MAC-model

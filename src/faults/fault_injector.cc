@@ -1,0 +1,195 @@
+#include "faults/fault_injector.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "core/churn.h"
+
+namespace crn::faults {
+
+std::int64_t FaultReport::injected_total() const {
+  std::int64_t total = 0;
+  for (const std::int64_t count : injected) total += count;
+  return total;
+}
+
+std::string FaultReport::Summary() const {
+  std::ostringstream out;
+  out << "injected " << injected_total() << " fault events (";
+  bool first = true;
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    if (injected[k] == 0) continue;
+    if (!first) out << ", ";
+    out << ToString(static_cast<FaultKind>(k)) << " " << injected[k];
+    first = false;
+  }
+  if (first) out << "none";
+  out << "); " << repairs_attempted << " repair passes, " << reattached_total
+      << " reattached, " << cascade_escalations << " cascade escalations, "
+      << orphaned_now << " orphaned";
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {}
+
+void FaultInjector::AddRepairObserver(std::function<void()> observer) {
+  CRN_CHECK(observer != nullptr);
+  repair_observers_.push_back(std::move(observer));
+}
+
+void FaultInjector::Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
+                           const graph::UnitDiskGraph& graph,
+                           pu::PrimaryNetwork* primary, obs::MetricsRegistry* metrics) {
+  CRN_CHECK(simulator_ == nullptr) << "FaultInjector attached twice";
+  CRN_CHECK(graph.node_count() == mac.node_count())
+      << "graph has " << graph.node_count() << " nodes, mac has "
+      << mac.node_count();
+  timeline_ = CompileFaultTimeline(plan_, rng_, graph.node_count(), mac.sink());
+  if (timeline_.empty()) return;  // contract: empty plan == injector absent
+
+  simulator_ = &simulator;
+  mac_ = &mac;
+  graph_ = &graph;
+  primary_ = primary;
+  metrics_ = metrics;
+
+  bfs_ = graph::BreadthFirstLayering(graph, mac.sink());
+  broken_since_.assign(static_cast<std::size_t>(graph.node_count()), -1);
+  base_false_alarm_ = mac.config().sensing_false_alarm;
+  base_missed_detection_ = mac.config().sensing_missed_detection;
+  if (primary_ != nullptr) base_pu_activity_ = primary_->config().activity;
+
+  for (const FaultEvent& event : timeline_) {
+    if (event.kind == FaultKind::kPuActivityStart ||
+        event.kind == FaultKind::kPuActivityEnd) {
+      CRN_CHECK(primary_ != nullptr)
+          << "fault plan perturbs PU activity but no primary network attached";
+    }
+    simulator.ScheduleAt(event.time, sim::EventPriority::kDefault,
+                         [this, event] { Apply(event); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  ++report_.injected[static_cast<int>(event.kind)];
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("faults.injected_total", {{"kind", ToString(event.kind)}})
+        .Add(1);
+  }
+  switch (event.kind) {
+    case FaultKind::kCrash: {
+      const graph::NodeId node = event.node;
+      mac_->FailNode(node);
+      broken_since_[node] = simulator_->now();
+      // The whole subtree below the crash loses its route at this instant;
+      // stamp it so time-to-repair is measured from the break, not from the
+      // repair pass that heals it.
+      const graph::NodeId n = graph_->node_count();
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (mac_->IsFailed(v) || broken_since_[v] >= 0 || v == mac_->sink()) continue;
+        graph::NodeId cursor = v;
+        std::int32_t steps = 0;
+        while (cursor != mac_->sink()) {
+          if (mac_->IsFailed(cursor) || ++steps > n) {
+            broken_since_[v] = simulator_->now();
+            break;
+          }
+          cursor = mac_->next_hop(cursor);
+        }
+      }
+      simulator_->ScheduleAfter(plan_.repair_delay, sim::EventPriority::kDefault,
+                                [this, node] { RunRepairPass(node); });
+      break;
+    }
+    case FaultKind::kRecover:
+      mac_->RecoverNode(event.node);
+      ++report_.recoveries;
+      // The rejoined node's stored next hop may be stale, and orphans may
+      // now have a path through it — reconcile the whole table.
+      RunRepairPass(graph::kInvalidNode);
+      break;
+    case FaultKind::kSensingBurstStart:
+      ++active_bursts_;
+      mac_->SetSensingErrorRates(event.false_alarm, event.missed_detection);
+      break;
+    case FaultKind::kSensingBurstEnd:
+      CRN_DCHECK(active_bursts_ > 0);
+      if (--active_bursts_ == 0) {
+        mac_->SetSensingErrorRates(base_false_alarm_, base_missed_detection_);
+      }
+      break;
+    case FaultKind::kPuActivityStart:
+      ++active_pu_perturbations_;
+      primary_->OverrideActivity(event.pu_activity);
+      break;
+    case FaultKind::kPuActivityEnd:
+      CRN_DCHECK(active_pu_perturbations_ > 0);
+      if (--active_pu_perturbations_ == 0) {
+        primary_->OverrideActivity(base_pu_activity_);
+      }
+      break;
+  }
+}
+
+void FaultInjector::RunRepairPass(graph::NodeId trigger) {
+  ++report_.repairs_attempted;
+  const graph::NodeId n = graph_->node_count();
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  std::vector<graph::NodeId> next_hop(static_cast<std::size_t>(n));
+  std::int32_t failed_count = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    alive[v] = mac_->IsFailed(v) ? 0 : 1;
+    next_hop[v] = mac_->next_hop(v);
+    if (!alive[v]) ++failed_count;
+  }
+
+  // Local repair handles the common case — one standing failure — with
+  // one-hop knowledge; anything harder (orphans left behind, simultaneous
+  // failures, post-recovery reconciliation) escalates to the cascade.
+  core::RepairPlan plan;
+  bool escalated = false;
+  if (trigger != graph::kInvalidNode && failed_count == 1 && mac_->IsFailed(trigger)) {
+    plan = core::PlanLocalRepair(*graph_, bfs_, next_hop, alive, trigger);
+    if (!plan.complete()) {
+      escalated = true;
+      plan = core::PlanCascadeRepair(*graph_, next_hop, alive, mac_->sink());
+    }
+  } else {
+    escalated = failed_count > 0;  // reconciliation after a recovery is not one
+    plan = core::PlanCascadeRepair(*graph_, next_hop, alive, mac_->sink());
+  }
+  if (escalated) ++report_.cascade_escalations;
+
+  for (const auto& [node, new_hop] : plan.repaired) {
+    mac_->UpdateNextHop(node, new_hop);
+  }
+  report_.reattached_total += static_cast<std::int64_t>(plan.repaired.size());
+  report_.orphaned_now = static_cast<std::int64_t>(plan.orphaned.size());
+
+  // Every marked node whose route is clean again (reattached by this pass,
+  // or healed by an earlier recovery) closes its outage window now.
+  std::vector<char> orphaned(static_cast<std::size_t>(n), 0);
+  for (const graph::NodeId v : plan.orphaned) orphaned[v] = 1;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (broken_since_[v] < 0 || orphaned[v] || !alive[v]) continue;
+    if (metrics_ != nullptr) {
+      metrics_->GetHistogram("repair.time_to_repair_ns")
+          .Record(simulator_->now() - broken_since_[v]);
+    }
+    broken_since_[v] = -1;
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("repair.passes_total").Add(1);
+    metrics_->GetCounter("repair.reattached_total")
+        .Add(static_cast<std::int64_t>(plan.repaired.size()));
+    metrics_->GetCounter("repair.escalations_total").Add(escalated ? 1 : 0);
+    metrics_->GetGauge("repair.orphaned_now")
+        .Set(static_cast<std::int64_t>(plan.orphaned.size()));
+  }
+  for (const auto& observer : repair_observers_) observer();
+}
+
+}  // namespace crn::faults

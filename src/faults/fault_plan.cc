@@ -1,0 +1,346 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace crn::faults {
+
+namespace {
+
+// Converts a millisecond count (possibly fractional) to TimeNs. Plans are
+// authored in ms; all internal arithmetic is integral nanoseconds.
+sim::TimeNs MsToNs(double ms) {
+  return static_cast<sim::TimeNs>(ms * static_cast<double>(sim::kMillisecond));
+}
+
+// Exponential inter-arrival draw for a Poisson process at `rate_per_s`,
+// in nanoseconds. Uses 1 - U so the log argument is never zero.
+sim::TimeNs ExponentialGapNs(Rng& rng, double rate_per_s) {
+  const double seconds = -std::log(1.0 - rng.UniformDouble()) / rate_per_s;
+  return static_cast<sim::TimeNs>(seconds * static_cast<double>(sim::kSecond));
+}
+
+}  // namespace
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kSensingBurstStart:
+      return "sensing_burst_start";
+    case FaultKind::kSensingBurstEnd:
+      return "sensing_burst_end";
+    case FaultKind::kPuActivityStart:
+      return "pu_activity_start";
+    case FaultKind::kPuActivityEnd:
+      return "pu_activity_end";
+  }
+  return "unknown";
+}
+
+bool ParsePlanText(const std::string& text, FaultPlan& plan, std::string& error) {
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) {
+    std::ostringstream out;
+    out << "line " << line_number << ": " << message;
+    error = out.str();
+    return false;
+  };
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string word;
+    if (!(tokens >> word)) continue;  // blank / comment-only line
+
+    if (word == "at") {
+      double ms = 0.0;
+      std::string what;
+      if (!(tokens >> ms >> what)) return fail("expected: at <ms> <fault> ...");
+      if (ms < 0.0) return fail("fault time must be >= 0 ms");
+      const sim::TimeNs when = MsToNs(ms);
+      if (what == "crash" || what == "recover") {
+        std::int64_t node = 0;
+        if (!(tokens >> node)) return fail("expected: at <ms> " + what + " <node>");
+        FaultEvent event;
+        event.time = when;
+        event.kind = what == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
+        event.node = static_cast<graph::NodeId>(node);
+        plan.scripted.push_back(event);
+      } else if (what == "sensing_burst") {
+        double fa = 0.0;
+        double md = 0.0;
+        double duration_ms = 0.0;
+        if (!(tokens >> fa >> md >> duration_ms)) {
+          return fail("expected: at <ms> sensing_burst <fa> <md> <duration_ms>");
+        }
+        if (fa < 0.0 || fa > 1.0 || md < 0.0 || md > 1.0) {
+          return fail("sensing rates must be in [0, 1]");
+        }
+        if (duration_ms <= 0.0) return fail("burst duration must be > 0 ms");
+        FaultEvent start;
+        start.time = when;
+        start.kind = FaultKind::kSensingBurstStart;
+        start.false_alarm = fa;
+        start.missed_detection = md;
+        plan.scripted.push_back(start);
+        FaultEvent end;
+        end.time = when + MsToNs(duration_ms);
+        end.kind = FaultKind::kSensingBurstEnd;
+        plan.scripted.push_back(end);
+      } else if (what == "pu_activity") {
+        double activity = 0.0;
+        double duration_ms = 0.0;
+        if (!(tokens >> activity >> duration_ms)) {
+          return fail("expected: at <ms> pu_activity <p> <duration_ms>");
+        }
+        if (activity < 0.0 || activity > 1.0) {
+          return fail("pu activity must be in [0, 1]");
+        }
+        if (duration_ms <= 0.0) return fail("perturbation duration must be > 0 ms");
+        FaultEvent start;
+        start.time = when;
+        start.kind = FaultKind::kPuActivityStart;
+        start.pu_activity = activity;
+        plan.scripted.push_back(start);
+        FaultEvent end;
+        end.time = when + MsToNs(duration_ms);
+        end.kind = FaultKind::kPuActivityEnd;
+        plan.scripted.push_back(end);
+      } else {
+        return fail("unknown fault '" + what +
+                    "' (want crash|recover|sensing_burst|pu_activity)");
+      }
+    } else if (word == "gen") {
+      std::string what;
+      if (!(tokens >> what)) return fail("expected: gen <generator> ...");
+      if (what == "crash") {
+        CrashGenerator gen;
+        double recover_after_ms = 0.0;
+        if (!(tokens >> gen.rate_per_s >> recover_after_ms)) {
+          return fail("expected: gen crash <rate_per_s> <recover_after_ms>");
+        }
+        if (gen.rate_per_s <= 0.0) return fail("crash rate must be > 0 /s");
+        gen.recover_after = recover_after_ms < 0.0 ? -1 : MsToNs(recover_after_ms);
+        plan.crash_generators.push_back(gen);
+      } else if (what == "sensing_burst") {
+        SensingBurstGenerator gen;
+        double duration_ms = 0.0;
+        if (!(tokens >> gen.rate_per_s >> gen.false_alarm >> gen.missed_detection >>
+              duration_ms)) {
+          return fail("expected: gen sensing_burst <rate_per_s> <fa> <md> <duration_ms>");
+        }
+        if (gen.rate_per_s <= 0.0) return fail("burst rate must be > 0 /s");
+        if (gen.false_alarm < 0.0 || gen.false_alarm > 1.0 ||
+            gen.missed_detection < 0.0 || gen.missed_detection > 1.0) {
+          return fail("sensing rates must be in [0, 1]");
+        }
+        if (duration_ms <= 0.0) return fail("burst duration must be > 0 ms");
+        gen.duration = MsToNs(duration_ms);
+        plan.burst_generators.push_back(gen);
+      } else {
+        return fail("unknown generator '" + what + "' (want crash|sensing_burst)");
+      }
+    } else if (word == "option") {
+      std::string name;
+      if (!(tokens >> name)) return fail("expected: option <name> <value>");
+      if (name == "horizon_ms") {
+        double ms = 0.0;
+        if (!(tokens >> ms) || ms <= 0.0) return fail("horizon_ms wants a value > 0");
+        plan.horizon = MsToNs(ms);
+      } else if (name == "repair_delay_ms") {
+        double ms = 0.0;
+        if (!(tokens >> ms) || ms < 0.0) return fail("repair_delay_ms wants a value >= 0");
+        plan.repair_delay = MsToNs(ms);
+      } else if (name == "retx_budget") {
+        std::int64_t k = 0;
+        if (!(tokens >> k) || k < 0) return fail("retx_budget wants an integer >= 0");
+        plan.retx_budget = static_cast<std::int32_t>(k);
+      } else {
+        return fail("unknown option '" + name +
+                    "' (want horizon_ms|repair_delay_ms|retx_budget)");
+      }
+    } else {
+      return fail("unknown directive '" + word + "' (want at|gen|option)");
+    }
+    std::string extra;
+    if (tokens >> extra) return fail("trailing token '" + extra + "'");
+  }
+  return true;
+}
+
+FaultPlan LoadPlanFile(const std::string& path) {
+  std::ifstream in(path);
+  CRN_CHECK(in.good()) << "cannot open fault plan '" << path << "'";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  FaultPlan plan;
+  std::string error;
+  CRN_CHECK(ParsePlanText(contents.str(), plan, error))
+      << "fault plan '" << path << "': " << error;
+  return plan;
+}
+
+namespace {
+
+// Heap item during compilation. `seq` breaks (time, kind) ties in insertion
+// order, which is itself deterministic, so pops are totally ordered.
+struct PendingEvent {
+  FaultEvent event;
+  std::int64_t seq = 0;
+  // kCrash events from a generator have no victim yet; it is drawn at pop
+  // time so the live set reflects every earlier crash and recovery.
+  std::int32_t crash_generator = -1;
+
+  bool operator>(const PendingEvent& other) const {
+    if (event.time != other.event.time) return event.time > other.event.time;
+    if (event.kind != other.event.kind) return event.kind > other.event.kind;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+std::vector<FaultEvent> CompileFaultTimeline(const FaultPlan& plan, const Rng& rng,
+                                             graph::NodeId node_count,
+                                             graph::NodeId sink) {
+  CRN_CHECK(node_count > 0) << "node_count=" << node_count;
+  CRN_CHECK(sink >= 0 && sink < node_count) << "sink " << sink << " out of range";
+  CRN_CHECK(plan.horizon > 0) << "horizon=" << plan.horizon;
+  CRN_CHECK(plan.repair_delay >= 0) << "repair_delay=" << plan.repair_delay;
+  CRN_CHECK(plan.retx_budget >= 0) << "retx_budget=" << plan.retx_budget;
+
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> heap;
+  std::int64_t seq = 0;
+  auto push = [&](const FaultEvent& event, std::int32_t crash_generator = -1) {
+    heap.push(PendingEvent{event, seq++, crash_generator});
+  };
+
+  for (const FaultEvent& event : plan.scripted) {
+    CRN_CHECK(event.time >= 0) << "scripted fault at t=" << event.time << " ns";
+    if (event.kind == FaultKind::kCrash || event.kind == FaultKind::kRecover) {
+      CRN_CHECK(event.node >= 0 && event.node < node_count)
+          << "scripted " << ToString(event.kind) << " of node " << event.node
+          << ": out of range [0, " << node_count << ")";
+      CRN_CHECK(event.node != sink) << "the base station (node " << sink
+                                    << ") cannot crash";
+    }
+    push(event);
+  }
+
+  // Crash arrivals (victims resolved during the chronological scan below).
+  for (std::size_t g = 0; g < plan.crash_generators.size(); ++g) {
+    const CrashGenerator& gen = plan.crash_generators[g];
+    CRN_CHECK(gen.rate_per_s > 0.0) << "crash generator rate=" << gen.rate_per_s;
+    Rng times = rng.Stream("fault-crash-times", g);
+    const sim::TimeNs end = gen.end < 0 ? plan.horizon : gen.end;
+    sim::TimeNs t = gen.start;
+    while (true) {
+      t += ExponentialGapNs(times, gen.rate_per_s);
+      if (t >= end) break;
+      FaultEvent event;
+      event.time = t;
+      event.kind = FaultKind::kCrash;
+      push(event, static_cast<std::int32_t>(g));
+    }
+  }
+
+  // Sensing bursts need no aliveness context; expand directly.
+  for (std::size_t g = 0; g < plan.burst_generators.size(); ++g) {
+    const SensingBurstGenerator& gen = plan.burst_generators[g];
+    CRN_CHECK(gen.rate_per_s > 0.0) << "burst generator rate=" << gen.rate_per_s;
+    CRN_CHECK(gen.duration > 0) << "burst duration=" << gen.duration;
+    CRN_CHECK(gen.false_alarm >= 0.0 && gen.false_alarm <= 1.0);
+    CRN_CHECK(gen.missed_detection >= 0.0 && gen.missed_detection <= 1.0);
+    Rng times = rng.Stream("fault-burst-times", g);
+    const sim::TimeNs end = gen.end < 0 ? plan.horizon : gen.end;
+    sim::TimeNs t = gen.start;
+    while (true) {
+      t += ExponentialGapNs(times, gen.rate_per_s);
+      if (t >= end) break;
+      FaultEvent start;
+      start.time = t;
+      start.kind = FaultKind::kSensingBurstStart;
+      start.false_alarm = gen.false_alarm;
+      start.missed_detection = gen.missed_detection;
+      push(start);
+      FaultEvent stop;
+      stop.time = t + gen.duration;
+      stop.kind = FaultKind::kSensingBurstEnd;
+      push(stop);
+    }
+  }
+
+  // Chronological scan: resolve generated crash victims against the live
+  // set, validate scripted crash/recover consistency, emit in pop order
+  // (sorted by time, then kind, then insertion). The emitted timeline is
+  // therefore already sorted the way the injector will schedule it.
+  Rng victims = rng.Stream("fault-crash-victims");
+  std::vector<char> alive(static_cast<std::size_t>(node_count), 1);
+  std::vector<graph::NodeId> eligible;
+  std::vector<FaultEvent> timeline;
+  while (!heap.empty()) {
+    PendingEvent pending = heap.top();
+    heap.pop();
+    FaultEvent& event = pending.event;
+    switch (event.kind) {
+      case FaultKind::kCrash: {
+        if (pending.crash_generator >= 0) {
+          eligible.clear();
+          for (graph::NodeId v = 0; v < node_count; ++v) {
+            if (alive[v] && v != sink) eligible.push_back(v);
+          }
+          if (eligible.empty()) continue;  // nobody left to kill; skip arrival
+          event.node = eligible[victims.UniformInt(eligible.size())];
+          const CrashGenerator& gen =
+              plan.crash_generators[static_cast<std::size_t>(pending.crash_generator)];
+          if (gen.recover_after >= 0) {
+            FaultEvent recover;
+            recover.time = event.time + gen.recover_after;
+            recover.kind = FaultKind::kRecover;
+            recover.node = event.node;
+            push(recover, pending.crash_generator);
+          }
+        } else {
+          CRN_CHECK(alive[event.node])
+              << "scripted crash of node " << event.node << " at t=" << event.time
+              << " ns: node is already down";
+        }
+        alive[event.node] = 0;
+        break;
+      }
+      case FaultKind::kRecover:
+        if (pending.crash_generator >= 0) {
+          // Generator-paired recovery: drop it silently if a scripted event
+          // already brought the node back (plans may race the generator).
+          if (alive[event.node]) continue;
+        } else {
+          CRN_CHECK(!alive[event.node])
+              << "scripted recovery of node " << event.node << " at t=" << event.time
+              << " ns: node is not down";
+        }
+        alive[event.node] = 1;
+        break;
+      case FaultKind::kSensingBurstStart:
+      case FaultKind::kSensingBurstEnd:
+      case FaultKind::kPuActivityStart:
+      case FaultKind::kPuActivityEnd:
+        break;
+    }
+    timeline.push_back(event);
+  }
+  return timeline;
+}
+
+}  // namespace crn::faults

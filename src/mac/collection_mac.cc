@@ -14,6 +14,44 @@ double SensingCellSize(double pcr) { return std::max(pcr, 1.0); }
 
 }  // namespace
 
+const MacConfig& CollectionMac::ValidatedConfig(const MacConfig& config) {
+  CRN_CHECK(config.pcr > 0.0)
+      << "pcr=" << config.pcr
+      << ": the carrier-sensing range must be positive — configure it from "
+      << "ProperCarrierSensingRange() or set it explicitly";
+  CRN_CHECK(config.su_power > 0.0)
+      << "su_power=" << config.su_power << ": transmit power must be positive";
+  CRN_CHECK(config.alpha > 0.0)
+      << "alpha=" << config.alpha << ": the path-loss exponent must be positive";
+  CRN_CHECK(config.slot > 0) << "slot=" << config.slot
+                             << " ns: the PU slot duration must be positive";
+  CRN_CHECK(config.contention_window > 0 && config.contention_window <= config.slot)
+      << "contention_window=" << config.contention_window << " ns must be in (0, slot="
+      << config.slot << " ns]";
+  CRN_CHECK(config.tx_duration > 0)
+      << "tx_duration=" << config.tx_duration
+      << " ns: the packet airtime must be positive (typically slot - "
+      << "contention_window)";
+  CRN_CHECK(config.sensing_false_alarm >= 0.0 && config.sensing_false_alarm <= 1.0)
+      << "sensing_false_alarm=" << config.sensing_false_alarm
+      << " is a probability; pass a value in [0, 1]";
+  CRN_CHECK(config.sensing_missed_detection >= 0.0 &&
+            config.sensing_missed_detection <= 1.0)
+      << "sensing_missed_detection=" << config.sensing_missed_detection
+      << " is a probability; pass a value in [0, 1]";
+  CRN_CHECK(config.sensing_latency >= 0)
+      << "sensing_latency=" << config.sensing_latency
+      << " ns: a detection lag cannot be negative (0 = instantaneous sensing)";
+  CRN_CHECK(config.backoff_granularity >= 0)
+      << "backoff_granularity=" << config.backoff_granularity
+      << " ns: pass 0 for Algorithm 1's continuous backoff or a positive "
+      << "contention-slot width for the conventional-MAC emulation";
+  CRN_CHECK(config.dead_hop_retx_budget >= 0)
+      << "dead_hop_retx_budget=" << config.dead_hop_retx_budget
+      << ": pass 0 for unbounded retries or a positive per-packet budget";
+  return config;
+}
+
 CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& primary,
                              std::vector<geom::Vec2> positions, geom::Aabb area,
                              NodeId sink, std::vector<NodeId> next_hop,
@@ -24,7 +62,7 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
       area_(area),
       sink_(sink),
       next_hop_(std::move(next_hop)),
-      config_(config),
+      config_(ValidatedConfig(config)),
       backoff_rng_(rng.Stream("backoff")),
       activity_rng_(rng.Stream("pu-activity")),
       audit_rng_(rng.Stream("pu-audit")),
@@ -35,11 +73,6 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
   CRN_CHECK(n > 0);
   CRN_CHECK(sink_ >= 0 && sink_ < n);
   CRN_CHECK(static_cast<std::int32_t>(next_hop_.size()) == n);
-  CRN_CHECK(config_.pcr > 0.0) << "carrier-sensing range must be set";
-  CRN_CHECK(config_.su_power > 0.0);
-  CRN_CHECK(config_.slot > 0);
-  CRN_CHECK(config_.contention_window > 0 && config_.contention_window <= config_.slot);
-  CRN_CHECK(config_.tx_duration > 0);
 
   // Every node must reach the sink through next hops in < n steps (no
   // cycles, no dangling routes).
@@ -121,15 +154,26 @@ void CollectionMac::SeedSnapshot(const std::vector<NodeId>& producers,
   const sim::TimeNs now = simulator_.now();
   snapshot_created_[snapshot] = now;
   for (NodeId v : producers) {
-    agents_[v].queue.push_back(Packet{v, now, 0, snapshot});
+    ++stats_.packets_seeded;
     ++expected_per_origin_[v];
+    if (failed_[v]) {
+      // A producer that is down when its snapshot fires loses that reading
+      // on the spot — otherwise the run would wait forever for a packet no
+      // one holds (continuous collection under churn).
+      const Packet packet{v, now, 0, snapshot};
+      EmitLifecycle(LifecycleEvent::Kind::kPacketCreated, v, &packet, 0);
+      LosePacket(v, packet, 0);
+      continue;
+    }
+    agents_[v].queue.push_back(Packet{v, now, 0, snapshot});
     EmitLifecycle(LifecycleEvent::Kind::kPacketCreated, v,
                   &agents_[v].queue.back(),
                   static_cast<std::int64_t>(agents_[v].queue.size()));
   }
   for (NodeId v : producers) {
-    ActivateIfIdle(v);
+    if (!failed_[v]) ActivateIfIdle(v);
   }
+  CheckTermination();
 }
 
 // --- agent lifecycle ------------------------------------------------------
@@ -171,16 +215,21 @@ void CollectionMac::FailNode(NodeId node) {
   // snapshot accounting stay exact.
   std::int64_t left = static_cast<std::int64_t>(agent.queue.size());
   for (const Packet& packet : agent.queue) {
-    --expected_per_origin_[packet.origin];
-    if (--snapshot_remaining_[packet.snapshot] == 0 &&
-        snapshot_finish_[packet.snapshot] < 0) {
-      snapshot_finish_[packet.snapshot] = simulator_.now();
-    }
-    EmitLifecycle(LifecycleEvent::Kind::kPacketDropped, node, &packet, --left);
+    LosePacket(node, packet, --left);
   }
-  expected_packets_ -= static_cast<std::int64_t>(agent.queue.size());
   agent.queue.clear();
+  agent.dead_hop_failures = 0;
   CheckTermination();
+}
+
+void CollectionMac::RecoverNode(NodeId node) {
+  CRN_CHECK(failed_[node]) << "node " << node << " is not failed";
+  Agent& agent = agents_[node];
+  CRN_DCHECK(agent.phase == Phase::kIdle && agent.queue.empty());
+  failed_[node] = 0;
+  agent.dead_hop_failures = 0;
+  // Nothing to activate: the node rejoins empty-handed and wakes up on its
+  // next received packet or seeded snapshot.
 }
 
 void CollectionMac::UpdateNextHop(NodeId node, NodeId next_hop) {
@@ -188,6 +237,7 @@ void CollectionMac::UpdateNextHop(NodeId node, NodeId next_hop) {
   CRN_CHECK(next_hop != node) << "self-loop at " << node;
   CRN_CHECK(!failed_[next_hop]) << "next hop " << next_hop << " has failed";
   next_hop_[node] = next_hop;
+  agents_[node].dead_hop_failures = 0;  // the repaired route gets a fresh budget
   // The re-route must still reach the base station acyclically.
   NodeId cursor = node;
   std::int32_t steps = 0;
@@ -195,6 +245,16 @@ void CollectionMac::UpdateNextHop(NodeId node, NodeId next_hop) {
     cursor = next_hop_[cursor];
     CRN_CHECK(++steps < node_count()) << "re-route created a cycle at " << node;
   }
+}
+
+void CollectionMac::SetSensingErrorRates(double false_alarm,
+                                         double missed_detection) {
+  CRN_CHECK(false_alarm >= 0.0 && false_alarm <= 1.0)
+      << "false_alarm=" << false_alarm << " is a probability; pass [0, 1]";
+  CRN_CHECK(missed_detection >= 0.0 && missed_detection <= 1.0)
+      << "missed_detection=" << missed_detection << " is a probability; pass [0, 1]";
+  config_.sensing_false_alarm = false_alarm;
+  config_.sensing_missed_detection = missed_detection;
 }
 
 void CollectionMac::BeginContention(NodeId node) {
@@ -510,7 +570,18 @@ void CollectionMac::FinishTransmission(NodeId node, bool aborted) {
     agent.queue.pop_front();
     ++packet.hops;
     ++success_tx_count_[node];
+    agent.dead_hop_failures = 0;
     DeliverOrEnqueue(tx.receiver, packet);
+  } else if (config_.dead_hop_retx_budget > 0 && failed_[next_hop_[node]] &&
+             ++agent.dead_hop_failures >= config_.dead_hop_retx_budget) {
+    // The next hop is gone and no repair has re-pointed the route within
+    // the retransmission budget: drop the head packet instead of burning
+    // airtime into the void forever (graceful degradation — the loss shows
+    // up as delivery ratio < 1, not as a hung run).
+    agent.queue.pop_front();
+    agent.dead_hop_failures = 0;
+    LosePacket(node, attempted, static_cast<std::int64_t>(agent.queue.size()));
+    CheckTermination();
   }
   tx.end = simulator_.now();
   EmitTxEvent(tx, outcome, attempted);
@@ -676,6 +747,18 @@ void CollectionMac::AuditPrimaryReceptions() {
       ++stats_.su_caused_violations;
     }
   }
+}
+
+void CollectionMac::LosePacket(NodeId node, const Packet& packet,
+                               std::int64_t queue_left) {
+  --expected_per_origin_[packet.origin];
+  if (--snapshot_remaining_[packet.snapshot] == 0 &&
+      snapshot_finish_[packet.snapshot] < 0) {
+    snapshot_finish_[packet.snapshot] = simulator_.now();
+  }
+  --expected_packets_;
+  ++stats_.packets_lost;
+  EmitLifecycle(LifecycleEvent::Kind::kPacketDropped, node, &packet, queue_left);
 }
 
 void CollectionMac::DeliverOrEnqueue(NodeId receiver, const Packet& packet) {

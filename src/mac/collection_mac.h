@@ -89,6 +89,14 @@ struct MacConfig {
   std::int32_t audit_stride = 16;                   // 0 disables the PU audit
   double audit_proximity_factor = 4.0;  // audit PUs with an SU tx within factor·pcr
   sim::TimeNs max_sim_time = 3'600 * sim::kSecond;  // hard timeout
+
+  // --- churn degradation (DESIGN.md §9) ---------------------------------
+  // How many consecutive failed attempts toward a *failed* next hop a node
+  // tolerates before dropping the head packet (graceful degradation:
+  // delivery ratio < 1 instead of burning airtime into the void forever).
+  // 0 keeps retrying indefinitely — the fault-free default, where a repair
+  // is expected to re-point the route.
+  std::int32_t dead_hop_retx_budget = 0;
 };
 
 // Aggregate counters for one collection run.
@@ -111,6 +119,21 @@ struct MacStats {
 
   // Sum of per-packet hop counts at delivery (for mean path length).
   std::int64_t delivered_hops_total = 0;
+
+  // Degradation accounting under churn: packets seeded over the whole run
+  // and packets lost (queued aboard a failed node, seeded at a node that
+  // was down, or dropped after exhausting dead_hop_retx_budget).
+  std::int64_t packets_seeded = 0;
+  std::int64_t packets_lost = 0;
+
+  // Delivered fraction of everything seeded — 1.0 on a fault-free run, < 1
+  // under unrepaired churn (the graceful-degradation contract: a
+  // partitioned network reports the loss instead of aborting).
+  [[nodiscard]] double delivery_ratio() const {
+    return packets_seeded == 0
+               ? 1.0
+               : static_cast<double>(delivered) / static_cast<double>(packets_seeded);
+  }
 
   [[nodiscard]] double measured_spectrum_opportunity() const {
     return slot_checks_total == 0
@@ -209,9 +232,20 @@ class CollectionMac {
   // airtime into the void.
   void FailNode(NodeId node);
 
+  // Brings a failed SU back at the current simulation time: it rejoins with
+  // an empty queue and resumes relaying/producing. Its routing-table entry
+  // is whatever it held at failure — the caller (normally the fault
+  // injector's cascade repair) must re-validate routes before counting on
+  // it as a relay.
+  void RecoverNode(NodeId node);
+
   // Re-points a live node's next hop (distributed route repair). The new
   // hop must be live and must not create a routing cycle.
   void UpdateNextHop(NodeId node, NodeId next_hop);
+
+  // Swaps the detector error rates mid-run (sensing-error burst faults).
+  // Takes effect from the next sensing decision; both must be in [0, 1].
+  void SetSensingErrorRates(double false_alarm, double missed_detection);
 
   [[nodiscard]] bool IsFailed(NodeId node) const { return failed_[node] != 0; }
 
@@ -229,6 +263,12 @@ class CollectionMac {
  private:
   enum class Phase : std::uint8_t { kIdle, kContending, kTransmitting, kPostTxWait };
 
+  // Rejects out-of-domain MacConfig values with a CRN_CHECK naming the field
+  // and the offending value. Runs in the initializer list (config_) so it
+  // fires before any member (path-loss model, sensing grid) consumes a bad
+  // parameter with a less actionable message.
+  static const MacConfig& ValidatedConfig(const MacConfig& config);
+
   struct Agent {
     Phase phase = Phase::kIdle;
     std::deque<Packet> queue;
@@ -242,6 +282,9 @@ class CollectionMac {
     sim::EventId expiry_event = sim::kInvalidEventId;
     sim::EventId wait_event = sim::kInvalidEventId;
     std::vector<pu::PuId> nearby_pus;  // PUs within the PCR (static)
+    // Consecutive failed attempts while the next hop was failed; reset by
+    // any success or route repair (dead_hop_retx_budget).
+    std::int32_t dead_hop_failures = 0;
   };
 
   struct Transmission {
@@ -290,6 +333,11 @@ class CollectionMac {
   void AuditPrimaryReceptions();
 
   void DeliverOrEnqueue(NodeId receiver, const Packet& packet);
+  // Central loss accounting: shrinks the expected totals (termination and
+  // snapshot bookkeeping stay exact), counts the loss, and emits
+  // kPacketDropped with `queue_left` as the event value. Callers follow up
+  // with CheckTermination().
+  void LosePacket(NodeId node, const Packet& packet, std::int64_t queue_left);
   void EmitTxEvent(const Transmission& tx, TxOutcome outcome, const Packet& packet);
   // `packet` may be null for non-packet kinds (frozen/resumed/defer/slot).
   void EmitLifecycle(LifecycleEvent::Kind kind, NodeId node, const Packet* packet,

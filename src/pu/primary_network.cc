@@ -38,7 +38,8 @@ PrimaryNetwork::PrimaryNetwork(const PrimaryConfig& config, geom::Aabb area,
   CRN_CHECK(config.radius > 0.0) << "R=" << config.radius;
   CRN_CHECK(config.activity >= 0.0 && config.activity <= 1.0)
       << "p_t=" << config.activity;
-  CRN_CHECK(config.slot > 0);
+  CRN_CHECK(config.slot > 0) << "slot=" << config.slot
+                             << " ns: the PU slot duration must be positive";
   if (config.process == ActivityProcess::kMarkov && config.activity < 1.0) {
     CRN_CHECK(config.mean_burst_slots >= 1.0)
         << "mean_burst_slots=" << config.mean_burst_slots;
@@ -94,6 +95,16 @@ void PrimaryNetwork::ResampleSlot(Rng& rng) {
     }
   }
   ++slots_sampled_;
+}
+
+void PrimaryNetwork::OverrideActivity(double activity) {
+  CRN_CHECK(activity >= 0.0 && activity <= 1.0) << "p_t=" << activity;
+  if (config_.process == ActivityProcess::kMarkov && activity < 1.0) {
+    CRN_CHECK(activity / (config_.mean_burst_slots * (1.0 - activity)) <= 1.0)
+        << "activity " << activity << " unreachable with mean burst "
+        << config_.mean_burst_slots << " (idle->active probability exceeds 1)";
+  }
+  config_.activity = activity;
 }
 
 void PrimaryNetwork::SampleReceiverPositions(Rng& rng) {

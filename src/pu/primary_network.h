@@ -75,6 +75,12 @@ class PrimaryNetwork {
   // randomness comes from `rng` (a dedicated stream owned by the caller).
   void ResampleSlot(Rng& rng);
 
+  // Fault-injection hook (PU activity perturbation): replaces the per-slot
+  // activity p_t from the next ResampleSlot() on. Pass the original value
+  // back to end the perturbation window. Markov burst lengths are kept; only
+  // the stationary target moves.
+  void OverrideActivity(double activity);
+
   [[nodiscard]] bool IsActive(PuId id) const { return active_[id] != 0; }
   [[nodiscard]] const std::vector<PuId>& active_transmitters() const {
     return active_list_;

@@ -43,7 +43,10 @@ bool Simulator::ExecuteNext() {
     fn();
     ++events_executed_;
     if (event_limit_ != 0 && events_executed_ > event_limit_) {
-      throw ContractViolation("simulator event limit exceeded — runaway event loop?");
+      // Thrown from the event *loop*, after fn() returned — never from
+      // inside a callback, so no MAC state is left half-applied.
+      throw ContractViolation(  // crn-lint-ok: loop guard, not callback code
+          "simulator event limit exceeded — runaway event loop?");
     }
     return true;
   }

@@ -1,0 +1,271 @@
+// FaultInjector end-to-end behaviour: the empty-plan identity contract,
+// crash -> self-healing repair, graceful degradation on partition, sensing
+// bursts, PU perturbation, and faulted-run determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/collection.h"
+#include "core/scenario.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "graph/cds_tree.h"
+#include "graph/unit_disk_graph.h"
+#include "mac/collection_mac.h"
+#include "obs/metrics.h"
+#include "pu/primary_network.h"
+#include "sim/simulator.h"
+
+namespace crn::faults {
+namespace {
+
+using geom::Aabb;
+using geom::Vec2;
+
+FaultPlan MustParse(const std::string& text) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(ParsePlanText(text, plan, error)) << error;
+  return plan;
+}
+
+// Line 0 <- 1 <- 2: killing node 1 partitions node 2 from the base station.
+struct LineRig {
+  LineRig(std::int32_t retx_budget = 0)
+      : area(Aabb::Square(60.0)),
+        positions{{0, 50}, {8, 50}, {16, 50}},
+        graph(positions, area, 10.0),
+        primary(PuConfig(), area, std::vector<Vec2>{}),
+        mac(simulator, primary, positions, area, 0, {0, 0, 1},
+            Config(retx_budget), Rng(23)) {}
+
+  static mac::MacConfig Config(std::int32_t retx_budget) {
+    mac::MacConfig config;
+    config.pcr = 30.0;
+    config.audit_stride = 0;
+    config.max_sim_time = 30 * sim::kSecond;
+    config.dead_hop_retx_budget = retx_budget;
+    return config;
+  }
+  static pu::PrimaryConfig PuConfig() {
+    pu::PrimaryConfig config;
+    config.count = 0;
+    config.activity = 0.0;
+    return config;
+  }
+
+  Aabb area;
+  std::vector<Vec2> positions;
+  graph::UnitDiskGraph graph;
+  sim::Simulator simulator;
+  pu::PrimaryNetwork primary;
+  mac::CollectionMac mac;
+};
+
+TEST(FaultInjectorTest, EmptyPlanRunIsDigestIdenticalToPlainRun) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.1);
+  config.seed = 51;
+  const core::Scenario scenario(config, 0);
+
+  core::RunOptions plain;
+  core::AuditReport plain_audit;
+  obs::MetricsRegistry plain_metrics;
+  plain.audit_report = &plain_audit;
+  plain.metrics = &plain_metrics;
+  const core::CollectionResult plain_result = core::RunAddc(scenario, plain);
+
+  const FaultPlan empty_plan;
+  core::RunOptions faulted = plain;
+  core::AuditReport faulted_audit;
+  obs::MetricsRegistry faulted_metrics;
+  FaultReport report;
+  faulted.audit_report = &faulted_audit;
+  faulted.metrics = &faulted_metrics;
+  faulted.faults = &empty_plan;
+  faulted.fault_report = &report;
+  const core::CollectionResult faulted_result = core::RunAddc(scenario, faulted);
+
+  // The pinned contract: an empty compiled timeline attaches nothing, so
+  // trace digest, metric state, and every result field match exactly.
+  EXPECT_EQ(plain_audit.trace_digest, faulted_audit.trace_digest);
+  EXPECT_EQ(plain_metrics.Digest(), faulted_metrics.Digest());
+  EXPECT_EQ(plain_result.delay_ms, faulted_result.delay_ms);
+  EXPECT_EQ(plain_result.mac.attempts, faulted_result.mac.attempts);
+  EXPECT_EQ(report.injected_total(), 0);
+  EXPECT_DOUBLE_EQ(plain_result.delivery_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(faulted_result.delivery_ratio, 1.0);
+}
+
+TEST(FaultInjectorTest, CrashedConnectorIsHealedAndCollectionCompletes) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.1);
+  config.seed = 52;
+  // The audit-green regime of the integration suite: corrected c2 at low
+  // p_t (the paper's constant leaves the SIR floors slightly short).
+  config.c2_variant = core::C2Variant::kCorrected;
+  config.pu_activity = 0.05;
+  const core::Scenario scenario(config, 0);
+  // Pick a backbone connector with children so the crash actually orphans
+  // someone and the repair has work to do.
+  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+  graph::NodeId victim = graph::kInvalidNode;
+  for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.role(v) == graph::NodeRole::kConnector && !tree.children(v).empty()) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_NE(victim, graph::kInvalidNode);
+
+  FaultPlan plan = MustParse("at 50 crash " + std::to_string(victim) +
+                             "\noption repair_delay_ms 1\noption retx_budget 16\n");
+  core::RunOptions options;
+  core::AuditReport audit;
+  FaultReport report;
+  options.audit_report = &audit;
+  options.faults = &plan;
+  options.fault_report = &report;
+  const core::CollectionResult result = core::RunAddc(scenario, options);
+
+  EXPECT_TRUE(result.completed) << "self-healing must let the run finish";
+  EXPECT_TRUE(audit.ok()) << "routing stayed acyclic through the repair: "
+                          << audit.Summary();
+  EXPECT_EQ(report.injected[static_cast<int>(FaultKind::kCrash)], 1);
+  EXPECT_GE(report.repairs_attempted, 1);
+  EXPECT_GE(report.reattached_total, 1) << "the victim's children must re-attach";
+  EXPECT_EQ(report.orphaned_now, 0);
+  EXPECT_LT(result.delivery_ratio, 1.0) << "the victim's own packet died with it";
+  EXPECT_GT(result.delivery_ratio, 0.8);
+}
+
+TEST(FaultInjectorTest, RecoveryReconcilesAndCountsInReport) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.1);
+  config.seed = 53;
+  config.c2_variant = core::C2Variant::kCorrected;
+  config.pu_activity = 0.05;
+  const core::Scenario scenario(config, 0);
+  FaultPlan plan = MustParse(
+      "at 20 crash 5\n"
+      "at 120 recover 5\n"
+      "option repair_delay_ms 1\n"
+      "option retx_budget 16\n");
+  core::RunOptions options;
+  core::AuditReport audit;
+  FaultReport report;
+  options.audit_report = &audit;
+  options.faults = &plan;
+  options.fault_report = &report;
+  const core::CollectionResult result = core::RunAddc(scenario, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(audit.ok()) << audit.Summary();
+  EXPECT_EQ(report.recoveries, 1);
+  EXPECT_EQ(report.injected[static_cast<int>(FaultKind::kRecover)], 1);
+}
+
+TEST(FaultInjectorTest, UnrepairablePartitionDegradesToPartialDelivery) {
+  // Node 1 dies before anything can be delivered; node 2 is partitioned.
+  // With a retransmission budget the head packet is dropped after three
+  // failed attempts toward the dead hop and the run terminates gracefully.
+  LineRig rig(/*retx_budget=*/3);
+  FaultPlan plan = MustParse("at 0.05 crash 1\noption repair_delay_ms 1\n");
+  obs::MetricsRegistry metrics;
+  FaultInjector injector(plan, Rng(9));
+  injector.Attach(rig.simulator, rig.mac, rig.graph, &rig.primary, &metrics);
+  ASSERT_TRUE(injector.armed());
+  rig.mac.StartSnapshotCollection();  // nodes 1 and 2 each seed one packet
+  rig.simulator.Run();
+
+  EXPECT_TRUE(rig.mac.finished()) << "loss accounting must close the run";
+  const mac::MacStats& stats = rig.mac.stats();
+  EXPECT_EQ(stats.packets_seeded, 2);
+  EXPECT_EQ(stats.packets_lost, 2);
+  EXPECT_EQ(stats.delivered, 0);
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(), 0.0);
+  const FaultReport& report = injector.report();
+  EXPECT_GE(report.repairs_attempted, 1);
+  EXPECT_EQ(report.reattached_total, 0);
+  EXPECT_EQ(report.cascade_escalations, 1) << "local repair must escalate";
+  EXPECT_EQ(report.orphaned_now, 1) << "node 2 stays partitioned";
+  EXPECT_EQ(
+      metrics.GetCounter("faults.injected_total", {{"kind", "crash"}}).value(), 1);
+  EXPECT_EQ(metrics.GetCounter("repair.reattached_total").value(), 0);
+  EXPECT_EQ(metrics.GetGauge("repair.orphaned_now").value(), 1);
+}
+
+TEST(FaultInjectorTest, SensingBurstSwapsAndRestoresDetectorRates) {
+  LineRig rig;
+  FaultPlan plan = MustParse("at 0 sensing_burst 0.5 0.25 10\n");
+  FaultInjector injector(plan, Rng(9));
+  injector.Attach(rig.simulator, rig.mac, rig.graph, &rig.primary, nullptr);
+  std::vector<std::pair<double, double>> probes;
+  rig.simulator.ScheduleAt(5 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
+    probes.emplace_back(rig.mac.config().sensing_false_alarm,
+                        rig.mac.config().sensing_missed_detection);
+  });
+  rig.simulator.ScheduleAt(15 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
+    probes.emplace_back(rig.mac.config().sensing_false_alarm,
+                        rig.mac.config().sensing_missed_detection);
+  });
+  // No collection: the MAC must not Stop() the simulator before the burst
+  // window closes, so the probe at 15 ms observes the restored rates.
+  rig.simulator.Run();
+  ASSERT_EQ(probes.size(), 2u);
+  EXPECT_DOUBLE_EQ(probes[0].first, 0.5);
+  EXPECT_DOUBLE_EQ(probes[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(probes[1].first, 0.0) << "base rates restored at burst end";
+  EXPECT_DOUBLE_EQ(probes[1].second, 0.0);
+  EXPECT_EQ(
+      injector.report().injected[static_cast<int>(FaultKind::kSensingBurstStart)], 1);
+}
+
+TEST(FaultInjectorTest, PuActivityPerturbationIsWindowed) {
+  LineRig rig;
+  FaultPlan plan = MustParse("at 0 pu_activity 0.9 10\n");
+  FaultInjector injector(plan, Rng(9));
+  injector.Attach(rig.simulator, rig.mac, rig.graph, &rig.primary, nullptr);
+  std::vector<double> probes;
+  rig.simulator.ScheduleAt(5 * sim::kMillisecond, sim::EventPriority::kDefault,
+                           [&] { probes.push_back(rig.primary.config().activity); });
+  rig.simulator.ScheduleAt(15 * sim::kMillisecond, sim::EventPriority::kDefault,
+                           [&] { probes.push_back(rig.primary.config().activity); });
+  rig.simulator.Run();
+  ASSERT_EQ(probes.size(), 2u);
+  EXPECT_DOUBLE_EQ(probes[0], 0.9);
+  EXPECT_DOUBLE_EQ(probes[1], 0.0) << "original duty cycle restored";
+}
+
+TEST(FaultInjectorTest, FaultedRunsAreDeterministicInSeed) {
+  core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.1);
+  config.seed = 54;
+  config.pu_activity = 0.1;
+  const core::Scenario scenario(config, 0);
+  FaultPlan plan = MustParse(
+      "gen crash 10 100\n"
+      "gen sensing_burst 5 0.3 0.1 40\n"
+      "option horizon_ms 600\n"
+      "option repair_delay_ms 2\n"
+      "option retx_budget 8\n");
+  core::RunOptions options;
+  options.faults = &plan;
+  const core::DeterminismReport determinism =
+      core::CheckAddcDeterminism(scenario, options);
+  EXPECT_TRUE(determinism.identical)
+      << std::hex << determinism.first_digest << " vs " << determinism.second_digest;
+
+  FaultReport first_report;
+  FaultReport second_report;
+  options.fault_report = &first_report;
+  const core::CollectionResult first = core::RunAddc(scenario, options);
+  options.fault_report = &second_report;
+  const core::CollectionResult second = core::RunAddc(scenario, options);
+  EXPECT_EQ(first.delay_ms, second.delay_ms);
+  EXPECT_EQ(first.mac.attempts, second.mac.attempts);
+  EXPECT_DOUBLE_EQ(first.delivery_ratio, second.delivery_ratio);
+  EXPECT_EQ(first_report.injected_total(), second_report.injected_total());
+  EXPECT_EQ(first_report.reattached_total, second_report.reattached_total);
+  EXPECT_GT(first_report.injected_total(), 0) << "the plan must actually fire";
+}
+
+}  // namespace
+}  // namespace crn::faults

@@ -1,0 +1,216 @@
+// FaultPlan parsing and timeline compilation: the declarative fault format,
+// its error reporting, and the (plan, seed) -> timeline determinism the
+// whole resilience suite rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "faults/fault_plan.h"
+#include "sim/time.h"
+
+namespace crn::faults {
+namespace {
+
+FaultPlan Parse(const std::string& text) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(ParsePlanText(text, plan, error)) << error;
+  return plan;
+}
+
+std::string ParseError(const std::string& text) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(ParsePlanText(text, plan, error));
+  return error;
+}
+
+TEST(FaultPlanParseTest, ParsesEveryDirective) {
+  const FaultPlan plan = Parse(
+      "# resilience scenario\n"
+      "at 10 crash 3\n"
+      "at 200 recover 3   # comes back\n"
+      "at 50 sensing_burst 0.3 0.1 25\n"
+      "at 75 pu_activity 0.9 40\n"
+      "gen crash 2.5 150\n"
+      "gen sensing_burst 4 0.2 0.05 50\n"
+      "option horizon_ms 2000\n"
+      "option repair_delay_ms 5\n"
+      "option retx_budget 8\n");
+  // crash + recover + (burst start/end) + (pu start/end) = 6 scripted events.
+  ASSERT_EQ(plan.scripted.size(), 6u);
+  EXPECT_EQ(plan.scripted[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.scripted[0].time, 10 * sim::kMillisecond);
+  EXPECT_EQ(plan.scripted[0].node, 3);
+  EXPECT_EQ(plan.scripted[1].kind, FaultKind::kRecover);
+  EXPECT_EQ(plan.scripted[2].kind, FaultKind::kSensingBurstStart);
+  EXPECT_DOUBLE_EQ(plan.scripted[2].false_alarm, 0.3);
+  EXPECT_DOUBLE_EQ(plan.scripted[2].missed_detection, 0.1);
+  EXPECT_EQ(plan.scripted[3].kind, FaultKind::kSensingBurstEnd);
+  EXPECT_EQ(plan.scripted[3].time, 75 * sim::kMillisecond);
+  EXPECT_EQ(plan.scripted[4].kind, FaultKind::kPuActivityStart);
+  EXPECT_DOUBLE_EQ(plan.scripted[4].pu_activity, 0.9);
+  EXPECT_EQ(plan.scripted[5].kind, FaultKind::kPuActivityEnd);
+  ASSERT_EQ(plan.crash_generators.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.crash_generators[0].rate_per_s, 2.5);
+  EXPECT_EQ(plan.crash_generators[0].recover_after, 150 * sim::kMillisecond);
+  ASSERT_EQ(plan.burst_generators.size(), 1u);
+  EXPECT_EQ(plan.burst_generators[0].duration, 50 * sim::kMillisecond);
+  EXPECT_EQ(plan.horizon, 2000 * sim::kMillisecond);
+  EXPECT_EQ(plan.repair_delay, 5 * sim::kMillisecond);
+  EXPECT_EQ(plan.retx_budget, 8);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParseTest, PermanentCrashGenerator) {
+  const FaultPlan plan = Parse("gen crash 1.0 -1\n");
+  ASSERT_EQ(plan.crash_generators.size(), 1u);
+  EXPECT_LT(plan.crash_generators[0].recover_after, 0);
+}
+
+TEST(FaultPlanParseTest, BlankAndCommentOnlyLinesAreIgnored) {
+  const FaultPlan plan = Parse("\n   \n# nothing here\n");
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanParseTest, ErrorsCarryLineNumbers) {
+  EXPECT_NE(ParseError("at 10 crash\n").find("line 1"), std::string::npos);
+  EXPECT_NE(ParseError("at 10 crash 3\nfrobnicate\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(ParseError("at -5 crash 3\n").find(">= 0 ms"), std::string::npos);
+  EXPECT_NE(ParseError("at 10 sensing_burst 1.5 0 10\n").find("[0, 1]"),
+            std::string::npos);
+  EXPECT_NE(ParseError("gen crash 0 100\n").find("> 0"), std::string::npos);
+  EXPECT_NE(ParseError("option retx_budget -3\n").find(">= 0"), std::string::npos);
+  EXPECT_NE(ParseError("at 10 crash 3 extra\n").find("trailing"),
+            std::string::npos);
+  EXPECT_NE(ParseError("option unknown_knob 4\n").find("unknown option"),
+            std::string::npos);
+}
+
+TEST(CompileTimelineTest, EmptyPlanCompilesToEmptyTimeline) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(CompileFaultTimeline(plan, Rng(7), 10, 0).empty());
+}
+
+TEST(CompileTimelineTest, ScriptedEventsComeOutSorted) {
+  FaultPlan plan = Parse(
+      "at 30 crash 2\n"
+      "at 10 crash 1\n"
+      "at 20 recover 1\n");
+  const auto timeline = CompileFaultTimeline(plan, Rng(7), 5, 0);
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].node, 1);
+  EXPECT_EQ(timeline[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(timeline[1].kind, FaultKind::kRecover);
+  EXPECT_EQ(timeline[2].node, 2);
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_GE(timeline[i].time, timeline[i - 1].time);
+  }
+}
+
+TEST(CompileTimelineTest, RejectsContradictoryScripts) {
+  {
+    const FaultPlan plan = Parse("at 10 crash 2\nat 20 crash 2\n");
+    EXPECT_THROW(CompileFaultTimeline(plan, Rng(7), 5, 0), ContractViolation);
+  }
+  {
+    const FaultPlan plan = Parse("at 10 recover 2\n");  // never crashed
+    EXPECT_THROW(CompileFaultTimeline(plan, Rng(7), 5, 0), ContractViolation);
+  }
+  {
+    const FaultPlan plan = Parse("at 10 crash 0\n");  // the base station
+    EXPECT_THROW(CompileFaultTimeline(plan, Rng(7), 5, 0), ContractViolation);
+  }
+  {
+    const FaultPlan plan = Parse("at 10 crash 9\n");  // out of range
+    EXPECT_THROW(CompileFaultTimeline(plan, Rng(7), 5, 0), ContractViolation);
+  }
+}
+
+TEST(CompileTimelineTest, GeneratorsAreDeterministicInSeed) {
+  const FaultPlan plan = Parse(
+      "gen crash 20 50\n"
+      "gen sensing_burst 10 0.2 0.1 30\n"
+      "option horizon_ms 1000\n");
+  const auto first = CompileFaultTimeline(plan, Rng(42), 20, 0);
+  const auto second = CompileFaultTimeline(plan, Rng(42), 20, 0);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty()) << "rate 20/s over 1 s should produce arrivals";
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time);
+    EXPECT_EQ(first[i].kind, second[i].kind);
+    EXPECT_EQ(first[i].node, second[i].node);
+  }
+  const auto other_seed = CompileFaultTimeline(plan, Rng(43), 20, 0);
+  bool differs = other_seed.size() != first.size();
+  for (std::size_t i = 0; !differs && i < first.size(); ++i) {
+    differs = other_seed[i].time != first[i].time || other_seed[i].node != first[i].node;
+  }
+  EXPECT_TRUE(differs) << "different seeds should draw different timelines";
+}
+
+TEST(CompileTimelineTest, GeneratedCrashesRespectAlivenessAndSink) {
+  FaultPlan plan;
+  CrashGenerator gen;
+  gen.rate_per_s = 100.0;  // far more arrivals than nodes
+  gen.recover_after = -1;  // permanent: the live set only shrinks
+  plan.crash_generators.push_back(gen);
+  plan.horizon = 1 * sim::kSecond;
+  const graph::NodeId n = 6;
+  const auto timeline = CompileFaultTimeline(plan, Rng(3), n, 0);
+  // At most n-1 crashes (sink excluded), each node at most once.
+  EXPECT_LE(timeline.size(), static_cast<std::size_t>(n - 1));
+  std::vector<int> crashed(n, 0);
+  for (const FaultEvent& event : timeline) {
+    ASSERT_EQ(event.kind, FaultKind::kCrash);
+    EXPECT_NE(event.node, 0) << "the base station must never be a victim";
+    EXPECT_EQ(crashed[event.node], 0) << "node " << event.node << " crashed twice";
+    crashed[event.node] = 1;
+  }
+}
+
+TEST(CompileTimelineTest, RecoveryPairsFollowTheirCrashes) {
+  FaultPlan plan;
+  CrashGenerator gen;
+  gen.rate_per_s = 5.0;
+  gen.recover_after = 100 * sim::kMillisecond;
+  plan.crash_generators.push_back(gen);
+  plan.horizon = 2 * sim::kSecond;
+  const auto timeline = CompileFaultTimeline(plan, Rng(11), 8, 0);
+  std::vector<sim::TimeNs> crash_time(8, -1);
+  for (const FaultEvent& event : timeline) {
+    if (event.kind == FaultKind::kCrash) {
+      crash_time[event.node] = event.time;
+    } else if (event.kind == FaultKind::kRecover) {
+      ASSERT_GE(crash_time[event.node], 0);
+      EXPECT_EQ(event.time, crash_time[event.node] + gen.recover_after);
+      crash_time[event.node] = -1;
+    }
+  }
+}
+
+TEST(CompileTimelineTest, BurstsExpandToPairedStartEnd) {
+  FaultPlan plan = Parse("gen sensing_burst 8 0.25 0.05 40\noption horizon_ms 1000\n");
+  const auto timeline = CompileFaultTimeline(plan, Rng(5), 4, 0);
+  ASSERT_FALSE(timeline.empty());
+  std::int64_t depth = 0;
+  for (const FaultEvent& event : timeline) {
+    if (event.kind == FaultKind::kSensingBurstStart) {
+      EXPECT_DOUBLE_EQ(event.false_alarm, 0.25);
+      EXPECT_DOUBLE_EQ(event.missed_detection, 0.05);
+      ++depth;
+    } else if (event.kind == FaultKind::kSensingBurstEnd) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0) << "every burst start needs a matching end";
+}
+
+}  // namespace
+}  // namespace crn::faults

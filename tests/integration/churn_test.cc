@@ -139,10 +139,11 @@ TEST(PlanLocalRepairTest, OrphansReattachToLowerLevelNeighbors) {
   ASSERT_NE(victim, graph::kInvalidNode);
   std::vector<char> alive(tree.node_count(), 1);
   alive[victim] = 0;
-  const auto repairs = PlanLocalRepair(graph, bfs, next_hop, alive, victim);
+  const RepairPlan plan = PlanLocalRepair(graph, bfs, next_hop, alive, victim);
+  EXPECT_TRUE(plan.complete()) << plan.orphaned.size() << " orphans remain";
   // Every direct child is rewired (the rest of the subtree may be too).
-  ASSERT_GE(repairs.size(), tree.children(victim).size());
-  for (const auto& [node, new_hop] : repairs) {
+  ASSERT_GE(plan.repaired.size(), tree.children(victim).size());
+  for (const auto& [node, new_hop] : plan.repaired) {
     EXPECT_TRUE(graph.HasEdge(node, new_hop));
     EXPECT_TRUE(alive[new_hop]);
     EXPECT_NE(new_hop, victim);
@@ -163,13 +164,60 @@ TEST(PlanLocalRepairTest, OrphansReattachToLowerLevelNeighbors) {
 }
 
 TEST(PlanLocalRepairTest, ReportsUnrepairableOrphans) {
-  // Line 0 - 1 - 2: node 2's only lower neighbor is 1; kill 1.
+  // Line 0 - 1 - 2: node 2's only lower neighbor is 1; kill 1. The planner
+  // must not throw — it reports the partition so the caller can degrade
+  // gracefully (delivery ratio < 1) instead of aborting the run.
   const std::vector<Vec2> line{{0, 50}, {8, 50}, {16, 50}};
   const graph::UnitDiskGraph graph(line, Aabb::Square(60.0), 10.0);
   const graph::BfsLayering bfs = BreadthFirstLayering(graph, 0);
   std::vector<NodeId> next_hop{0, 0, 1};
   std::vector<char> alive{1, 0, 1};
-  EXPECT_THROW(PlanLocalRepair(graph, bfs, next_hop, alive, 1), ContractViolation);
+  const RepairPlan plan = PlanLocalRepair(graph, bfs, next_hop, alive, 1);
+  EXPECT_FALSE(plan.complete());
+  EXPECT_TRUE(plan.repaired.empty());
+  ASSERT_EQ(plan.orphaned.size(), 1u);
+  EXPECT_EQ(plan.orphaned[0], 2);
+  // Cascade repair sees the same partition — and the same verdict.
+  const RepairPlan cascade = PlanCascadeRepair(graph, next_hop, alive, 0);
+  EXPECT_TRUE(cascade.repaired.empty());
+  ASSERT_EQ(cascade.orphaned.size(), 1u);
+  EXPECT_EQ(cascade.orphaned[0], 2);
+}
+
+TEST(PlanCascadeRepairTest, RerootsDeepOrphansAcrossMultipleFailures) {
+  // Two parallel lines to the sink joined at the far end:
+  //   0 <- 1 <- 2 <- 3          (top row, y = 50)
+  //   0 <- 4 <- 5 <- 6 <- 7     (bottom row, y = 42; 3 - 7 edge by proximity)
+  // Killing 1 AND 2 strands {3}: its only live neighbor is 7, three hops
+  // from the sink on the other branch — exactly the multi-hop re-rooting
+  // the cascade provides in one pass.
+  const std::vector<Vec2> positions{{0, 50},  {9, 50},  {18, 50}, {27, 50},
+                                    {0, 42},  {9, 42},  {18, 42}, {27, 42}};
+  const graph::UnitDiskGraph graph(positions, Aabb::Square(60.0), 10.0);
+  std::vector<NodeId> next_hop{0, 0, 1, 2, 0, 4, 5, 6};
+  std::vector<char> alive{1, 0, 0, 1, 1, 1, 1, 1};
+  const RepairPlan plan = PlanCascadeRepair(graph, next_hop, alive, 0);
+  EXPECT_TRUE(plan.complete());
+  // Node 3 re-attaches through its cross-line neighbor 7 (at (27,42)).
+  std::vector<NodeId> repaired_hop(graph.node_count(), graph::kInvalidNode);
+  for (const auto& [node, new_hop] : plan.repaired) {
+    EXPECT_TRUE(graph.HasEdge(node, new_hop));
+    EXPECT_TRUE(alive[new_hop]);
+    repaired_hop[node] = new_hop;
+    next_hop[node] = new_hop;
+  }
+  EXPECT_EQ(repaired_hop[3], 7);
+  // The healed table routes every live node to the sink acyclically.
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (!alive[v]) continue;
+    NodeId cursor = v;
+    std::int32_t steps = 0;
+    while (cursor != 0) {
+      ASSERT_TRUE(alive[cursor]);
+      cursor = next_hop[cursor];
+      ASSERT_LE(++steps, graph.node_count()) << "cycle from " << v;
+    }
+  }
 }
 
 TEST(PlanLocalRepairTest, EndToEndCollectionSurvivesBackboneFailure) {
@@ -207,9 +255,10 @@ TEST(PlanLocalRepairTest, EndToEndCollectionSurvivesBackboneFailure) {
   simulator.ScheduleAfter(100 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
     std::vector<char> alive(graph.node_count(), 1);
     alive[victim] = 0;
-    const auto repairs = PlanLocalRepair(graph, bfs, next_hop, alive, victim);
+    const RepairPlan plan = PlanLocalRepair(graph, bfs, next_hop, alive, victim);
+    ASSERT_TRUE(plan.complete());
     mac.FailNode(victim);
-    for (const auto& [node, new_hop] : repairs) {
+    for (const auto& [node, new_hop] : plan.repaired) {
       mac.UpdateNextHop(node, new_hop);
     }
   });

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -203,11 +204,90 @@ TEST(CollectionMacTest, RejectsBrokenNextHopTables) {
   EXPECT_THROW(Harness(sus, {0, 2, 1}, {}, 0.0, BasicConfig()), ContractViolation);
 }
 
-TEST(CollectionMacTest, RejectsUnsetPcr) {
+// Every MacConfig field is validated at construction with a message naming
+// the offending field and value, so a bad sweep axis fails at the source
+// instead of corrupting a run. One test per rejected parameter.
+std::string RejectionMessage(const MacConfig& config) {
+  try {
+    Harness h({{50, 50}, {55, 50}}, {0, 0}, {}, 0.0, config);
+  } catch (const ContractViolation& violation) {
+    return violation.what();
+  }
+  ADD_FAILURE() << "constructor accepted an invalid MacConfig";
+  return {};
+}
+
+TEST(MacConfigValidationTest, RejectsUnsetPcr) {
   MacConfig config = BasicConfig();
   config.pcr = 0.0;
-  EXPECT_THROW(Harness({{50, 50}, {55, 50}}, {0, 0}, {}, 0.0, config),
-               ContractViolation);
+  EXPECT_NE(RejectionMessage(config).find("pcr="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNonPositiveSuPower) {
+  MacConfig config = BasicConfig();
+  config.su_power = -1.0;
+  EXPECT_NE(RejectionMessage(config).find("su_power="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNonPositiveAlpha) {
+  MacConfig config = BasicConfig();
+  config.alpha = 0.0;
+  EXPECT_NE(RejectionMessage(config).find("alpha="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNonPositiveSlot) {
+  MacConfig config = BasicConfig();
+  config.slot = 0;
+  EXPECT_NE(RejectionMessage(config).find("slot="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsContentionWindowOutsideSlot) {
+  MacConfig config = BasicConfig();
+  config.contention_window = 0;
+  EXPECT_NE(RejectionMessage(config).find("contention_window="), std::string::npos);
+  config = BasicConfig();
+  config.contention_window = config.slot + 1;
+  EXPECT_NE(RejectionMessage(config).find("contention_window="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNonPositiveTxDuration) {
+  MacConfig config = BasicConfig();
+  config.tx_duration = 0;
+  EXPECT_NE(RejectionMessage(config).find("tx_duration="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsFalseAlarmOutsideUnitInterval) {
+  MacConfig config = BasicConfig();
+  config.sensing_false_alarm = 1.5;
+  EXPECT_NE(RejectionMessage(config).find("sensing_false_alarm="),
+            std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsMissedDetectionOutsideUnitInterval) {
+  MacConfig config = BasicConfig();
+  config.sensing_missed_detection = -0.2;
+  EXPECT_NE(RejectionMessage(config).find("sensing_missed_detection="),
+            std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNegativeSensingLatency) {
+  MacConfig config = BasicConfig();
+  config.sensing_latency = -1;
+  EXPECT_NE(RejectionMessage(config).find("sensing_latency="), std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNegativeBackoffGranularity) {
+  MacConfig config = BasicConfig();
+  config.backoff_granularity = -5;
+  EXPECT_NE(RejectionMessage(config).find("backoff_granularity="),
+            std::string::npos);
+}
+
+TEST(MacConfigValidationTest, RejectsNegativeDeadHopRetxBudget) {
+  MacConfig config = BasicConfig();
+  config.dead_hop_retx_budget = -1;
+  EXPECT_NE(RejectionMessage(config).find("dead_hop_retx_budget="),
+            std::string::npos);
 }
 
 TEST(CollectionMacTest, SinkDoesNotProduce) {

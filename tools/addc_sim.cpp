@@ -15,6 +15,7 @@
 
 #include "core/collection.h"
 #include "core/scenario.h"
+#include "faults/fault_plan.h"
 #include "graph/cds_tree.h"
 #include "harness/flags.h"
 #include "harness/obs_export.h"
@@ -53,6 +54,12 @@ Execution:
                           to serial; trace and continuous runs stay serial.
   --continuous-interval-ms=F      run continuous collection (ADDC only)
   --snapshots=INT                 rounds for continuous mode (default 6)
+  --faults=FILE           inject the fault plan in FILE into every ADDC run
+                          (crashes + self-healing repair, sensing bursts, PU
+                          perturbation — format in DESIGN.md §9). Reproducible
+                          from --seed; per-rep fault summaries are printed when
+                          faults actually fired. Combine with --audit to
+                          re-verify routing acyclicity after every repair.
   --audit                         attach the runtime invariant auditor to every
                                   ADDC run (prints the report; also dual-runs
                                   rep 0 to verify trace-digest determinism);
@@ -138,6 +145,7 @@ int main(int argc, char** argv) {
   const std::string svg_path = flags.GetString("svg", "");
   const double continuous_ms = flags.GetDouble("continuous-interval-ms", 0.0);
   const auto snapshots = static_cast<std::int32_t>(flags.GetInt("snapshots", 6));
+  const std::string faults_path = flags.GetString("faults", "");
 
   if (!flags.errors().empty() || !flags.UnconsumedFlags().empty()) {
     for (const std::string& error : flags.errors()) {
@@ -149,6 +157,9 @@ int main(int argc, char** argv) {
     std::cerr << "run with --help for usage\n";
     return 2;
   }
+
+  faults::FaultPlan fault_plan;
+  if (!faults_path.empty()) fault_plan = faults::LoadPlanFile(faults_path);
 
   if (csv) {
     std::cout << "algorithm,completed,delay_ms,capacity_fraction,avg_hops,jain,"
@@ -173,6 +184,7 @@ int main(int argc, char** argv) {
       core::CollectionResult coolest;
       core::AuditReport audit_report;
       core::DeterminismReport determinism;
+      faults::FaultReport fault_report;
       // Per-repetition registry (--metrics-out): merged in rep order after
       // the fan-out, so the merged state is bit-identical to a serial run.
       obs::MetricsRegistry metrics;
@@ -187,6 +199,10 @@ int main(int argc, char** argv) {
         outcome.has_addc = true;
         core::RunOptions options;
         if (audit) options.audit_report = &outcome.audit_report;
+        if (!faults_path.empty()) {
+          options.faults = &fault_plan;
+          options.fault_report = &outcome.fault_report;
+        }
         if (!metrics_out.empty()) {
           options.metrics = &outcome.metrics;
           // Counters/histograms fold across every rep, but the time series
@@ -233,6 +249,13 @@ int main(int argc, char** argv) {
       if (outcome.has_addc) {
         all_completed &= outcome.addc.completed;
         PrintResultRow(outcome.addc, csv);
+        // Plans whose compiled timeline is empty leave stdout untouched —
+        // part of the empty-plan byte-identity contract.
+        if (!csv && outcome.fault_report.injected_total() > 0) {
+          std::cout << "  faults: " << outcome.fault_report.Summary()
+                    << "; delivery "
+                    << harness::FormatDouble(outcome.addc.delivery_ratio, 4) << "\n";
+        }
         if (audit) {
           audit_clean &= outcome.audit_report.ok();
           if (!csv) {
@@ -364,7 +387,12 @@ int main(int argc, char** argv) {
       }
       core::RunOptions options;
       core::AuditReport audit_report;
+      faults::FaultReport fault_report;
       if (audit) options.audit_report = &audit_report;
+      if (!faults_path.empty()) {
+        options.faults = &fault_plan;
+        options.fault_report = &fault_report;
+      }
       obs::MetricsRegistry rep_metrics;
       if (!metrics_out.empty()) {
         options.metrics = &rep_metrics;
@@ -380,6 +408,10 @@ int main(int argc, char** argv) {
       }
       all_completed &= result.completed;
       PrintResultRow(result, csv);
+      if (!csv && fault_report.injected_total() > 0) {
+        std::cout << "  faults: " << fault_report.Summary() << "; delivery "
+                  << harness::FormatDouble(result.delivery_ratio, 4) << "\n";
+      }
       if (audit) {
         audit_clean &= audit_report.ok();
         if (!csv) {

@@ -27,6 +27,13 @@
 //                       own Rng from its (seed, point, rep, algorithm) tuple.
 //   header-guard        a src/ header whose #ifndef guard does not match
 //                       its path (CRN_<PATH>_H_).
+//   throw-in-callback   a literal `throw` in the event-callback layers
+//                       (src/sim, src/mac, src/pu, src/faults, src/core) —
+//                       an exception unwinding through the event loop
+//                       strands half-applied MAC/routing state; report
+//                       contract violations through CRN_CHECK and expected
+//                       failures through structured results (the
+//                       core::RepairPlan pattern).
 //   library-io          std::cout/std::cerr in src/ outside src/harness/ —
 //                       library layers compute; only the harness (and the
 //                       tools/bench binaries) may talk to the terminal.
@@ -234,6 +241,19 @@ std::vector<Finding> ScanFile(const std::string& logical_path,
             "convert dB through DbToLinear()/SirThreshold (common/units.h), "
             "not raw std::pow(10, ...)");
       }
+      const bool in_callback_layer =
+          StartsWith(logical_path, "src/sim/") ||
+          StartsWith(logical_path, "src/mac/") ||
+          StartsWith(logical_path, "src/pu/") ||
+          StartsWith(logical_path, "src/faults/") ||
+          StartsWith(logical_path, "src/core/");
+      if (in_callback_layer && ContainsWord(line, "throw")) {
+        add(static_cast<int>(i), "throw-in-callback",
+            "an exception unwinding through a simulator event callback "
+            "strands half-applied MAC/routing state; use CRN_CHECK for "
+            "contract violations or return a structured result "
+            "(core::RepairPlan pattern)");
+      }
       if (!StartsWith(logical_path, "src/harness/") &&
           (ContainsWord(line, "cout") || ContainsWord(line, "cerr"))) {
         add(static_cast<int>(i), "library-io",
@@ -349,6 +369,7 @@ int RunSelfTest(const fs::path& root) {
   const std::map<std::string, std::string> expected = {
       {"src__common__bad_rng.cc", "banned-rng"},
       {"src__sim__bad_clock.cc", "wall-clock"},
+      {"src__sim__bad_throw.cc", "throw-in-callback"},
       {"src__spectrum__bad_db.cc", "raw-db-conversion"},
       {"src__mac__bad_iteration.cc", "unordered-iteration"},
       {"src__core__bad_float.cc", "float-in-physics"},
