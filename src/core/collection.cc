@@ -62,6 +62,9 @@ mac::MacConfig MakeMacConfig(const ScenarioConfig& config, double sensing_range,
   mac_config.slot_aware_defer = options.slot_aware_defer;
   mac_config.sensing_false_alarm = options.sensing_false_alarm;
   mac_config.sensing_missed_detection = options.sensing_missed_detection;
+  mac_config.sir_engine = config.direct_sir_engine
+                              ? spectrum::SirEngine::kDirect
+                              : spectrum::SirEngine::kCached;
   if (options.faults != nullptr) {
     mac_config.dead_hop_retx_budget = options.faults->retx_budget;
   }
@@ -127,6 +130,27 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   simulator.Run();
   if (auditor.has_value()) {
     *options.audit_report = auditor->Finalize();
+  }
+  if (options.metrics != nullptr) {
+    // Exact SIR work accounting (DESIGN.md §10): seed-stable operation
+    // counts, labeled by engine so cached and direct runs stay separable
+    // inside one merged registry (bench_sim_throughput, bench_delta.py).
+    const spectrum::FieldWork& work = mac.sir_work();
+    const obs::Labels engine{{"engine", spectrum::ToString(mac_config.sir_engine)}};
+    options.metrics->GetCounter("perf.sir_evaluations", engine)
+        .Add(work.sir_evaluations);
+    options.metrics->GetCounter("perf.sir_terms_evaluated", engine)
+        .Add(work.sir_terms_evaluated);
+    options.metrics->GetCounter("perf.gain_cache_hits", engine)
+        .Add(work.gain_cache_hits);
+    options.metrics->GetCounter("perf.gain_cache_misses", engine)
+        .Add(work.gain_cache_misses);
+    options.metrics->GetCounter("perf.reeval_skipped", engine)
+        .Add(work.reeval_skipped);
+    options.metrics->GetCounter("perf.pu_partials_reused", engine)
+        .Add(work.pu_partials_reused);
+    options.metrics->GetCounter("perf.su_resumes", engine).Add(work.su_resumes);
+    options.metrics->GetCounter("perf.bound_skips", engine).Add(work.bound_skips);
   }
   if (injector.has_value()) {
     if (options.fault_report != nullptr) *options.fault_report = injector->report();

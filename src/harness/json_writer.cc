@@ -193,6 +193,15 @@ Json ToJson(const SweepResult& result) {
     points.Push(ToJson(result.summaries[i], result.labels[i]));
   }
   json["points"] = std::move(points);
+  if (!result.metric_values.empty()) {
+    // Merged registry state (SweepSpec.metrics), sorted keys — the
+    // machine-readable work accounting bench_delta.py compares.
+    Json metrics = Json::Object();
+    for (const auto& [key, value] : result.metric_values) {
+      metrics[key] = value;
+    }
+    json["metrics"] = std::move(metrics);
+  }
   return json;
 }
 

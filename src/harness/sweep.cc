@@ -50,7 +50,8 @@ SweepResult RunSweep(const SweepSpec& spec) {
   if (!spec.points.empty()) sweep.seed = spec.points.front().config.seed;
 
   const auto reps = static_cast<std::int64_t>(spec.repetitions);
-  const std::int64_t cells_per_point = 2 * reps;
+  const std::int64_t algorithms = spec.addc_only ? 1 : 2;
+  const std::int64_t cells_per_point = algorithms * reps;
   const std::int64_t cell_count =
       cells_per_point * static_cast<std::int64_t>(spec.points.size());
   std::vector<CellOutcome> cells(static_cast<std::size_t>(cell_count));
@@ -61,8 +62,8 @@ SweepResult RunSweep(const SweepSpec& spec) {
       [&](std::int64_t index) {
         const auto point = static_cast<std::size_t>(index / cells_per_point);
         const std::int64_t rest = index % cells_per_point;
-        const auto rep = static_cast<std::uint64_t>(rest / 2);
-        const bool is_addc = rest % 2 == 0;
+        const auto rep = static_cast<std::uint64_t>(rest / algorithms);
+        const bool is_addc = spec.addc_only || rest % 2 == 0;
         // Each cell deploys its own Scenario: deployment is a pure function
         // of (config, rep), so ADDC and Coolest still see identical
         // topologies without sharing any state across threads.
@@ -103,20 +104,22 @@ SweepResult RunSweep(const SweepSpec& spec) {
     std::uint64_t point_digest = kFnvOffsetBasis;
     for (std::int64_t rep = 0; rep < reps; ++rep) {
       const std::size_t base = static_cast<std::size_t>(
-          static_cast<std::int64_t>(point) * cells_per_point + 2 * rep);
+          static_cast<std::int64_t>(point) * cells_per_point + algorithms * rep);
       const core::CollectionResult& addc = cells[base].result;
-      const core::CollectionResult& coolest = cells[base + 1].result;
       addc_delay.push_back(addc.delay_ms);
-      coolest_delay.push_back(coolest.delay_ms);
       addc_capacity.push_back(addc.capacity_fraction);
-      coolest_capacity.push_back(coolest.capacity_fraction);
       addc_jain.push_back(addc.jain_delivery_fairness);
-      coolest_jain.push_back(coolest.jain_delivery_fairness);
       bounds.push_back(addc.theorem2_delay_bound_ms);
       summary.addc_completed += addc.completed ? 1 : 0;
-      summary.coolest_completed += coolest.completed ? 1 : 0;
-      summary.su_caused_violations +=
-          addc.mac.su_caused_violations + coolest.mac.su_caused_violations;
+      summary.su_caused_violations += addc.mac.su_caused_violations;
+      if (!spec.addc_only) {
+        const core::CollectionResult& coolest = cells[base + 1].result;
+        coolest_delay.push_back(coolest.delay_ms);
+        coolest_capacity.push_back(coolest.capacity_fraction);
+        coolest_jain.push_back(coolest.jain_delivery_fairness);
+        summary.coolest_completed += coolest.completed ? 1 : 0;
+        summary.su_caused_violations += coolest.mac.su_caused_violations;
+      }
       point_digest = FoldDigest(point_digest, cells[base].digest);
       sweep_digest = FoldDigest(sweep_digest, cells[base].digest);
       if (spec.metrics != nullptr) spec.metrics->Merge(cells[base].metrics);
@@ -137,6 +140,16 @@ SweepResult RunSweep(const SweepSpec& spec) {
     sweep.summaries.push_back(summary);
   }
   if (spec.collect_digests) sweep.trace_digest = sweep_digest;
+  if (spec.metrics != nullptr) {
+    // Counter/gauge state snapshot for the BENCH json "metrics" section.
+    // Capture iterates sorted keys, so the pairs are already in the
+    // deterministic order the json writer and bench_delta.py rely on.
+    const obs::Snapshot snapshot = spec.metrics->Capture(0);
+    for (const obs::SnapshotEntry& entry : snapshot.entries) {
+      if (entry.kind == obs::MetricKind::kHistogram) continue;
+      sweep.metric_values.emplace_back(entry.key, entry.value);
+    }
+  }
   sweep.wall_seconds = timer.Seconds();
   return sweep;
 }

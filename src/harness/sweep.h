@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/collection.h"
@@ -68,6 +69,10 @@ struct SweepSpec {
   routing::TemperatureMetric metric = routing::TemperatureMetric::kAccumulated;
   std::int32_t jobs = 1;
   bool collect_digests = false;
+  // Skip the Coolest baseline cell of every (point, rep): pure-ADDC sweeps
+  // (throughput benches) halve their cell count and keep wall_seconds
+  // attributable to one algorithm. Coolest summary fields stay zero.
+  bool addc_only = false;
 
   // Observability (both optional, both jobs-invariant):
   // `metrics` — every ADDC cell runs with its own MetricsRegistry; the
@@ -91,6 +96,11 @@ struct SweepResult {
   std::uint64_t seed = 0;                      // points.front().config.seed
   std::uint64_t trace_digest = 0;              // fold over all cells; 0 if off
   double wall_seconds = 0.0;
+  // Counter/gauge state of SweepSpec.metrics after the reduce, rendered as
+  // (sorted key, value) pairs — the BENCH json "metrics" section. Empty
+  // when no registry was attached; histograms are presentation-layer and
+  // stay out.
+  std::vector<std::pair<std::string, std::int64_t>> metric_values;
 };
 
 SweepResult RunSweep(const SweepSpec& spec);

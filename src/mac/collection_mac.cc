@@ -68,7 +68,10 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
       audit_rng_(rng.Stream("pu-audit")),
       sensing_rng_(rng.Stream("sensing")),
       sir_(spectrum::PathLoss(config.alpha)),
-      sensing_grid_(positions_, area, SensingCellSize(config.pcr)) {
+      field_(spectrum::PathLoss(config.alpha), config.sir_engine, positions_,
+             config.su_power, primary.positions(), primary.config().power),
+      sensing_grid_(positions_, area, SensingCellSize(config.pcr)),
+      carrier_grid_(positions_, area, SensingCellSize(config.pcr)) {
   const auto n = node_count();
   CRN_CHECK(n > 0);
   CRN_CHECK(sink_ >= 0 && sink_ < n);
@@ -91,6 +94,7 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
 
   agents_.resize(n);
   failed_.assign(n, 0);
+  carrier_count_.assign(n, 0);
   contending_slot_.assign(n, -1);
   active_tx_slot_.assign(n, -1);
   delivery_time_.assign(n, -1);
@@ -378,19 +382,16 @@ bool CollectionMac::SensePuBusy(const Agent& agent) {
 std::int32_t CollectionMac::ComputeSuBusyCount(NodeId node) const {
   // Counts carriers this node can currently *sense*: announced active
   // transmissions plus ended-but-not-yet-faded ones, mirroring exactly the
-  // increments/decrements the notification events will deliver later.
+  // increments/decrements the notification events will deliver later. The
+  // carrier grid holds every node with carrier_count_ > 0, maintained by
+  // NotifySensorsTxStart/End; summing the integer counts over the PCR disk
+  // is order-independent, so the result is bit-identical to a linear scan
+  // over active_tx_ and fading_tx_.
   std::int32_t count = 0;
-  const geom::Vec2 pos = positions_[node];
-  const double pcr2 = config_.pcr * config_.pcr;
-  for (const Transmission& tx : active_tx_) {
-    if (tx.announced &&
-        geom::DistanceSquared(positions_[tx.transmitter], pos) <= pcr2) {
-      ++count;
-    }
-  }
-  for (NodeId fading : fading_tx_) {
-    if (geom::DistanceSquared(positions_[fading], pos) <= pcr2) ++count;
-  }
+  carrier_grid_.ForEachMemberInDisk(positions_[node], config_.pcr,
+                                    [&](NodeId carrier) {
+                                      count += carrier_count_[carrier];
+                                    });
   return count;
 }
 
@@ -461,8 +462,7 @@ void CollectionMac::StartTransmission(NodeId node) {
   tx.receiver = receiver;
   tx.start = simulator_.now();
   tx.end = tx.start + config_.tx_duration;
-  tx.signal_power = sir_.path_loss().ReceivedPower(
-      config_.su_power, geom::Distance(positions_[node], positions_[receiver]));
+  tx.signal_power = field_.SuGain(node, receiver);
 
   // Half-duplex: a receiver that is itself on the air cannot receive; a
   // failed receiver is simply gone.
@@ -506,6 +506,7 @@ void CollectionMac::StartTransmission(NodeId node) {
   if (tx.announced) NotifySensorsTxStart(node);
   // A new interferer appeared: refresh the SIR floor of every ongoing
   // reception, including the new one.
+  field_.NoteSuInterfererAdded();
   ReevaluateOngoingSirs();
 }
 
@@ -532,6 +533,7 @@ void CollectionMac::FinishTransmission(NodeId node, bool aborted) {
   active_tx_slot_[moved] = pos;
   active_tx_.pop_back();
   active_tx_slot_[node] = -1;
+  field_.NoteSuInterfererRemoved();
   if (!tx.announced) {
     // The carrier vanished before anyone could sense it; drop the pending
     // announcement so increments and decrements stay paired.
@@ -603,6 +605,7 @@ void CollectionMac::AbortOnPuReturn(NodeId node) {
 }
 
 void CollectionMac::NotifySensorsTxStart(NodeId transmitter) {
+  if (carrier_count_[transmitter]++ == 0) carrier_grid_.Insert(transmitter);
   sensing_grid_.ForEachMemberInDisk(
       positions_[transmitter], config_.pcr, [&](NodeId sensor) {
         Agent& agent = agents_[sensor];
@@ -612,6 +615,8 @@ void CollectionMac::NotifySensorsTxStart(NodeId transmitter) {
 }
 
 void CollectionMac::NotifySensorsTxEnd(NodeId transmitter) {
+  CRN_DCHECK(carrier_count_[transmitter] > 0);
+  if (--carrier_count_[transmitter] == 0) carrier_grid_.Erase(transmitter);
   sensing_grid_.ForEachMemberInDisk(
       positions_[transmitter], config_.pcr, [&](NodeId sensor) {
         Agent& agent = agents_[sensor];
@@ -621,29 +626,95 @@ void CollectionMac::NotifySensorsTxEnd(NodeId transmitter) {
       });
 }
 
-double CollectionMac::EvaluateSir(const Transmission& tx) const {
-  const geom::Vec2 rx_pos = positions_[tx.receiver];
-  const spectrum::PathLoss& loss = sir_.path_loss();
+double CollectionMac::EvaluateSir(Transmission& tx) {
+  // Fixed summation order — PU terms (ascending PU id, the active-list
+  // order) first, then SU terms in active_tx_ order — so the field's
+  // per-receiver PU memo continues into the exact operation sequence a
+  // from-scratch recomputation would run, and cached and direct engines
+  // stay bit-identical.
+  spectrum::FieldWork& work = field_.work();
+  ++work.sir_evaluations;
+  const NodeId rx = tx.receiver;
+  const bool cached = field_.engine() == spectrum::SirEngine::kCached;
   double interference = 0.0;
-  for (const Transmission& other : active_tx_) {
-    if (other.transmitter == tx.transmitter) continue;
-    interference += loss.ReceivedPowerSquared(
-        config_.su_power, geom::DistanceSquared(positions_[other.transmitter], rx_pos));
+  std::size_t from = 0;
+  if (cached && tx.itf_count >= 0 &&
+      tx.itf_shrink_epoch == field_.shrink_epoch() &&
+      tx.itf_pu_epoch == field_.pu_epoch()) {
+    // Entries [0, itf_count) are the same transmissions in the same order
+    // as when the memo was stored (no removal reordered the list, PU set
+    // unchanged), so resuming from the stored sum and appending the new
+    // tail reproduces a from-scratch re-sum bit for bit.
+    interference = tx.itf_sum;
+    from = static_cast<std::size_t>(tx.itf_count);
+    ++work.su_resumes;
+  } else {
+    interference = field_.PuInterference(rx, primary_.active_transmitters());
   }
-  const double pu_power = primary_.config().power;
-  for (pu::PuId p : primary_.active_transmitters()) {
-    interference += loss.ReceivedPowerSquared(
-        pu_power, geom::DistanceSquared(primary_.position(p), rx_pos));
+  for (std::size_t i = from; i < active_tx_.size(); ++i) {
+    const Transmission& other = active_tx_[i];
+    if (other.transmitter == tx.transmitter) continue;
+    interference += field_.SuGain(other.transmitter, rx);
+  }
+  if (cached) {
+    tx.itf_sum = interference;
+    tx.itf_count = static_cast<std::int32_t>(active_tx_.size());
+    tx.itf_pu_epoch = field_.pu_epoch();
+    tx.itf_shrink_epoch = field_.shrink_epoch();
+    tx.itf_ub = interference;  // exact again: the bound's slack resets
+    tx.itf_ub_pu_epoch = field_.pu_epoch();
   }
   if (interference <= 0.0) return std::numeric_limits<double>::infinity();
   return tx.signal_power / interference;
 }
 
 void CollectionMac::ReevaluateOngoingSirs() {
+  const bool cached = field_.engine() == spectrum::SirEngine::kCached;
   for (Transmission& tx : active_tx_) {
     if (!tx.receiver_ok) continue;  // verdict already sealed
+    if (cached && tx.last_eval_epoch == field_.change_epoch()) {
+      // No SIR-lowering event since this floor was set: interferers have
+      // only dropped out, the SIR only rose, and min() would return the
+      // stored floor unchanged — skipping is bit-exact.
+      ++field_.work().reeval_skipped;
+      continue;
+    }
+    if (cached && TrySirBoundSkip(tx)) {
+      tx.last_eval_epoch = field_.change_epoch();
+      continue;
+    }
     tx.min_sir = std::min(tx.min_sir, EvaluateSir(tx));
+    tx.last_eval_epoch = field_.change_epoch();
   }
+}
+
+bool CollectionMac::TrySirBoundSkip(Transmission& tx) {
+  // Sound only when the single SIR-lowering event since this floor's last
+  // visit is one SU start (the blanket refloor visits every unsealed
+  // transmission at every change_epoch bump, so the gap is at most one
+  // event): fold the newcomer's gain into the interference upper bound and
+  // test the implied SIR lower bound against the stored floor.
+  if (tx.itf_ub_pu_epoch != field_.pu_epoch() ||
+      tx.last_eval_epoch + 1 != field_.change_epoch()) {
+    return false;
+  }
+  const Transmission& newest = active_tx_.back();
+  CRN_DCHECK(newest.transmitter != tx.transmitter);
+  spectrum::FieldWork& work = field_.work();
+  tx.itf_ub += field_.SuGain(newest.transmitter, tx.receiver);
+  // itf_ub ≥ the true interference (removals since the last full evaluation
+  // only widen the slack), so signal/itf_ub is a SIR lower bound. The
+  // margin absorbs FP reordering error — the bound and a from-scratch
+  // canonical-order sum may round differently, by at most ~k·2^-53
+  // relatively for k summed terms — so clearing it proves the exact
+  // refloor would leave min() returning the stored floor unchanged:
+  // skipping is bit-exact, never approximate.
+  constexpr double kSirSkipMargin = 1.0 + 1e-9;
+  if (tx.signal_power / tx.itf_ub >= tx.min_sir * kSirSkipMargin) {
+    ++work.bound_skips;
+    return true;
+  }
+  return false;
 }
 
 // --- slot machinery ---------------------------------------------------------
@@ -657,6 +728,7 @@ void CollectionMac::OnSlotBoundary() {
     return;
   }
   primary_.ResampleSlot(activity_rng_);
+  field_.NotePuSample(primary_.active_transmitters());
   ++slot_index_;
   slot_start_time_ = now;
   EmitLifecycle(LifecycleEvent::Kind::kSlotBoundary, graph::kInvalidNode, nullptr,

@@ -39,6 +39,7 @@
 #include "pu/primary_network.h"
 #include "sim/simulator.h"
 #include "spectrum/interference.h"
+#include "spectrum/interference_field.h"
 
 namespace crn::mac {
 
@@ -97,6 +98,11 @@ struct MacConfig {
   // 0 keeps retrying indefinitely — the fault-free default, where a repair
   // is expected to re-point the route.
   std::int32_t dead_hop_retx_budget = 0;
+
+  // SIR evaluation engine (interference_field.h). kCached is bit-identical
+  // to kDirect on every scenario — the direct engine exists as the property
+  // tests' reference and the throughput bench's before/after baseline.
+  spectrum::SirEngine sir_engine = spectrum::SirEngine::kCached;
 };
 
 // Aggregate counters for one collection run.
@@ -254,6 +260,10 @@ class CollectionMac {
   [[nodiscard]] NodeId next_hop(NodeId node) const { return next_hop_[node]; }
   [[nodiscard]] NodeId sink() const { return sink_; }
 
+  // Exact SIR work tally (interference_field.h): pure function of the
+  // (scenario, seed) pair, exported as perf.* counters by RunWithNextHops.
+  [[nodiscard]] const spectrum::FieldWork& sir_work() const { return field_.work(); }
+
   [[nodiscard]] const MacConfig& config() const { return config_; }
   [[nodiscard]] geom::Vec2 position(NodeId node) const { return positions_[node]; }
   [[nodiscard]] std::int32_t node_count() const {
@@ -299,6 +309,27 @@ class CollectionMac {
     bool announced = false;     // sensing notification delivered (latency)
     sim::EventId announce_event = sim::kInvalidEventId;
     TxOutcome forced_outcome = TxOutcome::kSuccess;  // when !receiver_ok
+    // Dirty-set reevaluation state (interference_field.h): the change epoch
+    // at the last min-SIR floor update.
+    std::int64_t last_eval_epoch = -1;
+    // Append-incremental interference memo (kCached engine): the full
+    // interference sum — PU terms plus the SU terms of active_tx_[0,
+    // itf_count) — valid while no swap-and-pop reordered the list
+    // (itf_shrink_epoch) and the active-PU set is unchanged (itf_pu_epoch).
+    // New interferers only ever append, so extending the stored double by
+    // the tail [itf_count, size) runs the exact operation sequence a
+    // from-scratch re-sum would.
+    double itf_sum = 0.0;
+    std::int32_t itf_count = -1;
+    std::int64_t itf_pu_epoch = -1;
+    std::int64_t itf_shrink_epoch = -1;
+    // Interference upper bound (kCached engine): exact at the last full
+    // evaluation, then grown by each new interferer's gain while the PU set
+    // is unchanged. Removals only widen the slack, so signal/itf_ub is a
+    // SIR lower bound — when it clears min_sir (with an FP-safety margin)
+    // the refloor provably cannot move the floor and is skipped.
+    double itf_ub = 0.0;
+    std::int64_t itf_ub_pu_epoch = -1;
   };
 
   // --- agent lifecycle -------------------------------------------------
@@ -326,7 +357,8 @@ class CollectionMac {
   void NotifySensorsTxStart(NodeId transmitter);
   void NotifySensorsTxEnd(NodeId transmitter);
   void ReevaluateOngoingSirs();
-  [[nodiscard]] double EvaluateSir(const Transmission& tx) const;
+  bool TrySirBoundSkip(Transmission& tx);
+  double EvaluateSir(Transmission& tx);
 
   // --- slot machinery ----------------------------------------------------
   void OnSlotBoundary();
@@ -360,6 +392,7 @@ class CollectionMac {
   Rng audit_rng_;
   Rng sensing_rng_;
   spectrum::SirEvaluator sir_;
+  spectrum::InterferenceField field_;
 
   std::vector<Agent> agents_;
   std::vector<char> failed_;
@@ -377,6 +410,13 @@ class CollectionMac {
   // been sensed (sensing_latency > 0). Counted as busy by new contenders so
   // the deferred decrement never underflows.
   std::vector<NodeId> fading_tx_;
+  // Sensable carriers (announced active + fading), as a spatial grid for
+  // O(disk) ComputeSuBusyCount queries. A node can carry more than one
+  // sensable emission at once (a fresh announced transmission while an old
+  // one is still fading), so membership is by carrier_count_ > 0 and
+  // queries sum the counts — integer sums, visit order irrelevant.
+  geom::DynamicSpatialGrid carrier_grid_;
+  std::vector<std::int32_t> carrier_count_;
 
   std::vector<sim::TimeNs> delivery_time_;
   std::vector<std::int64_t> expected_per_origin_;

@@ -77,22 +77,22 @@ class SirEvaluator {
   [[nodiscard]] double ComputeSir(geom::Vec2 transmitter, double signal_power,
                                   geom::Vec2 receiver,
                                   const std::vector<ActiveTransmitter>& interferers) const {
-    const double signal =
-        path_loss_.ReceivedPower(signal_power, geom::Distance(transmitter, receiver));
-    double interference = 0.0;
-    for (const ActiveTransmitter& it : interferers) {
-      interference += path_loss_.ReceivedPower(it.power, geom::Distance(it.position, receiver));
-    }
+    const double signal = path_loss_.ReceivedPowerSquared(
+        signal_power, geom::DistanceSquared(transmitter, receiver));
+    const double interference = AggregateInterference(receiver, interferers);
     if (interference <= 0.0) return std::numeric_limits<double>::infinity();
     return signal / interference;
   }
 
-  // Aggregate interference power at `receiver` from `interferers`.
+  // Aggregate interference power at `receiver` from `interferers`. Uses the
+  // sqrt-free ReceivedPowerSquared form throughout — the same expression
+  // the MAC hot path evaluates, so values agree bit-for-bit with it.
   [[nodiscard]] double AggregateInterference(
       geom::Vec2 receiver, const std::vector<ActiveTransmitter>& interferers) const {
     double interference = 0.0;
     for (const ActiveTransmitter& it : interferers) {
-      interference += path_loss_.ReceivedPower(it.power, geom::Distance(it.position, receiver));
+      interference += path_loss_.ReceivedPowerSquared(
+          it.power, geom::DistanceSquared(it.position, receiver));
     }
     return interference;
   }

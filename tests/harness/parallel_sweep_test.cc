@@ -99,6 +99,61 @@ TEST(ParallelSweepTest, MetricsFoldIsBitIdenticalAcrossJobs) {
             4 * produced_per_cell);
 }
 
+TEST(ParallelSweepTest, AddcOnlyPerfCountersAreJobsInvariant) {
+  // The bench_sim_throughput contract: an addc_only sweep's captured perf.*
+  // counters are pure functions of (scenario, seed) — the same at any jobs
+  // value — which is what lets CI compare them against a committed baseline
+  // exactly. Runs both engines as points, like the bench's verification
+  // sweep does.
+  const auto make = [](std::int32_t jobs, obs::MetricsRegistry* metrics) {
+    core::ScenarioConfig config = core::ScenarioConfig::ScaledDefaults(0.05);
+    config.seed = 11;
+    SweepSpec spec;
+    spec.title = "engines";
+    spec.parameter_name = "engine";
+    spec.points.push_back({"cached", config});
+    config.direct_sir_engine = true;
+    spec.points.push_back({"direct", config});
+    spec.repetitions = 2;
+    spec.jobs = jobs;
+    spec.collect_digests = true;
+    spec.addc_only = true;
+    spec.metrics = metrics;
+    return spec;
+  };
+  obs::MetricsRegistry serial_metrics;
+  obs::MetricsRegistry parallel_metrics;
+  const SweepResult serial = RunSweep(make(1, &serial_metrics));
+  const SweepResult parallel = RunSweep(make(4, &parallel_metrics));
+
+  // Both engines, same scenarios, same digests — at every jobs value.
+  ASSERT_EQ(serial.summaries.size(), 2u);
+  EXPECT_NE(serial.summaries[0].addc_trace_digest, 0u);
+  EXPECT_EQ(serial.summaries[0].addc_trace_digest,
+            serial.summaries[1].addc_trace_digest);
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+
+  // The captured counter state is identical and carries the perf.* keys the
+  // bench and tools/bench_delta.py consume.
+  ASSERT_EQ(serial.metric_values.size(), parallel.metric_values.size());
+  ASSERT_FALSE(serial.metric_values.empty());
+  bool saw_cached_terms = false;
+  bool saw_direct_evals = false;
+  for (std::size_t i = 0; i < serial.metric_values.size(); ++i) {
+    EXPECT_EQ(serial.metric_values[i].first, parallel.metric_values[i].first);
+    EXPECT_EQ(serial.metric_values[i].second, parallel.metric_values[i].second);
+    if (serial.metric_values[i].first ==
+        "perf.sir_terms_evaluated{engine=cached}") {
+      saw_cached_terms = serial.metric_values[i].second > 0;
+    }
+    if (serial.metric_values[i].first == "perf.sir_evaluations{engine=direct}") {
+      saw_direct_evals = serial.metric_values[i].second > 0;
+    }
+  }
+  EXPECT_TRUE(saw_cached_terms);
+  EXPECT_TRUE(saw_direct_evals);
+}
+
 TEST(ParallelSweepTest, ProfilerIsObservationOnly) {
   // Attaching the wall-clock profiler must not perturb results or digests,
   // and every cell plus the reduce phase must be covered by spans.

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""CI perf-smoke comparator for BENCH_sim_throughput.json artifacts.
+
+Compares a freshly produced bench JSON against the committed baseline
+(bench/baselines/BENCH_sim_throughput.json) on the *deterministic* work
+counters, not on wall time: the perf.* counters are exact functions of
+(scenario, seed), so any increase is a real algorithmic regression — there
+is no machine noise to absorb, and the default tolerance is therefore zero.
+Wall-clock deltas are printed for the log but never gate.
+
+Checks, without any third-party dependency:
+  * envelope comparability — both files are schema v2, same bench name,
+    and identical scale block (num_sus/num_pus/area_side/pu_activity/
+    repetitions/seed). Counter comparison across different instances is
+    meaningless, so a mismatch is exit 2 (incomparable), not a failure.
+  * budget (--budget KEY, repeatable) — for every sweep title present in
+    both files, current metrics[KEY] must not exceed
+    baseline * (1 + --tolerance). Default budget: the cached engine's
+    geometry-term count, the quantity DESIGN.md §10 pins.
+  * --verify-digests — every sweep whose title starts with "engine
+    verification" must carry the same addc_trace_digest on all its points
+    (the cached-vs-direct bit-identity contract, re-checked from the
+    artifact).
+  * --min-term-ratio R — at the largest n among "... (cached)"/"... (direct)"
+    timing-sweep pairs, direct/cached perf.sir_terms_evaluated must be >= R.
+
+Exit 0 when all checks pass, 1 on any regression/violation, 2 on unusable
+or incomparable inputs.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+DEFAULT_BUDGET = ["perf.sir_terms_evaluated{engine=cached}"]
+SCALE_KEYS = ("num_sus", "num_pus", "area_side", "pu_activity",
+              "repetitions", "seed")
+
+
+def fail_usage(message: str) -> None:
+    print(f"bench_delta: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail_usage(f"{path}: {error}")
+    if document.get("schema_version") != 2:
+        fail_usage(f"{path}: schema_version must be 2, got "
+                   f"{document.get('schema_version')!r}")
+    if not isinstance(document.get("sweeps"), list):
+        fail_usage(f"{path}: missing 'sweeps' array")
+    return document
+
+
+def check_comparable(baseline: dict, current: dict) -> None:
+    if baseline.get("bench") != current.get("bench"):
+        fail_usage(f"bench name mismatch: {baseline.get('bench')!r} vs "
+                   f"{current.get('bench')!r}")
+    for key in SCALE_KEYS:
+        b = baseline.get("scale", {}).get(key)
+        c = current.get("scale", {}).get(key)
+        if b != c:
+            fail_usage(f"scale.{key} differs ({b!r} vs {c!r}); counters are "
+                       "only comparable on the identical pinned instance")
+
+
+def sweeps_by_title(document: dict) -> dict[str, dict]:
+    return {sweep.get("title", ""): sweep for sweep in document["sweeps"]}
+
+
+def check_budget(baseline: dict, current: dict, keys: list[str],
+                 tolerance: float) -> list[str]:
+    problems: list[str] = []
+    base_sweeps = sweeps_by_title(baseline)
+    compared = 0
+    for title, sweep in sweeps_by_title(current).items():
+        base = base_sweeps.get(title)
+        if base is None:
+            continue
+        base_metrics = base.get("metrics", {})
+        metrics = sweep.get("metrics", {})
+        for key in keys:
+            if key not in base_metrics:
+                continue
+            allowed = base_metrics[key] * (1.0 + tolerance)
+            value = metrics.get(key)
+            if value is None:
+                problems.append(f"{title}: {key} missing from current run "
+                                f"(baseline {base_metrics[key]})")
+                continue
+            compared += 1
+            verdict = "OK" if value <= allowed else "REGRESSION"
+            print(f"bench_delta: {title}: {key} {value} vs baseline "
+                  f"{base_metrics[key]} (budget {allowed:.0f}) {verdict}")
+            if value > allowed:
+                problems.append(f"{title}: {key} {value} exceeds budget "
+                                f"{allowed:.0f}")
+        if base.get("wall_seconds") and sweep.get("wall_seconds"):
+            ratio = sweep["wall_seconds"] / base["wall_seconds"]
+            print(f"bench_delta: {title}: wall {sweep['wall_seconds']:.3f}s "
+                  f"vs baseline {base['wall_seconds']:.3f}s "
+                  f"({ratio:.2f}x, informational)")
+    if compared == 0:
+        problems.append("no budget counter was compared — title or key "
+                        "drift between baseline and current")
+    return problems
+
+
+def check_digests(current: dict) -> list[str]:
+    problems: list[str] = []
+    checked = 0
+    for sweep in current["sweeps"]:
+        if not sweep.get("title", "").startswith("engine verification"):
+            continue
+        digests = [point.get("addc_trace_digest")
+                   for point in sweep.get("points", [])]
+        checked += 1
+        if len(digests) < 2 or None in digests:
+            problems.append(f"{sweep['title']}: verification points missing "
+                            "addc_trace_digest")
+        elif len(set(digests)) != 1:
+            problems.append(f"{sweep['title']}: engine digests differ: "
+                            f"{digests}")
+        else:
+            print(f"bench_delta: {sweep['title']}: {len(digests)} engine "
+                  f"digests identical ({digests[0]})")
+    if checked == 0:
+        problems.append("--verify-digests: no 'engine verification' sweep "
+                        "in current run")
+    return problems
+
+
+def check_term_ratio(current: dict, minimum: float) -> list[str]:
+    # Pair "<prefix> (cached)" with "<prefix> (direct)" and test the pair
+    # with the largest n in its title (the ISSUE's headline scenario).
+    sweeps = sweeps_by_title(current)
+    best_n, best_pair = -1, None
+    for title, sweep in sweeps.items():
+        if not title.endswith(" (cached)"):
+            continue
+        partner = sweeps.get(title[:-len(" (cached)")] + " (direct)")
+        if partner is None:
+            continue
+        match = re.search(r"n=(\d+)", title)
+        n = int(match.group(1)) if match else 0
+        if n > best_n:
+            best_n, best_pair = n, (title, sweep, partner)
+    if best_pair is None:
+        return ["--min-term-ratio: no (cached)/(direct) timing-sweep pair "
+                "in current run"]
+    title, cached, direct = best_pair
+    cached_terms = cached.get("metrics", {}).get(
+        "perf.sir_terms_evaluated{engine=cached}")
+    direct_terms = direct.get("metrics", {}).get(
+        "perf.sir_terms_evaluated{engine=direct}")
+    if not cached_terms or not direct_terms:
+        return [f"{title}: perf.sir_terms_evaluated missing from metrics"]
+    ratio = direct_terms / cached_terms
+    print(f"bench_delta: {title}: direct/cached SIR terms "
+          f"{direct_terms}/{cached_terms} = {ratio:.2f}x "
+          f"(required >= {minimum:g}x)")
+    if ratio < minimum:
+        return [f"{title}: term ratio {ratio:.2f}x below required "
+                f"{minimum:g}x"]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--budget", action="append", default=[],
+                        help="counter key that must not exceed the baseline "
+                             f"(repeatable; default {DEFAULT_BUDGET[0]})")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="fractional budget slack (default 0: the "
+                             "counters are deterministic)")
+    parser.add_argument("--verify-digests", action="store_true")
+    parser.add_argument("--min-term-ratio", type=float, default=0.0)
+    arguments = parser.parse_args()
+
+    baseline = load(arguments.baseline)
+    current = load(arguments.current)
+    check_comparable(baseline, current)
+
+    problems = check_budget(baseline, current,
+                            arguments.budget or DEFAULT_BUDGET,
+                            arguments.tolerance)
+    if arguments.verify_digests:
+        problems += check_digests(current)
+    if arguments.min_term_ratio > 0.0:
+        problems += check_term_ratio(current, arguments.min_term_ratio)
+
+    for problem in problems:
+        print(f"bench_delta: FAIL {problem}", file=sys.stderr)
+    print(f"bench_delta: {'FAIL' if problems else 'OK'} "
+          f"({len(problems)} problem(s))")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

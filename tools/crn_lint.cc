@@ -34,6 +34,14 @@
 //                       contract violations through CRN_CHECK and expected
 //                       failures through structured results (the
 //                       core::RepairPlan pattern).
+//   hot-path-math       a pow()/Distance() call in src/mac or src/spectrum
+//                       outside the path-loss internals (interference.h,
+//                       interference_field.h) — SIR hot-path code must read
+//                       gains through the PairGainCache and compare squared
+//                       distances (geom::DistanceSquared); per-event
+//                       transcendental math is the exact work the cached
+//                       interference engine exists to eliminate, and the
+//                       perf.* budget in CI assumes it stays out.
 //   library-io          std::cout/std::cerr in src/ outside src/harness/ —
 //                       library layers compute; only the harness (and the
 //                       tools/bench binaries) may talk to the terminal.
@@ -241,6 +249,21 @@ std::vector<Finding> ScanFile(const std::string& logical_path,
             "convert dB through DbToLinear()/SirThreshold (common/units.h), "
             "not raw std::pow(10, ...)");
       }
+      // ContainsCallOf("Distance") does not match DistanceSquared( — the
+      // char after the name must be `(` — so the squared-space idiom the
+      // rule steers toward passes untouched.
+      const bool in_hot_path =
+          (StartsWith(logical_path, "src/mac/") ||
+           StartsWith(logical_path, "src/spectrum/")) &&
+          logical_path != "src/spectrum/interference.h" &&
+          logical_path != "src/spectrum/interference_field.h";
+      if (in_hot_path &&
+          (ContainsCallOf(line, "pow") || ContainsCallOf(line, "Distance"))) {
+        add(static_cast<int>(i), "hot-path-math",
+            "per-event pow()/Distance() in the SIR hot path; read gains "
+            "through the PairGainCache (spectrum/interference_field.h) and "
+            "compare squared distances (geom::DistanceSquared)");
+      }
       const bool in_callback_layer =
           StartsWith(logical_path, "src/sim/") ||
           StartsWith(logical_path, "src/mac/") ||
@@ -372,6 +395,7 @@ int RunSelfTest(const fs::path& root) {
       {"src__sim__bad_throw.cc", "throw-in-callback"},
       {"src__spectrum__bad_db.cc", "raw-db-conversion"},
       {"src__mac__bad_iteration.cc", "unordered-iteration"},
+      {"src__mac__bad_hot_math.cc", "hot-path-math"},
       {"src__core__bad_float.cc", "float-in-physics"},
       {"src__harness__bad_shared_rng.cc", "shared-mutable-rng"},
       {"src__geom__bad_guard.h", "header-guard"},
