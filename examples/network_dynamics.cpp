@@ -1,5 +1,5 @@
 // Network dynamics: SUs leaving mid-collection, with the local route
-// repair of core/churn.h — the §I scenario ("some existing SUs might leave
+// repair of graph/repair.h — the §I scenario ("some existing SUs might leave
 // the network ... at any time") that motivates distributed operation in
 // the first place. A centralized scheduler would have to recompute the
 // global plan; here each orphaned SU just re-attaches to a live
@@ -9,7 +9,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/churn.h"
+#include "graph/repair.h"
 #include "core/scenario.h"
 #include "graph/cds_tree.h"
 #include "mac/collection_mac.h"
@@ -63,12 +63,12 @@ int main() {
   for (graph::NodeId victim : victims) {
     simulator.ScheduleAt(when, sim::EventPriority::kDefault, [&, victim] {
       alive[victim] = 0;
-      core::RepairPlan plan =
-          core::PlanLocalRepair(graph, bfs, next_hop, alive, victim);
+      graph::RepairPlan plan =
+          graph::PlanLocalRepair(graph, bfs, next_hop, alive, victim);
       // One-hop knowledge may not be enough once several connectors are
       // gone; escalate to the multi-hop cascade rather than stranding them.
       if (!plan.complete()) {
-        plan = core::PlanCascadeRepair(graph, next_hop, alive, scenario.sink());
+        plan = graph::PlanCascadeRepair(graph, next_hop, alive, scenario.sink());
       }
       mac.FailNode(victim);
       for (const auto& [node, new_hop] : plan.repaired) {

@@ -22,8 +22,9 @@ std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
     if (pos == raw->size()) return parsed;
   } catch (const std::exception&) {
   }
-  // Deliberate operator-facing warning: silently ignoring a typo is worse.
-  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";  // crn-lint-ok
+  // Silently ignoring an operator typo is worse than a line of stderr.
+  std::cerr << "warning: ignoring malformed "  // crn-lint-ok: operator-facing warning
+            << name << "=" << *raw << "\n";
   return fallback;
 }
 
@@ -36,8 +37,9 @@ double GetEnvDouble(const std::string& name, double fallback) {
     if (pos == raw->size()) return parsed;
   } catch (const std::exception&) {
   }
-  // Deliberate operator-facing warning: silently ignoring a typo is worse.
-  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";  // crn-lint-ok
+  // Silently ignoring an operator typo is worse than a line of stderr.
+  std::cerr << "warning: ignoring malformed "  // crn-lint-ok: operator-facing warning
+            << name << "=" << *raw << "\n";
   return fallback;
 }
 
@@ -46,8 +48,9 @@ bool GetEnvBool(const std::string& name, bool fallback) {
   if (!raw) return fallback;
   if (*raw == "1" || *raw == "true" || *raw == "yes" || *raw == "on") return true;
   if (*raw == "0" || *raw == "false" || *raw == "no" || *raw == "off") return false;
-  // Deliberate operator-facing warning: silently ignoring a typo is worse.
-  std::cerr << "warning: ignoring malformed " << name << "=" << *raw << "\n";  // crn-lint-ok
+  // Silently ignoring an operator typo is worse than a line of stderr.
+  std::cerr << "warning: ignoring malformed "  // crn-lint-ok: operator-facing warning
+            << name << "=" << *raw << "\n";
   return fallback;
 }
 

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
-#include "core/churn.h"
+#include "graph/repair.h"
 
 namespace crn::faults {
 
@@ -148,17 +148,17 @@ void FaultInjector::RunRepairPass(graph::NodeId trigger) {
   // Local repair handles the common case — one standing failure — with
   // one-hop knowledge; anything harder (orphans left behind, simultaneous
   // failures, post-recovery reconciliation) escalates to the cascade.
-  core::RepairPlan plan;
+  graph::RepairPlan plan;
   bool escalated = false;
   if (trigger != graph::kInvalidNode && failed_count == 1 && mac_->IsFailed(trigger)) {
-    plan = core::PlanLocalRepair(*graph_, bfs_, next_hop, alive, trigger);
+    plan = graph::PlanLocalRepair(*graph_, bfs_, next_hop, alive, trigger);
     if (!plan.complete()) {
       escalated = true;
-      plan = core::PlanCascadeRepair(*graph_, next_hop, alive, mac_->sink());
+      plan = graph::PlanCascadeRepair(*graph_, next_hop, alive, mac_->sink());
     }
   } else {
     escalated = failed_count > 0;  // reconciliation after a recovery is not one
-    plan = core::PlanCascadeRepair(*graph_, next_hop, alive, mac_->sink());
+    plan = graph::PlanCascadeRepair(*graph_, next_hop, alive, mac_->sink());
   }
   if (escalated) ++report_.cascade_escalations;
 

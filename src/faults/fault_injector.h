@@ -4,8 +4,8 @@
 // Attach() compiles the plan against the run's topology and schedules one
 // simulator event per fault at kDefault priority. Crashes call
 // CollectionMac::FailNode and, `repair_delay` later, a self-healing pass:
-// core::PlanLocalRepair for a single standing failure, escalating to
-// core::PlanCascadeRepair (multi-hop re-rooting) whenever local repair
+// graph::PlanLocalRepair for a single standing failure, escalating to
+// graph::PlanCascadeRepair (multi-hop re-rooting) whenever local repair
 // leaves orphans or several failures/recoveries overlap. Repairs are applied
 // through UpdateNextHop in plan order, so the routing table is acyclic at
 // every step. Sensing bursts swap the MAC's detector error rates; PU

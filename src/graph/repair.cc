@@ -1,29 +1,29 @@
-#include "core/churn.h"
+#include "graph/repair.h"
 
 #include <utility>
 
 #include "common/check.h"
 
-namespace crn::core {
+namespace crn::graph {
 
-RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
-                           const graph::BfsLayering& bfs,
-                           const std::vector<graph::NodeId>& next_hop,
+RepairPlan PlanLocalRepair(const UnitDiskGraph& graph,
+                           const BfsLayering& bfs,
+                           const std::vector<NodeId>& next_hop,
                            const std::vector<char>& alive,
-                           graph::NodeId failed_node) {
+                           NodeId failed_node) {
   CRN_CHECK(!alive[failed_node]) << "node " << failed_node << " is still alive";
   const auto n = graph.node_count();
 
   // Working routing table: repaired hops land here so later orphans can
   // route through earlier repairs (the "rounds" below emulate neighbors
   // gossiping their recovered routes).
-  std::vector<graph::NodeId> working(next_hop);
+  std::vector<NodeId> working(next_hop);
 
   // True when u's route under `working` reaches the base station without
   // touching the departed node, `avoid` (no cycles through the orphan), or
   // another still-broken node.
-  auto route_is_clean = [&](graph::NodeId u, graph::NodeId avoid) {
-    graph::NodeId cursor = u;
+  auto route_is_clean = [&](NodeId u, NodeId avoid) {
+    NodeId cursor = u;
     std::int32_t steps = 0;
     while (bfs.level[cursor] != 0) {  // until the base station
       if (cursor == failed_node || cursor == avoid || !alive[cursor]) return false;
@@ -37,8 +37,8 @@ RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
   // departed node — the entire subtree below it, not just its direct
   // children. (A node learns this locally the same way: its upstream stops
   // acknowledging.)
-  std::vector<graph::NodeId> orphans;
-  for (graph::NodeId v = 0; v < n; ++v) {
+  std::vector<NodeId> orphans;
+  for (NodeId v = 0; v < n; ++v) {
     if (!alive[v] || v == failed_node || bfs.level[v] == 0) continue;
     if (!route_is_clean(v, /*avoid=*/failed_node)) orphans.push_back(v);
   }
@@ -57,17 +57,17 @@ RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
     progress = false;
     for (std::size_t i = 0; i < orphans.size(); ++i) {
       if (repaired[i]) continue;
-      const graph::NodeId v = orphans[i];
-      graph::NodeId best = graph::kInvalidNode;
-      for (graph::NodeId u : graph.Neighbors(v)) {
+      const NodeId v = orphans[i];
+      NodeId best = kInvalidNode;
+      for (NodeId u : graph.Neighbors(v)) {
         if (!alive[u] || u == v || u == failed_node) continue;
         if (!route_is_clean(u, v)) continue;
-        if (best == graph::kInvalidNode ||
+        if (best == kInvalidNode ||
             std::make_pair(bfs.level[u], u) < std::make_pair(bfs.level[best], best)) {
           best = u;
         }
       }
-      if (best == graph::kInvalidNode) continue;  // retry next round
+      if (best == kInvalidNode) continue;  // retry next round
       working[v] = best;
       plan.repaired.emplace_back(v, best);
       repaired[i] = 1;
@@ -83,34 +83,34 @@ RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
   return plan;
 }
 
-RepairPlan PlanCascadeRepair(const graph::UnitDiskGraph& graph,
-                             const std::vector<graph::NodeId>& next_hop,
-                             const std::vector<char>& alive, graph::NodeId sink) {
+RepairPlan PlanCascadeRepair(const UnitDiskGraph& graph,
+                             const std::vector<NodeId>& next_hop,
+                             const std::vector<char>& alive, NodeId sink) {
   const auto n = graph.node_count();
   CRN_CHECK(sink >= 0 && sink < n) << "sink " << sink << " out of range";
   CRN_CHECK(alive[sink]) << "the base station cannot be dead";
-  CRN_CHECK(static_cast<graph::NodeId>(next_hop.size()) == n);
-  CRN_CHECK(static_cast<graph::NodeId>(alive.size()) == n);
+  CRN_CHECK(static_cast<NodeId>(next_hop.size()) == n);
+  CRN_CHECK(static_cast<NodeId>(alive.size()) == n);
 
   // Memoized route classification: kClean routes reach the sink over live
   // nodes, kBroken ones dead-end at a failed node or cycle.
   enum class Route : char { kUnknown, kClean, kBroken };
   std::vector<Route> route(static_cast<std::size_t>(n), Route::kUnknown);
   route[sink] = Route::kClean;
-  std::vector<graph::NodeId> path;
-  for (graph::NodeId v = 0; v < n; ++v) {
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < n; ++v) {
     if (!alive[v] || route[v] != Route::kUnknown) continue;
     path.clear();
-    graph::NodeId cursor = v;
+    NodeId cursor = v;
     while (route[cursor] == Route::kUnknown && alive[cursor] &&
-           static_cast<graph::NodeId>(path.size()) <= n) {
+           static_cast<NodeId>(path.size()) <= n) {
       path.push_back(cursor);
       cursor = next_hop[cursor];
     }
     const Route verdict = (alive[cursor] && route[cursor] == Route::kClean)
                               ? Route::kClean
                               : Route::kBroken;
-    for (graph::NodeId u : path) route[u] = verdict;
+    for (NodeId u : path) route[u] = verdict;
   }
 
   // Multi-source BFS from the clean set across live edges: each broken node
@@ -118,15 +118,15 @@ RepairPlan PlanCascadeRepair(const graph::UnitDiskGraph& graph,
   // distance-to-clean-set and applying the pairs in discovery order keeps
   // every intermediate table acyclic.
   RepairPlan plan;
-  std::vector<graph::NodeId> frontier;
-  for (graph::NodeId v = 0; v < n; ++v) {
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
     if (alive[v] && route[v] == Route::kClean) frontier.push_back(v);
   }
-  std::vector<graph::NodeId> next_frontier;
+  std::vector<NodeId> next_frontier;
   while (!frontier.empty()) {
     next_frontier.clear();
-    for (graph::NodeId u : frontier) {
-      for (graph::NodeId v : graph.Neighbors(u)) {
+    for (NodeId u : frontier) {
+      for (NodeId v : graph.Neighbors(u)) {
         if (!alive[v] || route[v] != Route::kBroken) continue;
         route[v] = Route::kClean;
         plan.repaired.emplace_back(v, u);
@@ -136,10 +136,10 @@ RepairPlan PlanCascadeRepair(const graph::UnitDiskGraph& graph,
     frontier.swap(next_frontier);
   }
 
-  for (graph::NodeId v = 0; v < n; ++v) {
+  for (NodeId v = 0; v < n; ++v) {
     if (alive[v] && route[v] == Route::kBroken) plan.orphaned.push_back(v);
   }
   return plan;
 }
 
-}  // namespace crn::core
+}  // namespace crn::graph

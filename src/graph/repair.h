@@ -19,15 +19,15 @@
 // Neither rule throws on partition: nodes with no live path to the base
 // station are reported as `orphaned` and the caller decides whether that is
 // graceful degradation (delivery ratio < 1) or a test failure.
-#ifndef CRN_CORE_CHURN_H_
-#define CRN_CORE_CHURN_H_
+#ifndef CRN_GRAPH_REPAIR_H_
+#define CRN_GRAPH_REPAIR_H_
 
 #include <utility>
 #include <vector>
 
 #include "graph/unit_disk_graph.h"
 
-namespace crn::core {
+namespace crn::graph {
 
 // Result of a repair planning pass. Applying `repaired` in order keeps the
 // routing table acyclic at every step (each adopted hop already has a clean
@@ -35,8 +35,8 @@ namespace crn::core {
 // any live route to the base station — the network around them is
 // partitioned until a node recovers or is redeployed.
 struct RepairPlan {
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> repaired;
-  std::vector<graph::NodeId> orphaned;
+  std::vector<std::pair<NodeId, NodeId>> repaired;
+  std::vector<NodeId> orphaned;
 
   [[nodiscard]] bool complete() const { return orphaned.empty(); }
 };
@@ -46,11 +46,11 @@ struct RepairPlan {
 // id) among neighbors holding a verified clean route, iterated to the
 // gossip fixed point. Orphans that no round can re-attach are reported in
 // `orphaned` (never thrown on).
-RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
-                           const graph::BfsLayering& bfs,
-                           const std::vector<graph::NodeId>& next_hop,
+RepairPlan PlanLocalRepair(const UnitDiskGraph& graph,
+                           const BfsLayering& bfs,
+                           const std::vector<NodeId>& next_hop,
                            const std::vector<char>& alive,
-                           graph::NodeId failed_node);
+                           NodeId failed_node);
 
 // Re-roots every live node whose current route fails to reach `sink` over
 // live nodes (any number of simultaneous failures and recoveries): a
@@ -58,10 +58,10 @@ RepairPlan PlanLocalRepair(const graph::UnitDiskGraph& graph,
 // reached node its BFS predecessor as next hop — shortest-hop re-rooting.
 // Unreached nodes are `orphaned`. Deterministic: sources seed in id order
 // and neighbors expand in the graph's CSR order.
-RepairPlan PlanCascadeRepair(const graph::UnitDiskGraph& graph,
-                             const std::vector<graph::NodeId>& next_hop,
-                             const std::vector<char>& alive, graph::NodeId sink);
+RepairPlan PlanCascadeRepair(const UnitDiskGraph& graph,
+                             const std::vector<NodeId>& next_hop,
+                             const std::vector<char>& alive, NodeId sink);
 
-}  // namespace crn::core
+}  // namespace crn::graph
 
-#endif  // CRN_CORE_CHURN_H_
+#endif  // CRN_GRAPH_REPAIR_H_

@@ -46,7 +46,10 @@ void ParallelRunner::ForEachIndex(std::int64_t count,
   std::vector<std::future<void>> cells;
   cells.reserve(static_cast<std::size_t>(count));
   for (std::int64_t i = 0; i < count; ++i) {
-    cells.push_back(pool.Submit([&run_cell, i] { run_cell(i); }));
+    cells.push_back(
+        pool.Submit(  // crn-lint-ok: jobs only call run_cell, which writes
+                      // a distinct per-cell slot keyed by its own index i.
+            [&run_cell, i] { run_cell(i); }));
   }
   // Collect in index order: every cell finishes (no abandoned work), and
   // the lowest-index exception is the one that propagates.

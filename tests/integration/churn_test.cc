@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "core/churn.h"
+#include "graph/repair.h"
 #include "core/scenario.h"
 #include "graph/cds_tree.h"
 #include "mac/collection_mac.h"
@@ -17,6 +17,9 @@ namespace {
 using geom::Aabb;
 using geom::Vec2;
 using graph::NodeId;
+using graph::PlanCascadeRepair;
+using graph::PlanLocalRepair;
+using graph::RepairPlan;
 
 // A line 0 <- 1 <- 2 <- 3 <- 4 with a shortcut neighbor: node 2 will fail.
 struct ChurnRig {

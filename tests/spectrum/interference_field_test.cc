@@ -40,12 +40,12 @@ TEST(PairGainCacheTest, GainMatchesDirectBitForBit) {
 TEST(PairGainCacheTest, CountsMissesThenHits) {
   PairGainCache cache(PathLoss(4.0), 1.0, SuPositions(), SuPositions());
   FieldWork work;
-  cache.Gain(0, 1, work);
-  cache.Gain(2, 1, work);
+  (void)cache.Gain(0, 1, work);
+  (void)cache.Gain(2, 1, work);
   EXPECT_EQ(work.gain_cache_misses, 2);
   EXPECT_EQ(work.gain_cache_hits, 0);
-  cache.Gain(0, 1, work);
-  cache.Gain(2, 1, work);
+  (void)cache.Gain(0, 1, work);
+  (void)cache.Gain(2, 1, work);
   EXPECT_EQ(work.gain_cache_misses, 2);
   EXPECT_EQ(work.gain_cache_hits, 2);
 }
@@ -54,11 +54,11 @@ TEST(PairGainCacheTest, RowsMaterializeLazily) {
   PairGainCache cache(PathLoss(4.0), 1.0, SuPositions(), SuPositions());
   FieldWork work;
   EXPECT_EQ(cache.allocated_rows(), 0);
-  cache.Gain(0, 3, work);
+  (void)cache.Gain(0, 3, work);
   EXPECT_EQ(cache.allocated_rows(), 1);
-  cache.Gain(1, 3, work);
+  (void)cache.Gain(1, 3, work);
   EXPECT_EQ(cache.allocated_rows(), 1);
-  cache.Gain(1, 0, work);
+  (void)cache.Gain(1, 0, work);
   EXPECT_EQ(cache.allocated_rows(), 2);
 }
 
@@ -84,9 +84,9 @@ TEST(InterferenceFieldTest, EnginesAgreeOnEveryGain) {
 
 TEST(InterferenceFieldTest, DirectEngineBypassesCache) {
   InterferenceField field = MakeField(SirEngine::kDirect);
-  field.SuGain(0, 1);
-  field.SuGain(0, 1);
-  field.PuGain(2, 4);
+  (void)field.SuGain(0, 1);
+  (void)field.SuGain(0, 1);
+  (void)field.PuGain(2, 4);
   EXPECT_EQ(field.work().gain_cache_hits, 0);
   EXPECT_EQ(field.work().gain_cache_misses, 0);
   EXPECT_EQ(field.work().sir_terms_evaluated, 3);
@@ -95,9 +95,9 @@ TEST(InterferenceFieldTest, DirectEngineBypassesCache) {
 
 TEST(InterferenceFieldTest, CachedEngineCountsOnlyMissesAsTerms) {
   InterferenceField field = MakeField(SirEngine::kCached);
-  field.SuGain(0, 1);
-  field.SuGain(0, 1);
-  field.SuGain(0, 1);
+  (void)field.SuGain(0, 1);
+  (void)field.SuGain(0, 1);
+  (void)field.SuGain(0, 1);
   EXPECT_EQ(field.work().sir_terms_evaluated, 1);
   EXPECT_EQ(field.work().gain_cache_misses, 1);
   EXPECT_EQ(field.work().gain_cache_hits, 2);

@@ -1,0 +1,127 @@
+// Unit tests for the crn_analyze include-graph pass: layer ranks, upward
+// include rejection, and cycle detection.
+#include "crn_analyze/include_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crn_analyze/analysis.h"
+
+namespace crn::analyze {
+namespace {
+
+SourceFile File(const std::string& logical_path, const std::string& content) {
+  return MakeSourceFile(logical_path, content);
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int count = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++count;
+  }
+  return count;
+}
+
+TEST(IncludeGraphTest, LayerRanksFollowTheDag) {
+  EXPECT_EQ(LayerRank("src/common/rng.h"), 0);
+  EXPECT_EQ(LayerRank("src/geom/vec2.h"), 1);
+  EXPECT_EQ(LayerRank("src/sim/time.h"), 1);
+  EXPECT_EQ(LayerRank("src/graph/repair.h"), 2);
+  EXPECT_EQ(LayerRank("src/mac/packet.h"), 3);
+  EXPECT_EQ(LayerRank("src/obs/metrics.h"), 4);
+  EXPECT_EQ(LayerRank("src/faults/fault_plan.h"), 5);
+  EXPECT_EQ(LayerRank("src/core/scenario.h"), 6);
+  EXPECT_EQ(LayerRank("src/harness/table.h"), 7);
+  // Not a src/ layer: unconstrained.
+  EXPECT_FALSE(LayerRank("tests/mac/packet_test.cc").has_value());
+  EXPECT_FALSE(LayerRank("src/unknown_layer/x.h").has_value());
+}
+
+TEST(IncludeGraphTest, DownwardAndSameRankIncludesAreClean) {
+  const std::vector<SourceFile> files = {
+      File("src/mac/packet.h",
+           "#include \"common/rng.h\"\n#include \"sim/time.h\"\n"
+           "#include \"routing/table.h\"\n#include <vector>\n"),
+      File("src/common/rng.h", "#include <cstdint>\n"),
+      File("src/sim/time.h", ""),
+      File("src/routing/table.h", ""),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  EXPECT_EQ(CountRule(findings, "layering"), 0);
+  EXPECT_EQ(CountRule(findings, "include-cycle"), 0);
+}
+
+TEST(IncludeGraphTest, UpwardIncludeIsALayeringViolation) {
+  const std::vector<SourceFile> files = {
+      File("src/geom/vec2.h", "#include \"mac/packet.h\"\n"),
+      File("src/mac/packet.h", ""),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  ASSERT_EQ(CountRule(findings, "layering"), 1);
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.path, "src/geom/vec2.h");
+  EXPECT_EQ(f.line, 1);
+  EXPECT_EQ(f.fingerprint, "include=mac/packet.h");
+}
+
+TEST(IncludeGraphTest, UnknownLayerTargetIsFlagged) {
+  const std::vector<SourceFile> files = {
+      File("src/mac/packet.h", "#include \"vendor/blob.h\"\n"),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  EXPECT_EQ(CountRule(findings, "layering"), 1);
+}
+
+TEST(IncludeGraphTest, TwoFileCycleIsDetectedOnce) {
+  const std::vector<SourceFile> files = {
+      File("src/geom/a.h", "#include \"geom/b.h\"\n"),
+      File("src/geom/b.h", "#include \"geom/a.h\"\n"),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  ASSERT_EQ(CountRule(findings, "include-cycle"), 1);
+  const Finding& f = findings.front();
+  // Reported on the lexicographically smallest member, with the chain as
+  // its stable fingerprint.
+  EXPECT_EQ(f.path, "src/geom/a.h");
+  EXPECT_NE(f.fingerprint.find("cycle="), std::string::npos);
+  EXPECT_NE(f.fingerprint.find("geom/a.h"), std::string::npos);
+  EXPECT_NE(f.fingerprint.find("geom/b.h"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, LongerCycleThroughThreeFilesIsDetected) {
+  const std::vector<SourceFile> files = {
+      File("src/mac/x.h", "#include \"mac/y.h\"\n"),
+      File("src/mac/y.h", "#include \"mac/z.h\"\n"),
+      File("src/mac/z.h", "#include \"mac/x.h\"\n"),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  EXPECT_EQ(CountRule(findings, "include-cycle"), 1);
+}
+
+TEST(IncludeGraphTest, SharedDiamondIsNotACycle) {
+  const std::vector<SourceFile> files = {
+      File("src/mac/top.h", "#include \"mac/left.h\"\n#include \"mac/right.h\"\n"),
+      File("src/mac/left.h", "#include \"common/base.h\"\n"),
+      File("src/mac/right.h", "#include \"common/base.h\"\n"),
+      File("src/common/base.h", ""),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  EXPECT_EQ(CountRule(findings, "include-cycle"), 0);
+  EXPECT_EQ(CountRule(findings, "layering"), 0);
+}
+
+TEST(IncludeGraphTest, TestsAndBenchAreUnconstrained) {
+  const std::vector<SourceFile> files = {
+      File("tests/geom/vec2_test.cc", "#include \"harness/table.h\"\n"),
+      File("bench/sweep_bench.cc", "#include \"core/scenario.h\"\n"),
+      File("src/harness/table.h", ""),
+      File("src/core/scenario.h", ""),
+  };
+  const std::vector<Finding> findings = RunIncludeGraphPass(files);
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace crn::analyze

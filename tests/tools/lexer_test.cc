@@ -1,0 +1,143 @@
+// Unit tests for the crn_analyze tokenizer: the constructs the legacy
+// line-regex stripper got wrong (multi-line raw strings, spliced comments)
+// plus the lexical corners rules depend on (digit separators, include
+// extraction).
+#include "crn_analyze/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace crn::analyze {
+namespace {
+
+std::vector<std::string> IdentifierTexts(const LexResult& lex) {
+  std::vector<std::string> out;
+  for (const Token& token : lex.tokens) {
+    if (token.kind == TokenKind::kIdentifier) out.push_back(token.text);
+  }
+  return out;
+}
+
+bool ScrubbedContains(const LexResult& lex, const std::string& needle) {
+  for (const std::string& line : lex.scrubbed) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(LexerTest, RawStringBodySpanningLinesIsBlanked) {
+  const std::string content =
+      "auto s = R\"doc(\n"
+      "  rand(); float x; std::cout << 1;\n"
+      ")doc\";\n"
+      "int after = 0;\n";
+  const LexResult lex = Lex(content);
+  EXPECT_FALSE(ScrubbedContains(lex, "rand"));
+  EXPECT_FALSE(ScrubbedContains(lex, "float"));
+  EXPECT_FALSE(ScrubbedContains(lex, "cout"));
+  // Code after the literal closes is visible again, on the right line (the
+  // trailing newline pads one final empty entry).
+  ASSERT_EQ(lex.scrubbed.size(), 5u);
+  EXPECT_NE(lex.scrubbed[3].find("int after"), std::string::npos);
+}
+
+TEST(LexerTest, RawStringDelimiterMismatchDoesNotCloseEarly) {
+  // `)"` appears inside the body but the delimiter is `x`, so the literal
+  // runs to `)x"`.
+  const std::string content = "auto s = R\"x(not closed: )\" still inside)x\"; int ok;\n";
+  const LexResult lex = Lex(content);
+  EXPECT_FALSE(ScrubbedContains(lex, "still inside"));
+  EXPECT_TRUE(ScrubbedContains(lex, "int ok"));
+}
+
+TEST(LexerTest, EncodingPrefixedRawStringIsRecognized) {
+  const std::string content = "auto s = u8R\"(rand() inside)\"; int ok;\n";
+  const LexResult lex = Lex(content);
+  EXPECT_FALSE(ScrubbedContains(lex, "rand"));
+  EXPECT_TRUE(ScrubbedContains(lex, "int ok"));
+}
+
+TEST(LexerTest, DigitSeparatorStaysOneNumberToken) {
+  const std::string content = "constexpr long n = 1'000'000; char c = 'x';\n";
+  const LexResult lex = Lex(content);
+  int numbers = 0;
+  int char_literals = 0;
+  for (const Token& token : lex.tokens) {
+    if (token.kind == TokenKind::kNumber) {
+      ++numbers;
+      EXPECT_EQ(token.text, "1'000'000");
+    }
+    if (token.kind == TokenKind::kCharLiteral) ++char_literals;
+  }
+  EXPECT_EQ(numbers, 1);
+  // The `'` inside the number never opens a character literal; only 'x' does.
+  EXPECT_EQ(char_literals, 1);
+}
+
+TEST(LexerTest, MultiLineBlockCommentIsBlankedWithLineSync) {
+  const std::string content =
+      "int before = 0;\n"
+      "/* comment mentions rand() and\n"
+      "   srand(7) across lines */ int after = 1;\n";
+  const LexResult lex = Lex(content);
+  EXPECT_FALSE(ScrubbedContains(lex, "rand"));
+  ASSERT_EQ(lex.scrubbed.size(), 4u);
+  EXPECT_NE(lex.scrubbed[2].find("int after"), std::string::npos);
+  // Token line numbers stay 1-based and synchronized with the source.
+  for (const Token& token : lex.tokens) {
+    if (token.text == "after") {
+      EXPECT_EQ(token.line, 3);
+    }
+  }
+}
+
+TEST(LexerTest, SplicedLineCommentSwallowsContinuation) {
+  // A `\` at the end of a `//` comment continues the comment onto the next
+  // physical line — the legacy scanner would have matched rand() there.
+  const std::string content =
+      "int x = 0;  // comment continues \\\n"
+      "rand(); still comment\n"
+      "int y = 1;\n";
+  const LexResult lex = Lex(content);
+  EXPECT_FALSE(ScrubbedContains(lex, "rand"));
+  EXPECT_TRUE(ScrubbedContains(lex, "int y"));
+}
+
+TEST(LexerTest, IncludeTargetsQuotedAndAngled) {
+  const std::string content =
+      "#include \"mac/packet.h\"\n"
+      "#include <vector>\n"
+      "// #include \"commented/out.h\"\n";
+  const LexResult lex = Lex(content);
+  ASSERT_EQ(lex.includes.size(), 2u);
+  EXPECT_EQ(lex.includes[0].target, "mac/packet.h");
+  EXPECT_FALSE(lex.includes[0].angled);
+  EXPECT_EQ(lex.includes[0].line, 1);
+  EXPECT_EQ(lex.includes[1].target, "vector");
+  EXPECT_TRUE(lex.includes[1].angled);
+}
+
+TEST(LexerTest, SplicedIncludeDirectiveIsExtracted) {
+  const std::string content =
+      "#include \\\n"
+      "  \"sim/time.h\"\n";
+  const LexResult lex = Lex(content);
+  ASSERT_EQ(lex.includes.size(), 1u);
+  EXPECT_EQ(lex.includes[0].target, "sim/time.h");
+}
+
+TEST(LexerTest, StringContentsAreBlankedButTokenized) {
+  const std::string content = "Log(\"calling rand() now\"); rand();\n";
+  const LexResult lex = Lex(content);
+  // The literal text must not leak into the scrubbed view...
+  ASSERT_EQ(lex.scrubbed.size(), 2u);  // trailing newline pads one empty line
+  EXPECT_EQ(lex.scrubbed[0].find("calling"), std::string::npos);
+  // ...but the real call after it is still visible.
+  const std::vector<std::string> idents = IdentifierTexts(lex);
+  EXPECT_EQ(idents, (std::vector<std::string>{"Log", "rand"}));
+}
+
+}  // namespace
+}  // namespace crn::analyze

@@ -44,6 +44,17 @@ def fail_usage(message: str) -> None:
     raise SystemExit(2)
 
 
+def require(mapping, key, path: str):
+    """mapping[key], but a schema mismatch names the offending key path
+    (e.g. "sweeps[3].title") instead of surfacing as a bare KeyError."""
+    if not isinstance(mapping, dict):
+        fail_usage(f"{path}: expected an object, got "
+                   f"{type(mapping).__name__}")
+    if key not in mapping:
+        fail_usage(f"{path}.{key}: required key missing")
+    return mapping[key]
+
+
 def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as handle:
@@ -53,8 +64,20 @@ def load(path: str) -> dict:
     if document.get("schema_version") != 2:
         fail_usage(f"{path}: schema_version must be 2, got "
                    f"{document.get('schema_version')!r}")
-    if not isinstance(document.get("sweeps"), list):
-        fail_usage(f"{path}: missing 'sweeps' array")
+    sweeps = require(document, "sweeps", path)
+    if not isinstance(sweeps, list):
+        fail_usage(f"{path}.sweeps: expected an array, got "
+                   f"{type(sweeps).__name__}")
+    for index, sweep in enumerate(sweeps):
+        sweep_path = f"{path}.sweeps[{index}]"
+        title = require(sweep, "title", sweep_path)
+        if not isinstance(title, str):
+            fail_usage(f"{sweep_path}.title: expected a string, got "
+                       f"{type(title).__name__}")
+        metrics = sweep.get("metrics", {})
+        if not isinstance(metrics, dict):
+            fail_usage(f"{sweep_path}.metrics: expected an object, got "
+                       f"{type(metrics).__name__}")
     return document
 
 
@@ -72,6 +95,32 @@ def check_comparable(baseline: dict, current: dict) -> None:
 
 def sweeps_by_title(document: dict) -> dict[str, dict]:
     return {sweep.get("title", ""): sweep for sweep in document["sweeps"]}
+
+
+def report_profile(baseline: dict, current: dict) -> None:
+    """Informational harness-profiler comparison. The `profile` section is
+    optional (the bench may run with profiling disabled), so absence on
+    either side skips the report — it must never fail the gate."""
+    base_profile = baseline.get("profile")
+    profile = current.get("profile")
+    if not isinstance(base_profile, dict) or not isinstance(profile, dict):
+        print("bench_delta: profile section absent — skipping "
+              "(optional, informational only)")
+        return
+    base_phases = {phase.get("phase", ""): phase
+                   for phase in base_profile.get("phases", [])
+                   if isinstance(phase, dict)}
+    for phase in profile.get("phases", []):
+        if not isinstance(phase, dict):
+            continue
+        name = phase.get("phase", "")
+        base = base_phases.get(name)
+        if base is None or not base.get("total_s") or not phase.get("total_s"):
+            continue
+        ratio = phase["total_s"] / base["total_s"]
+        print(f"bench_delta: profile phase '{name}': {phase['total_s']:.3f}s "
+              f"vs baseline {base['total_s']:.3f}s "
+              f"({ratio:.2f}x, informational)")
 
 
 def check_budget(baseline: dict, current: dict, keys: list[str],
@@ -188,6 +237,7 @@ def main() -> int:
     baseline = load(arguments.baseline)
     current = load(arguments.current)
     check_comparable(baseline, current)
+    report_profile(baseline, current)
 
     problems = check_budget(baseline, current,
                             arguments.budget or DEFAULT_BUDGET,

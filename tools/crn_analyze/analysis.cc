@@ -1,0 +1,48 @@
+#include "crn_analyze/analysis.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace crn::analyze {
+
+SourceFile MakeSourceFile(std::string logical_path, const std::string& content) {
+  SourceFile file;
+  file.logical_path = std::move(logical_path);
+  std::istringstream stream(content);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw_lines.push_back(line);
+  }
+  file.lex = Lex(content);
+  // Lex() always materializes at least one (possibly empty) line; keep the
+  // two views the same length so rules can index either by line - 1.
+  while (file.lex.scrubbed.size() < file.raw_lines.size()) {
+    file.lex.scrubbed.emplace_back();
+  }
+  while (file.raw_lines.size() < file.lex.scrubbed.size()) {
+    file.raw_lines.emplace_back();
+  }
+  return file;
+}
+
+std::string NormalizeForFingerprint(const std::string& text) {
+  std::string normalized;
+  normalized.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !normalized.empty();
+      continue;
+    }
+    if (pending_space) {
+      normalized.push_back(' ');
+      pending_space = false;
+    }
+    normalized.push_back(c);
+  }
+  return normalized;
+}
+
+}  // namespace crn::analyze

@@ -1,0 +1,107 @@
+#include "crn_analyze/baseline.h"
+
+#include <cctype>
+#include <fstream>
+
+namespace crn::analyze {
+
+namespace {
+
+constexpr std::size_t kMinJustificationChars = 15;
+
+std::string Trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+Baseline LoadBaseline(const std::string& path) {
+  Baseline baseline;
+  std::ifstream in(path);
+  if (!in) {
+    baseline.errors.push_back(path + ": cannot open baseline file");
+    return baseline;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    // rule|path|fingerprint|justification — justification may itself
+    // contain '|', so split only the first three separators.
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (int field = 0; field < 3; ++field) {
+      const std::size_t bar = trimmed.find('|', start);
+      if (bar == std::string::npos) break;
+      fields.push_back(trimmed.substr(start, bar - start));
+      start = bar + 1;
+    }
+    if (fields.size() != 3) {
+      baseline.errors.push_back(
+          path + ":" + std::to_string(line_number) +
+          ": expected 'rule|path|fingerprint|justification'");
+      continue;
+    }
+    BaselineEntry entry;
+    entry.rule = Trim(fields[0]);
+    entry.path = Trim(fields[1]);
+    entry.fingerprint = Trim(fields[2]);
+    entry.justification = Trim(trimmed.substr(start));
+    entry.source_line = line_number;
+    std::size_t reason_chars = 0;
+    for (char c : entry.justification) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) ++reason_chars;
+    }
+    if (reason_chars < kMinJustificationChars) {
+      baseline.errors.push_back(
+          path + ":" + std::to_string(line_number) + ": entry for [" +
+          entry.rule + "] " + entry.path +
+          " lacks a justification — say why this violation is safe");
+      continue;
+    }
+    if (entry.rule.empty() || entry.path.empty() || entry.fingerprint.empty()) {
+      baseline.errors.push_back(path + ":" + std::to_string(line_number) +
+                                ": empty rule/path/fingerprint field");
+      continue;
+    }
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+std::vector<std::string> ApplyBaseline(Baseline& baseline,
+                                       std::vector<Finding>& findings) {
+  for (Finding& finding : findings) {
+    for (BaselineEntry& entry : baseline.entries) {
+      if (entry.rule == finding.rule && entry.path == finding.path &&
+          entry.fingerprint == finding.fingerprint) {
+        finding.suppressed_by_baseline = true;
+        entry.used = true;
+        break;
+      }
+    }
+  }
+  std::vector<std::string> unused;
+  for (const BaselineEntry& entry : baseline.entries) {
+    if (!entry.used) {
+      unused.push_back("unused baseline entry (line " +
+                       std::to_string(entry.source_line) + "): [" + entry.rule +
+                       "] " + entry.path + " " + entry.fingerprint);
+    }
+  }
+  return unused;
+}
+
+}  // namespace crn::analyze

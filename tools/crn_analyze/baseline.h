@@ -1,0 +1,52 @@
+// Checked-in baseline: the set of findings that are known, intentional, and
+// individually justified. The tree scan fails only on findings NOT in the
+// baseline, so new violations break the build while grandfathered ones are
+// tracked (not silently lost — they ship in the SARIF output with a
+// suppression record).
+//
+// File format (tools/crn_analyze_baseline.txt), one entry per line:
+//
+//   <rule>|<path>|<fingerprint>|<justification>
+//
+// `fingerprint` is the finding's stable identity (printed with each new
+// finding, so adding an entry is copy-paste): the whitespace-normalized
+// scrubbed line for per-line rules, "include=<target>" for layering.
+// `justification` is MANDATORY and must say why the violation is safe —
+// a baseline entry without a real reason is rejected (exit 2), the same
+// policy the suppression-justification rule applies to inline markers.
+// `#` lines and blank lines are comments. Unused entries are warnings, not
+// failures: prune them when the code they covered goes away.
+#ifndef CRN_ANALYZE_BASELINE_H_
+#define CRN_ANALYZE_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "crn_analyze/analysis.h"
+
+namespace crn::analyze {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string fingerprint;
+  std::string justification;
+  int source_line = 0;  // line in the baseline file, for diagnostics
+  bool used = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<std::string> errors;  // malformed / unjustified entries
+};
+
+Baseline LoadBaseline(const std::string& path);
+
+// Marks findings matching a baseline entry (rule+path+fingerprint) as
+// suppressed and the entry as used. Returns the unused entries' messages.
+std::vector<std::string> ApplyBaseline(Baseline& baseline,
+                                       std::vector<Finding>& findings);
+
+}  // namespace crn::analyze
+
+#endif  // CRN_ANALYZE_BASELINE_H_

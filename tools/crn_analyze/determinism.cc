@@ -1,0 +1,169 @@
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "crn_analyze/passes.h"
+#include "crn_analyze/rules.h"
+
+namespace crn::analyze {
+
+namespace {
+
+bool IsIdent(const Token& token, const char* text) {
+  return token.kind == TokenKind::kIdentifier && token.text == text;
+}
+
+bool IsPunct(const Token& token, char c) {
+  return token.kind == TokenKind::kPunct && token.text.size() == 1 &&
+         token.text[0] == c;
+}
+
+// True when tokens[i..] spells `std::<name><` for one of `names`. On match,
+// sets `after_open` to the index just past the `<`.
+bool MatchesStdTemplate(const std::vector<Token>& tokens, std::size_t i,
+                        const std::vector<const char*>& names,
+                        std::size_t& after_open) {
+  if (i + 4 >= tokens.size()) return false;
+  if (!IsIdent(tokens[i], "std") || !IsPunct(tokens[i + 1], ':') ||
+      !IsPunct(tokens[i + 2], ':')) {
+    return false;
+  }
+  const Token& name = tokens[i + 3];
+  bool known = false;
+  for (const char* candidate : names) {
+    if (IsIdent(name, candidate)) known = true;
+  }
+  if (!known || !IsPunct(tokens[i + 4], '<')) return false;
+  after_open = i + 5;
+  return true;
+}
+
+// Walks the first template argument starting just past `<`; returns true
+// when its last token is `*` (a raw-pointer type). Bounded so a mismatched
+// `<` (comparison operator) cannot run away.
+bool FirstTemplateArgIsPointer(const std::vector<Token>& tokens,
+                               std::size_t after_open) {
+  constexpr std::size_t kMaxArgTokens = 64;
+  int depth = 1;
+  bool last_was_star = false;
+  for (std::size_t j = after_open;
+       j < tokens.size() && j < after_open + kMaxArgTokens; ++j) {
+    const Token& token = tokens[j];
+    if (IsPunct(token, '<')) ++depth;
+    if (IsPunct(token, '>')) {
+      --depth;
+      if (depth == 0) return last_was_star;
+    }
+    if (depth == 1 && IsPunct(token, ',')) return last_was_star;
+    last_was_star = IsPunct(token, '*');
+  }
+  return false;
+}
+
+// Names of variables declared as std::vector<T*> in this file (the
+// declaration style heuristic the unordered-iteration rule already uses).
+std::vector<std::string> PointerVectorNames(const std::vector<Token>& tokens) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::size_t after_open = 0;
+    if (!MatchesStdTemplate(tokens, i, {"vector"}, after_open)) continue;
+    if (!FirstTemplateArgIsPointer(tokens, after_open)) continue;
+    // Find the matching `>`, skip declarator decorations (`&`, `*`,
+    // `const`), then take the identifier as the variable name. This covers
+    // both `std::vector<T*> v` and `std::vector<T*>& param`.
+    int depth = 1;
+    std::size_t j = after_open;
+    for (; j < tokens.size() && depth > 0; ++j) {
+      if (IsPunct(tokens[j], '<')) ++depth;
+      if (IsPunct(tokens[j], '>')) --depth;
+    }
+    while (j < tokens.size() &&
+           (IsPunct(tokens[j], '&') || IsPunct(tokens[j], '*') ||
+            IsIdent(tokens[j], "const"))) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+      names.push_back(tokens[j].text);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::vector<Finding> RunDeterminismTaintPass(const SourceFile& file) {
+  std::vector<Finding> findings;
+  if (!StartsWith(file.logical_path, "src/")) return findings;
+  const std::vector<Token>& tokens = file.lex.tokens;
+
+  auto add = [&](int line, std::string message) {
+    const std::size_t index = line > 0 ? static_cast<std::size_t>(line - 1) : 0;
+    if (index < file.raw_lines.size() &&
+        file.raw_lines[index].find("crn-lint-ok") != std::string::npos) {
+      return;
+    }
+    const std::string& scrubbed =
+        index < file.lex.scrubbed.size() ? file.lex.scrubbed[index] : "";
+    findings.push_back(Finding{file.logical_path, line, "determinism-taint",
+                               std::move(message),
+                               NormalizeForFingerprint(scrubbed), false});
+  };
+
+  // Pointer-keyed associative containers and pointer hashing: iteration /
+  // ordering / hash values depend on allocation addresses, which vary run to
+  // run and across ParallelRunner job counts.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    std::size_t after_open = 0;
+    if (MatchesStdTemplate(tokens, i,
+                           {"map", "set", "unordered_map", "unordered_set"},
+                           after_open) &&
+        FirstTemplateArgIsPointer(tokens, after_open)) {
+      add(tokens[i].line,
+          "container keyed on pointer identity: ordering/iteration follows "
+          "allocation addresses, which differ run to run; key on NodeId or "
+          "another stable id");
+    }
+    if (MatchesStdTemplate(tokens, i, {"hash"}, after_open) &&
+        FirstTemplateArgIsPointer(tokens, after_open)) {
+      add(tokens[i].line,
+          "std::hash over a raw pointer hashes the allocation address; hash "
+          "a stable id instead");
+    }
+  }
+
+  // Sorting a vector of pointers with the default operator< orders
+  // simulation state by address.
+  const std::vector<std::string> pointer_vectors = PointerVectorNames(tokens);
+  for (std::size_t i = 0; i < file.lex.scrubbed.size(); ++i) {
+    const std::string& line = file.lex.scrubbed[i];
+    if (line.empty() || !ContainsCallOf(line, "sort")) continue;
+    for (const std::string& name : pointer_vectors) {
+      if (line.find(name + ".begin()") != std::string::npos) {
+        add(static_cast<int>(i) + 1,
+            "sorting '" + name +
+                "' compares raw pointers: the order is the allocator's, not "
+                "the simulation's; sort by a stable key");
+      }
+    }
+  }
+
+  // Wall-clock / process-identity value sources. The wall-clock rule already
+  // bans the <chrono> clocks; these are the C-library leaks that could seed
+  // an Rng or flow into sim::TimeNs arithmetic unnoticed.
+  for (std::size_t i = 0; i < file.lex.scrubbed.size(); ++i) {
+    const std::string& line = file.lex.scrubbed[i];
+    if (line.empty()) continue;
+    for (const char* source : {"time", "clock", "gettimeofday", "getpid"}) {
+      if (ContainsCallOf(line, source)) {
+        add(static_cast<int>(i) + 1,
+            std::string(source) +
+                "() is a wall-clock/process-identity source; simulation "
+                "values must derive from the seed and sim::TimeNs only");
+      }
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace crn::analyze

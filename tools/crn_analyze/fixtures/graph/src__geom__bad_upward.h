@@ -1,0 +1,9 @@
+// Graph fixture (logical path src/geom/bad_upward.h): geometry (rank 1)
+// reaching up into the MAC layer (rank 3) — [layering] must fire on the
+// include.
+#ifndef CRN_GEOM_BAD_UPWARD_H_
+#define CRN_GEOM_BAD_UPWARD_H_
+
+#include "mac/packet.h"
+
+#endif  // CRN_GEOM_BAD_UPWARD_H_

@@ -1,0 +1,14 @@
+// Graph fixture (logical path src/geom/cyc_a.h): one half of a deliberate
+// include cycle — [include-cycle] must fire on the pair.
+#ifndef CRN_GEOM_CYC_A_H_
+#define CRN_GEOM_CYC_A_H_
+
+#include "geom/cyc_b.h"
+
+namespace crn::geom {
+struct CycA {
+  CycB* peer = nullptr;
+};
+}  // namespace crn::geom
+
+#endif  // CRN_GEOM_CYC_A_H_

@@ -1,0 +1,14 @@
+// Graph fixture (logical path src/geom/cyc_b.h): the other half of the
+// deliberate include cycle.
+#ifndef CRN_GEOM_CYC_B_H_
+#define CRN_GEOM_CYC_B_H_
+
+#include "geom/cyc_a.h"
+
+namespace crn::geom {
+struct CycB {
+  CycA* peer = nullptr;
+};
+}  // namespace crn::geom
+
+#endif  // CRN_GEOM_CYC_B_H_

@@ -1,0 +1,18 @@
+// Analyzer fixture (logical path src/core/bad_ptr_key.cc): associative
+// containers keyed on raw pointers order state by allocation address —
+// [determinism-taint] must fire on both declarations.
+#include <map>
+#include <unordered_set>
+
+namespace crn::core {
+
+struct Node {
+  int id = 0;
+};
+
+struct BadRegistry {
+  std::map<const Node*, int> rank_by_node;
+  std::unordered_set<Node*> dirty;
+};
+
+}  // namespace crn::core

@@ -1,0 +1,17 @@
+// Analyzer fixture (logical path src/core/bad_ptr_sort.cc): sorting a
+// vector of pointers with the default operator< orders simulation state by
+// allocator whim — [determinism-taint] must fire on the sort call.
+#include <algorithm>
+#include <vector>
+
+namespace crn::core {
+
+struct Node {
+  int id = 0;
+};
+
+inline void BadOrdering(std::vector<Node*>& frontier) {
+  std::sort(frontier.begin(), frontier.end());
+}
+
+}  // namespace crn::core

@@ -1,0 +1,12 @@
+// Analyzer fixture (logical path src/core/bad_suppression.cc): a bare
+// crn-lint-ok marker suppresses its line's finding but carries no reason —
+// [suppression-justification] must fire on it (and must not be silenced by
+// the marker itself).
+namespace crn::core {
+
+double BadNarrow(double value) {
+  float narrowed = static_cast<float>(value);  // crn-lint-ok
+  return narrowed;
+}
+
+}  // namespace crn::core

@@ -1,0 +1,35 @@
+// Analyzer fixture (logical path src/core/clean_tokenizer.cc): constructs
+// the legacy line-regex scanner mishandled. The tokenizer must keep every
+// one of them out of rule matching — zero findings.
+#include <string>
+
+namespace crn::core {
+
+// Digit separators: the ' characters are numeric punctuation, not the
+// start of character literals that would swallow the rest of the line.
+inline constexpr long kEventBudget = 1'000'000;
+inline constexpr double kScaled = 1'024.5;
+
+// A line comment continued with a backslash splice \
+   stays a comment here, even though rand() and float appear on this line.
+
+/* A multi-line block comment:
+   std::mt19937 engine; srand(42); steady_clock::now();
+   none of it is code. */
+
+// Raw strings spanning lines, with and without a delimiter.
+inline std::string RawDoc() {
+  return R"doc(
+    std::mt19937 rng; rand(); srand(7);
+    float narrowing = 0.f; steady_clock reads; throw "boom";
+    std::cout << "library io"; std::pow(10, x / 10.0);
+  )doc";
+}
+
+inline std::string RawPlain() {
+  return R"(second form: rand() and float and throw)";
+}
+
+double CleanScale(double value) { return value * 2.0; }
+
+}  // namespace crn::core

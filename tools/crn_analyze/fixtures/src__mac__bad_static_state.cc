@@ -1,0 +1,22 @@
+// Analyzer fixture (logical path src/mac/bad_static_state.cc): mutable
+// static / thread_local state is shared across ParallelRunner cells —
+// [concurrency-discipline] must fire on both declarations.
+#include <cstdint>
+
+namespace crn::mac {
+
+namespace {
+std::int64_t NextAttemptId() {
+  static std::int64_t attempt_counter = 0;
+  return ++attempt_counter;
+}
+}  // namespace
+
+thread_local std::int64_t t_last_attempt = 0;
+
+std::int64_t RecordAttempt() {
+  t_last_attempt = NextAttemptId();
+  return t_last_attempt;
+}
+
+}  // namespace crn::mac

@@ -1,0 +1,17 @@
+// Analyzer fixture (logical path src/sim/bad_time_seed.cc): seeding from
+// the wall clock or process identity makes every run unique —
+// [determinism-taint] must fire on both calls.
+#include <ctime>
+#include <cstdint>
+
+namespace crn::sim {
+
+inline std::uint64_t BadSeed() {
+  return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+inline std::uint64_t BadTick() {
+  return static_cast<std::uint64_t>(clock());
+}
+
+}  // namespace crn::sim

@@ -1,0 +1,160 @@
+#include "crn_analyze/include_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "crn_analyze/rules.h"
+
+namespace crn::analyze {
+
+namespace {
+
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0}, {"geom", 1},     {"sim", 1},   {"graph", 2},
+      {"spectrum", 2}, {"pu", 2},     {"mac", 3},   {"routing", 3},
+      {"obs", 4},    {"faults", 5},   {"core", 6},  {"harness", 7},
+  };
+  return kRanks;
+}
+
+// "src/mac/packet.h" → "mac"; "" when not a two-level src/ path.
+std::string LayerDirOf(const std::string& logical_path) {
+  if (!StartsWith(logical_path, "src/")) return "";
+  const std::size_t start = 4;
+  const std::size_t slash = logical_path.find('/', start);
+  if (slash == std::string::npos) return "";
+  return logical_path.substr(start, slash - start);
+}
+
+bool LineSuppressed(const SourceFile& file, int line) {
+  const std::size_t index = line > 0 ? static_cast<std::size_t>(line - 1) : 0;
+  return index < file.raw_lines.size() &&
+         file.raw_lines[index].find("crn-lint-ok") != std::string::npos;
+}
+
+}  // namespace
+
+std::optional<int> LayerRank(const std::string& logical_path) {
+  const std::string dir = LayerDirOf(logical_path);
+  const auto it = LayerRanks().find(dir);
+  if (it == LayerRanks().end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Finding> RunIncludeGraphPass(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  // Deterministic order and fast lookup of scanned src files.
+  std::vector<const SourceFile*> src_files;
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : files) {
+    if (!StartsWith(file.logical_path, "src/")) continue;
+    src_files.push_back(&file);
+    by_path[file.logical_path] = &file;
+  }
+  std::sort(src_files.begin(), src_files.end(),
+            [](const SourceFile* a, const SourceFile* b) {
+              return a->logical_path < b->logical_path;
+            });
+
+  // Layering: every quoted include must stay at the same rank or go down.
+  for (const SourceFile* file : src_files) {
+    const std::optional<int> source_rank = LayerRank(file->logical_path);
+    for (const IncludeDirective& include : file->lex.includes) {
+      if (include.angled) continue;  // system/third-party headers
+      if (LineSuppressed(*file, include.line)) continue;
+      const std::string target_path = "src/" + include.target;
+      const std::optional<int> target_rank = LayerRank(target_path);
+      if (!target_rank.has_value()) {
+        findings.push_back(Finding{
+            file->logical_path, include.line, "layering",
+            "include \"" + include.target +
+                "\" is not under a known src/ layer; quoted includes must "
+                "name a layer directory (see DESIGN.md §11)",
+            "include=" + include.target, false});
+        continue;
+      }
+      if (source_rank.has_value() && *target_rank > *source_rank) {
+        findings.push_back(Finding{
+            file->logical_path, include.line, "layering",
+            "upward include: " + LayerDirOf(file->logical_path) + " (rank " +
+                std::to_string(*source_rank) + ") must not include " +
+                LayerDirOf(target_path) + " (rank " +
+                std::to_string(*target_rank) +
+                "); invert the dependency or move the shared piece down "
+                "(see DESIGN.md §11)",
+            "include=" + include.target, false});
+      }
+    }
+  }
+
+  // Cycle detection over quoted includes that resolve to scanned src files.
+  // Iterative DFS with tri-color marking; each cycle is reported once, on
+  // its lexicographically smallest member.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::set<std::string> reported_cycles;
+  for (const SourceFile* file : src_files) color[file->logical_path] = Color::kWhite;
+
+  auto edges_of = [&](const std::string& path) {
+    std::vector<std::pair<std::string, int>> edges;  // (target path, line)
+    const auto it = by_path.find(path);
+    if (it == by_path.end()) return edges;
+    for (const IncludeDirective& include : it->second->lex.includes) {
+      if (include.angled) continue;
+      const std::string target_path = "src/" + include.target;
+      if (by_path.count(target_path) != 0) {
+        edges.emplace_back(target_path, include.line);
+      }
+    }
+    return edges;
+  };
+
+  std::vector<std::string> path_stack;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& current) {
+        color[current] = Color::kGray;
+        path_stack.push_back(current);
+        for (const auto& [target, line] : edges_of(current)) {
+          if (color[target] == Color::kGray) {
+            // Back edge: the cycle is the path_stack suffix from `target`.
+            const auto begin =
+                std::find(path_stack.begin(), path_stack.end(), target);
+            std::vector<std::string> cycle(begin, path_stack.end());
+            const auto smallest = std::min_element(cycle.begin(), cycle.end());
+            std::rotate(cycle.begin(), smallest, cycle.end());
+            std::string chain;
+            for (const std::string& node : cycle) {
+              if (!chain.empty()) chain += " -> ";
+              chain += node;
+            }
+            chain += " -> " + cycle.front();
+            if (reported_cycles.insert(chain).second) {
+              findings.push_back(Finding{
+                  cycle.front(), line, "include-cycle",
+                  "include cycle: " + chain +
+                      "; break it by inverting one edge or extracting the "
+                      "shared declarations into a lower layer",
+                  "cycle=" + chain, false});
+            }
+          } else if (color[target] == Color::kWhite) {
+            visit(target);
+          }
+        }
+        path_stack.pop_back();
+        color[current] = Color::kBlack;
+      };
+  for (const SourceFile* root : src_files) {
+    if (color[root->logical_path] == Color::kWhite) {
+      visit(root->logical_path);
+    }
+  }
+
+  return findings;
+}
+
+}  // namespace crn::analyze

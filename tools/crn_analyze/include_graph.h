@@ -1,0 +1,44 @@
+// Include-graph pass: extracts #include edges across src/, enforces the
+// layer DAG, and rejects include cycles.
+//
+// The layer ranks (a file may include same-rank or lower-rank layers only;
+// see DESIGN.md §11 for the diagram):
+//
+//   rank 0  common
+//   rank 1  geom, sim
+//   rank 2  graph, spectrum, pu
+//   rank 3  mac, routing
+//   rank 4  obs
+//   rank 5  faults
+//   rank 6  core
+//   rank 7  harness
+//
+// Rules emitted:
+//   layering       a src/ file includes a higher-rank layer (upward
+//                  include), or a quoted repo-style include whose top
+//                  directory is not a known layer
+//   include-cycle  a cycle among src/ files' quoted includes (reported once
+//                  per cycle, on the file that closes it)
+//
+// tests/ and bench/ are not constrained: they sit above everything and may
+// include any layer.
+#ifndef CRN_ANALYZE_INCLUDE_GRAPH_H_
+#define CRN_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crn_analyze/analysis.h"
+
+namespace crn::analyze {
+
+// Rank of the layer owning `logical_path` ("src/mac/packet.h" → 3), or
+// nullopt when the path is not under a known src/ layer.
+std::optional<int> LayerRank(const std::string& logical_path);
+
+std::vector<Finding> RunIncludeGraphPass(const std::vector<SourceFile>& files);
+
+}  // namespace crn::analyze
+
+#endif  // CRN_ANALYZE_INCLUDE_GRAPH_H_

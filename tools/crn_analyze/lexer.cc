@@ -1,0 +1,254 @@
+#include "crn_analyze/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace crn::analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "u8R" || ident == "UR" ||
+         ident == "LR";
+}
+
+}  // namespace
+
+LexResult Lex(const std::string& content) {
+  LexResult result;
+  result.scrubbed.emplace_back();
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  // Preprocessor context: after `#` at the start of a logical line we watch
+  // for `include` and then capture its target.
+  enum class Pp { kNone, kHash, kInclude };
+  Pp pp = Pp::kNone;
+  bool at_line_start = true;
+
+  auto out = [&]() -> std::string& { return result.scrubbed.back(); };
+  auto newline = [&] {
+    ++line;
+    result.scrubbed.emplace_back();
+  };
+  // Consumes a backslash-newline splice (the logical line continues, so pp
+  // and line-start state are preserved). Returns true if one was consumed.
+  auto splice = [&]() -> bool {
+    if (content[i] != '\\') return false;
+    std::size_t j = i + 1;
+    if (j < n && content[j] == '\r') ++j;
+    if (j < n && content[j] == '\n') {
+      i = j + 1;
+      newline();
+      return true;
+    }
+    return false;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      newline();
+      pp = Pp::kNone;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    if (splice()) continue;
+    // Line comment (spliced trailing backslashes continue it).
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      i += 2;
+      while (i < n) {
+        if (splice()) continue;
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Block comment, possibly multi-line.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      i += 2;
+      while (i < n) {
+        if (content[i] == '*' && i + 1 < n && content[i + 1] == '/') {
+          i += 2;
+          break;
+        }
+        if (content[i] == '\n') newline();
+        ++i;
+      }
+      out().push_back(' ');
+      continue;
+    }
+    // String literal (non-raw; raw strings are detected from their prefix
+    // identifier below).
+    if (c == '"') {
+      const int start_line = line;
+      ++i;
+      std::string value;
+      while (i < n && content[i] != '\n') {
+        if (content[i] == '\\') {
+          if (splice()) continue;
+          i += 2;
+          continue;
+        }
+        if (content[i] == '"') {
+          ++i;
+          break;
+        }
+        value.push_back(content[i]);
+        ++i;
+      }
+      result.tokens.push_back(Token{TokenKind::kString, value, start_line});
+      if (pp == Pp::kInclude) {
+        result.includes.push_back(IncludeDirective{value, start_line, false});
+        pp = Pp::kNone;
+      }
+      out().push_back(' ');
+      at_line_start = false;
+      continue;
+    }
+    // Character literal. Reached only when `'` starts a literal — a `'`
+    // inside a number is consumed by the number path below.
+    if (c == '\'') {
+      const int start_line = line;
+      ++i;
+      while (i < n && content[i] != '\n') {
+        if (content[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\'') {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      result.tokens.push_back(Token{TokenKind::kCharLiteral, "", start_line});
+      out().push_back(' ');
+      at_line_start = false;
+      continue;
+    }
+    // pp-number: digits, identifier chars, dots, digit separators, and
+    // signed exponents.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])) != 0)) {
+      std::string num;
+      while (i < n) {
+        const char d = content[i];
+        if (IsIdentChar(d) || d == '.') {
+          num.push_back(d);
+          ++i;
+          continue;
+        }
+        if (d == '\'' && i + 1 < n &&
+            std::isalnum(static_cast<unsigned char>(content[i + 1])) != 0) {
+          num.push_back(d);
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !num.empty() &&
+            (std::tolower(static_cast<unsigned char>(num.back())) == 'e' ||
+             std::tolower(static_cast<unsigned char>(num.back())) == 'p')) {
+          num.push_back(d);
+          ++i;
+          continue;
+        }
+        break;
+      }
+      result.tokens.push_back(Token{TokenKind::kNumber, num, line});
+      out() += num;
+      at_line_start = false;
+      continue;
+    }
+    // Identifier — or the prefix of a raw string literal.
+    if (IsIdentStart(c)) {
+      const int start_line = line;
+      std::string ident;
+      while (i < n && IsIdentChar(content[i])) {
+        ident.push_back(content[i]);
+        ++i;
+      }
+      if (i < n && content[i] == '"' && IsRawStringPrefix(ident)) {
+        ++i;  // opening quote
+        std::string delim;
+        while (i < n && content[i] != '(' && content[i] != '\n') {
+          delim.push_back(content[i]);
+          ++i;
+        }
+        if (i < n && content[i] == '(') ++i;
+        const std::string closer = ")" + delim + "\"";
+        while (i < n) {
+          if (content[i] == '\n') {
+            newline();
+            ++i;
+            continue;
+          }
+          if (content.compare(i, closer.size(), closer) == 0) {
+            i += closer.size();
+            break;
+          }
+          ++i;
+        }
+        result.tokens.push_back(Token{TokenKind::kString, "", start_line});
+        out().push_back(' ');
+        at_line_start = false;
+        continue;
+      }
+      result.tokens.push_back(
+          Token{TokenKind::kIdentifier, ident, start_line});
+      out() += ident;
+      if (pp == Pp::kHash) pp = ident == "include" ? Pp::kInclude : Pp::kNone;
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive start.
+    if (c == '#' && at_line_start) {
+      pp = Pp::kHash;
+      out().push_back('#');
+      result.tokens.push_back(Token{TokenKind::kPunct, "#", line});
+      at_line_start = false;
+      ++i;
+      continue;
+    }
+    // Angled include target.
+    if (c == '<' && pp == Pp::kInclude) {
+      const int start_line = line;
+      ++i;
+      std::string target;
+      while (i < n && content[i] != '>' && content[i] != '\n') {
+        target.push_back(content[i]);
+        ++i;
+      }
+      if (i < n && content[i] == '>') ++i;
+      result.includes.push_back(IncludeDirective{target, start_line, true});
+      pp = Pp::kNone;
+      out().push_back(' ');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      out().push_back(c);
+      ++i;
+      continue;
+    }
+    result.tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    out().push_back(c);
+    at_line_start = false;
+    ++i;
+  }
+  return result;
+}
+
+}  // namespace crn::analyze

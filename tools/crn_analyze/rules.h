@@ -1,0 +1,38 @@
+// The ten rules migrated from the legacy line-regex checker (crn_lint),
+// now matching against tokenizer-scrubbed text so multi-line raw strings,
+// block comments, and spliced lines can never leak literal content into a
+// match — plus the suppression-justification rule that keeps `crn-lint-ok`
+// markers honest.
+//
+// Rule ids and semantics are unchanged from crn_lint so existing inline
+// suppressions keep working:
+//   banned-rng, wall-clock, raw-db-conversion, unordered-iteration,
+//   float-in-physics, shared-mutable-rng, header-guard, throw-in-callback,
+//   hot-path-math, library-io
+// plus (new in crn_analyze):
+//   suppression-justification — a `crn-lint-ok` marker without a
+//   `crn-lint-ok: <reason>` justification is itself a finding, and is
+//   exempt from suppression (a bare marker cannot silence itself).
+#ifndef CRN_ANALYZE_RULES_H_
+#define CRN_ANALYZE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "crn_analyze/analysis.h"
+
+namespace crn::analyze {
+
+// Shared text helpers (identifier-boundary matching).
+bool ContainsWord(const std::string& line, const std::string& word);
+bool ContainsCallOf(const std::string& line, const std::string& name);
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+// Runs the migrated per-file rules and suppression-justification. Inline
+// `crn-lint-ok` suppression is already applied (except, by design, to
+// suppression-justification findings).
+std::vector<Finding> RunFileRules(const SourceFile& file);
+
+}  // namespace crn::analyze
+
+#endif  // CRN_ANALYZE_RULES_H_

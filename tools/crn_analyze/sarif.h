@@ -1,0 +1,19 @@
+// SARIF v2.1.0 export so CI (and editors) can consume findings as a
+// structured artifact. Baseline-suppressed findings are included with a
+// `suppressions` record rather than dropped — the artifact is the complete
+// picture, the exit code is the gate.
+#ifndef CRN_ANALYZE_SARIF_H_
+#define CRN_ANALYZE_SARIF_H_
+
+#include <ostream>
+#include <vector>
+
+#include "crn_analyze/analysis.h"
+
+namespace crn::analyze {
+
+void WriteSarif(std::ostream& out, const std::vector<Finding>& findings);
+
+}  // namespace crn::analyze
+
+#endif  // CRN_ANALYZE_SARIF_H_

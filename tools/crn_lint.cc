@@ -33,7 +33,7 @@
 //                       strands half-applied MAC/routing state; report
 //                       contract violations through CRN_CHECK and expected
 //                       failures through structured results (the
-//                       core::RepairPlan pattern).
+//                       graph::RepairPlan pattern).
 //   hot-path-math       a pow()/Distance() call in src/mac or src/spectrum
 //                       outside the path-loss internals (interference.h,
 //                       interference_field.h) — SIR hot-path code must read
@@ -110,16 +110,45 @@ bool ContainsCallOf(const std::string& line, const std::string& name) {
   return false;
 }
 
+// Multi-line literal state carried across StripCommentsAndStrings calls:
+// /* */ comments and raw strings both span lines, and a raw string's close
+// sequence depends on its delimiter, so a bool is not enough.
+struct StripState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_closer;  // ")delim\"" for the currently open raw string
+};
+
+// True when the quote at `quote_pos` opens a raw string literal: the
+// identifier immediately before it must be exactly one of the raw-string
+// prefixes (R, uR, u8R, UR, LR).
+bool IsRawStringQuote(const std::string& line, std::size_t quote_pos) {
+  std::size_t begin = quote_pos;
+  while (begin > 0 && IsIdentChar(line[begin - 1])) --begin;
+  const std::string prefix = line.substr(begin, quote_pos - begin);
+  for (const char* candidate : {"R", "uR", "u8R", "UR", "LR"}) {
+    if (prefix == candidate) return true;
+  }
+  return false;
+}
+
 // Strips string/char literals and comments so rule matching never fires on
-// documentation or message text. `in_block_comment` carries /* */ state
-// across lines.
-std::string StripCommentsAndStrings(const std::string& line, bool& in_block_comment) {
+// documentation or message text. `state` carries /* */ and raw-string
+// literal state across lines.
+std::string StripCommentsAndStrings(const std::string& line, StripState& state) {
   std::string out;
   out.reserve(line.size());
   for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block_comment) {
+    if (state.in_raw_string) {
+      const std::size_t close = line.find(state.raw_closer, i);
+      if (close == std::string::npos) return out;  // continues on the next line
+      i = close + state.raw_closer.size() - 1;
+      state.in_raw_string = false;
+      continue;
+    }
+    if (state.in_block_comment) {
       if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block_comment = false;
+        state.in_block_comment = false;
         ++i;
       }
       continue;
@@ -127,8 +156,17 @@ std::string StripCommentsAndStrings(const std::string& line, bool& in_block_comm
     const char c = line[i];
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block_comment = true;
+      state.in_block_comment = true;
       ++i;
+      continue;
+    }
+    if (c == '"' && IsRawStringQuote(line, i)) {
+      // R"delim( ... )delim" — the delimiter runs up to the first '('.
+      const std::size_t open = line.find('(', i + 1);
+      if (open == std::string::npos) continue;  // malformed; let it slide
+      state.raw_closer = ")" + line.substr(i + 1, open - i - 1) + "\"";
+      state.in_raw_string = true;
+      i = open;  // loop re-enters the in_raw_string branch at i + 1
       continue;
     }
     if (c == '"' || c == '\'') {
@@ -206,9 +244,9 @@ std::vector<Finding> ScanFile(const std::string& logical_path,
   // Pre-strip comments/strings, remembering raw lines for suppression.
   std::vector<std::string> code;
   code.reserve(raw_lines.size());
-  bool in_block_comment = false;
+  StripState strip_state;
   for (const std::string& raw : raw_lines) {
-    code.push_back(StripCommentsAndStrings(raw, in_block_comment));
+    code.push_back(StripCommentsAndStrings(raw, strip_state));
   }
 
   auto add = [&](int line_index, const char* rule, std::string message) {
@@ -275,7 +313,7 @@ std::vector<Finding> ScanFile(const std::string& logical_path,
             "an exception unwinding through a simulator event callback "
             "strands half-applied MAC/routing state; use CRN_CHECK for "
             "contract violations or return a structured result "
-            "(core::RepairPlan pattern)");
+            "(graph::RepairPlan pattern)");
       }
       if (!StartsWith(logical_path, "src/harness/") &&
           (ContainsWord(line, "cout") || ContainsWord(line, "cerr"))) {
@@ -401,6 +439,7 @@ int RunSelfTest(const fs::path& root) {
       {"src__geom__bad_guard.h", "header-guard"},
       {"src__mac__bad_io.cc", "library-io"},
       {"src__core__clean_fixture.cc", ""},
+      {"src__core__clean_rawstring.cc", ""},
   };
   int failures = 0;
   for (const auto& [file_name, rule] : expected) {

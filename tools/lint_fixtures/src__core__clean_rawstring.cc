@@ -1,0 +1,24 @@
+// Lint fixture (logical path src/core/clean_rawstring.cc): a raw string
+// literal opening on one line and closing several lines later. Before the
+// raw-string fix, the legacy stripper treated the `R"(` quote as an
+// ordinary string start, lost track at the newline, and leaked the literal
+// body into rule matching on the following lines — every banned token
+// below would fire. Fixed stripper and tokenizer alike must report zero
+// findings.
+#include <string>
+
+namespace crn::core {
+
+inline std::string RawStringDoc() {
+  return R"doc(
+    std::mt19937 rng; rand(); srand(7);
+    float narrowing = 0.f; steady_clock reads; throw "boom";
+    std::cout << "library io"; std::pow(10, x / 10.0);
+  )doc";
+}
+
+inline std::string RawStringPlain() {
+  return R"(second form: rand() and float and throw)";
+}
+
+}  // namespace crn::core
