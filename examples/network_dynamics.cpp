@@ -61,7 +61,7 @@ int main() {
   std::vector<char> alive(graph.node_count(), 1);
   sim::TimeNs when = 50 * sim::kMillisecond;
   for (graph::NodeId victim : victims) {
-    simulator.ScheduleAt(when, sim::EventPriority::kDefault, [&, victim] {
+    simulator.ScheduleOnce(when, sim::EventPriority::kDefault, [&, victim] {
       alive[victim] = 0;
       graph::RepairPlan plan =
           graph::PlanLocalRepair(graph, bfs, next_hop, alive, victim);

@@ -12,6 +12,7 @@
 #ifndef CRN_COMMON_RNG_H_
 #define CRN_COMMON_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 
@@ -124,6 +125,20 @@ class Rng {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return UniformDouble() < p;
+  }
+
+  // Integer threshold T such that, for p in (0, 1) and any raw draw x,
+  //   (x >> 11) < T  ⟺  UniformDouble-from-x < p  (i.e. Bernoulli(p)).
+  // Exact, not approximate: (x >> 11) is a 53-bit integer, so both the
+  // int→double conversion and the 2⁻⁵³ scale in UniformDouble are exact,
+  // and k·2⁻⁵³ < p ⟺ k < p·2⁵³ ⟺ k < ⌈p·2⁵³⌉ (p·2⁵³ is a power-of-two
+  // rescale of a double, also exact). Hot loops hoist this out and replace
+  // a convert+multiply+compare per draw with one integer compare; note the
+  // caller must still special-case p ≤ 0 / p ≥ 1, where Bernoulli consumes
+  // no draw at all.
+  static std::uint64_t BernoulliThreshold(double p) {
+    CRN_DCHECK(p > 0.0 && p < 1.0) << "p=" << p;
+    return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
   }
 
  private:

@@ -81,7 +81,9 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   const double sensing_range =
       options.sensing_range > 0.0 ? options.sensing_range : scenario.pcr();
 
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.reference_scheduler
+                               ? sim::SchedulerKind::kReference
+                               : sim::SchedulerKind::kCalendar);
   pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
   const mac::MacConfig mac_config = MakeMacConfig(config, sensing_range, options);
 
@@ -151,6 +153,19 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
         .Add(work.pu_partials_reused);
     options.metrics->GetCounter("perf.su_resumes", engine).Add(work.su_resumes);
     options.metrics->GetCounter("perf.bound_skips", engine).Add(work.bound_skips);
+    // Scheduler work accounting (sim/simulator.h): exact, seed-stable queue
+    // operation counts, labeled by backend so calendar and reference runs
+    // stay separable — the same A/B pattern as the SIR engine above.
+    const sim::SchedStats& sched_stats = simulator.sched_stats();
+    const obs::Labels sched{{"scheduler", sim::ToString(simulator.scheduler_kind())}};
+    options.metrics->GetCounter("perf.sched_pushes", sched).Add(sched_stats.pushes);
+    options.metrics->GetCounter("perf.sched_pops", sched).Add(sched_stats.pops);
+    options.metrics->GetCounter("perf.sched_cancels", sched)
+        .Add(sched_stats.cancels);
+    options.metrics->GetCounter("perf.sched_stale_skips", sched)
+        .Add(sched_stats.stale_skips);
+    options.metrics->GetCounter("perf.sched_bucket_resizes", sched)
+        .Add(sched_stats.bucket_resizes);
   }
   if (injector.has_value()) {
     if (options.fault_report != nullptr) *options.fault_report = injector->report();
@@ -288,7 +303,9 @@ ContinuousResult RunAddcContinuous(const Scenario& scenario, sim::TimeNs interva
     next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);
   }
 
-  sim::Simulator simulator;
+  sim::Simulator simulator(config.reference_scheduler
+                               ? sim::SchedulerKind::kReference
+                               : sim::SchedulerKind::kCalendar);
   pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
   const mac::MacConfig mac_config =
       MakeMacConfig(config, scenario.pcr(), RunOptions{});

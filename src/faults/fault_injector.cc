@@ -67,8 +67,8 @@ void FaultInjector::Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
       CRN_CHECK(primary_ != nullptr)
           << "fault plan perturbs PU activity but no primary network attached";
     }
-    simulator.ScheduleAt(event.time, sim::EventPriority::kDefault,
-                         [this, event] { Apply(event); });
+    simulator.ScheduleOnce(event.time, sim::EventPriority::kDefault,
+                           [this, event] { Apply(event); });
   }
 }
 
@@ -99,8 +99,8 @@ void FaultInjector::Apply(const FaultEvent& event) {
           cursor = mac_->next_hop(cursor);
         }
       }
-      simulator_->ScheduleAfter(plan_.repair_delay, sim::EventPriority::kDefault,
-                                [this, node] { RunRepairPass(node); });
+      simulator_->ScheduleOnceAfter(plan_.repair_delay, sim::EventPriority::kDefault,
+                                    [this, node] { RunRepairPass(node); });
       break;
     }
     case FaultKind::kRecover:

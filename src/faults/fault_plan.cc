@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "sim/event_key.h"
 
 namespace crn::faults {
 
@@ -194,8 +195,10 @@ FaultPlan LoadPlanFile(const std::string& path) {
 
 namespace {
 
-// Heap item during compilation. `seq` breaks (time, kind) ties in insertion
-// order, which is itself deterministic, so pops are totally ordered.
+// Heap item during compilation, ordered through the repo's one shared event
+// key (sim/event_key.h) — the same (time, class, sequence) total order the
+// simulator's scheduler backends use, with FaultKind as the class band and
+// the deterministic insertion order as the sequence tie-break.
 struct PendingEvent {
   FaultEvent event;
   std::int64_t seq = 0;
@@ -203,11 +206,12 @@ struct PendingEvent {
   // time so the live set reflects every earlier crash and recovery.
   std::int32_t crash_generator = -1;
 
-  bool operator>(const PendingEvent& other) const {
-    if (event.time != other.event.time) return event.time > other.event.time;
-    if (event.kind != other.event.kind) return event.kind > other.event.kind;
-    return seq > other.seq;
+  [[nodiscard]] sim::EventKey key() const {
+    return sim::EventKey{event.time, static_cast<std::int32_t>(event.kind),
+                         static_cast<std::uint64_t>(seq)};
   }
+
+  bool operator>(const PendingEvent& other) const { return key() > other.key(); }
 };
 
 }  // namespace

@@ -12,6 +12,11 @@ namespace {
 // Grid cell size for the sensing grid: the PCR is the only query radius.
 double SensingCellSize(double pcr) { return std::max(pcr, 1.0); }
 
+// Dense PU-sensing masks are built while a per-agent row spans at most this
+// many 64-bit words (≤ 1024 PUs, two cache lines per agent). Beyond that the
+// rows outgrow cache and the sparse id scan wins back.
+constexpr std::size_t kDensePuSenseWordsMax = 16;
+
 }  // namespace
 
 const MacConfig& CollectionMac::ValidatedConfig(const MacConfig& config) {
@@ -93,6 +98,10 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
   }
 
   agents_.resize(n);
+  agent_phase_.assign(n, Phase::kIdle);
+  agent_frozen_.assign(n, 1);
+  agent_pu_busy_.assign(n, 0);
+  agent_su_busy_.assign(n, 0);
   failed_.assign(n, 0);
   carrier_count_.assign(n, 0);
   contending_slot_.assign(n, -1);
@@ -103,11 +112,26 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
   success_tx_count_.assign(n, 0);
 
   // Precompute each node's static "PUs within my PCR" list (carrier sensing
-  // targets, Lemma 7's disk of radius κ·r).
+  // targets, Lemma 7's disk of radius κ·r), and bind each agent's two
+  // timers once — arming/cancelling them later is O(1) and allocation-free.
+  const std::size_t pu_words = (primary_.positions().size() + 63) / 64;
+  if (pu_words <= kDensePuSenseWordsMax) {
+    pu_mask_words_ = pu_words;
+    agent_pu_mask_.assign(static_cast<std::size_t>(n) * pu_words, 0);
+  }
   for (NodeId v = 0; v < n; ++v) {
     primary_.grid().ForEachInDisk(positions_[v], config_.pcr, [&](pu::PuId p) {
       agents_[v].nearby_pus.push_back(p);
+      if (pu_mask_words_ > 0) {
+        agent_pu_mask_[static_cast<std::size_t>(v) * pu_mask_words_ +
+                       (static_cast<std::size_t>(p) >> 6)] |=
+            std::uint64_t{1} << (p & 63);
+      }
     });
+    agents_[v].expiry_timer.Bind(simulator_, sim::EventPriority::kTimerExpiry,
+                                 [this, v] { OnBackoffExpired(v); });
+    agents_[v].wait_timer.Bind(simulator_, sim::EventPriority::kDefault,
+                               [this, v] { OnPostTxWaitDone(v); });
   }
 }
 
@@ -145,11 +169,17 @@ void CollectionMac::StartContinuousCollection(const std::vector<NodeId>& produce
   const sim::TimeNs now = simulator_.now();
   // Slot boundary first (samples the initial PU state); snapshot seeding
   // events run at default priority, so producers always see a sampled slot.
-  simulator_.ScheduleAt(now, sim::EventPriority::kSlotBoundary,
-                        [this] { OnSlotBoundary(); });
+  slot_timer_.Bind(simulator_, sim::EventPriority::kSlotBoundary,
+                   [this] { OnSlotBoundary(); });
+  slot_timer_.Start(now, config_.slot);
+  audit_timer_.Bind(simulator_, sim::EventPriority::kDefault,
+                    [this] { AuditPrimaryReceptions(); });
   for (std::int32_t k = 0; k < snapshot_count; ++k) {
-    simulator_.ScheduleAt(now + k * interval, sim::EventPriority::kDefault,
-                          [this, producers, k] { SeedSnapshot(producers, k); });
+    simulator_.ScheduleOnce(  // crn-lint-ok: one-time cold-path seeding burst;
+                              // each one-shot carries a distinct snapshot
+                              // payload, which a bind-once Timer cannot.
+        now + k * interval, sim::EventPriority::kDefault,
+        [this, producers, k] { SeedSnapshot(producers, k); });
   }
 }
 
@@ -183,8 +213,8 @@ void CollectionMac::SeedSnapshot(const std::vector<NodeId>& producers,
 // --- agent lifecycle ------------------------------------------------------
 
 void CollectionMac::ActivateIfIdle(NodeId node) {
-  Agent& agent = agents_[node];
-  if (!failed_[node] && agent.phase == Phase::kIdle && !agent.queue.empty()) {
+  if (!failed_[node] && agent_phase_[node] == Phase::kIdle &&
+      !agents_[node].queue.empty()) {
     BeginContention(node);
   }
 }
@@ -195,18 +225,15 @@ void CollectionMac::FailNode(NodeId node) {
   Agent& agent = agents_[node];
   // Cut any transmission it is sending; the packet returns to the queue
   // first and is then lost with the node below.
-  if (agent.phase == Phase::kTransmitting) {
+  if (agent_phase_[node] == Phase::kTransmitting) {
     FinishTransmission(node, /*aborted=*/true);
     // FinishTransmission put the node into PostTxWait with a pending event.
   }
-  if (agent.wait_event != sim::kInvalidEventId) {
-    simulator_.Cancel(agent.wait_event);
-    agent.wait_event = sim::kInvalidEventId;
-  }
-  if (agent.phase == Phase::kContending) {
+  agent.wait_timer.Disarm();
+  if (agent_phase_[node] == Phase::kContending) {
     LeaveContention(node);
   }
-  agent.phase = Phase::kIdle;
+  agent_phase_[node] = Phase::kIdle;
   failed_[node] = 1;
   // In-flight transmissions toward the node lose their receiver.
   for (Transmission& tx : active_tx_) {
@@ -229,7 +256,7 @@ void CollectionMac::FailNode(NodeId node) {
 void CollectionMac::RecoverNode(NodeId node) {
   CRN_CHECK(failed_[node]) << "node " << node << " is not failed";
   Agent& agent = agents_[node];
-  CRN_DCHECK(agent.phase == Phase::kIdle && agent.queue.empty());
+  CRN_DCHECK(agent_phase_[node] == Phase::kIdle && agent.queue.empty());
   failed_[node] = 0;
   agent.dead_hop_failures = 0;
   // Nothing to activate: the node rejoins empty-handed and wakes up on its
@@ -263,9 +290,10 @@ void CollectionMac::SetSensingErrorRates(double false_alarm,
 
 void CollectionMac::BeginContention(NodeId node) {
   Agent& agent = agents_[node];
-  CRN_DCHECK(agent.phase == Phase::kIdle || agent.phase == Phase::kPostTxWait);
+  CRN_DCHECK(agent_phase_[node] == Phase::kIdle ||
+             agent_phase_[node] == Phase::kPostTxWait);
   CRN_DCHECK(!agent.queue.empty());
-  agent.phase = Phase::kContending;
+  agent_phase_[node] = Phase::kContending;
   if (config_.backoff_granularity <= 0) {
     // Algorithm 1: t_i uniform over (0, τ_c] at nanosecond granularity —
     // simultaneous expiries among neighbors have probability ~0.
@@ -289,8 +317,7 @@ void CollectionMac::BeginContention(NodeId node) {
                    static_cast<std::uint64_t>(jitter_range)));
   }
   agent.remaining = agent.backoff_drawn;
-  agent.frozen = true;
-  agent.expiry_event = sim::kInvalidEventId;
+  agent_frozen_[node] = 1;
   // Emitted before UpdateFreezeState below so lifecycle consumers see
   // contention-started strictly before any same-instant resume.
   EmitLifecycle(LifecycleEvent::Kind::kContentionStarted, node,
@@ -303,8 +330,8 @@ void CollectionMac::BeginContention(NodeId node) {
   sensing_grid_.Insert(node);
 
   // Fresh busy snapshot: stored counts are stale after an absence.
-  agent.pu_busy = SensePuBusy(agent);
-  agent.su_busy_count = ComputeSuBusyCount(node);
+  agent_pu_busy_[node] = SensePuBusy(node) ? 1 : 0;
+  agent_su_busy_[node] = ComputeSuBusyCount(node);
   UpdateFreezeState(node);
   for (const auto& observer : contention_observers_) {
     observer(node, simulator_.now());
@@ -312,8 +339,7 @@ void CollectionMac::BeginContention(NodeId node) {
 }
 
 void CollectionMac::LeaveContention(NodeId node) {
-  Agent& agent = agents_[node];
-  if (!agent.frozen) FreezeTimer(node);
+  if (agent_frozen_[node] == 0) FreezeTimer(node);
   const std::int32_t pos = contending_slot_[node];
   CRN_DCHECK(pos >= 0);
   const NodeId moved = contending_list_.back();
@@ -326,48 +352,54 @@ void CollectionMac::LeaveContention(NodeId node) {
 
 void CollectionMac::FreezeTimer(NodeId node) {
   Agent& agent = agents_[node];
-  CRN_DCHECK(!agent.frozen);
+  CRN_DCHECK(agent_frozen_[node] == 0);
   agent.remaining -= simulator_.now() - agent.resume_time;
   CRN_DCHECK(agent.remaining >= 0);
-  agent.frozen = true;
-  if (agent.expiry_event != sim::kInvalidEventId) {
-    simulator_.Cancel(agent.expiry_event);
-    agent.expiry_event = sim::kInvalidEventId;
-  }
+  agent_frozen_[node] = 1;
+  agent.expiry_timer.Disarm();
   EmitLifecycle(LifecycleEvent::Kind::kFrozen, node, nullptr, agent.remaining);
 }
 
 void CollectionMac::ResumeTimer(NodeId node) {
   Agent& agent = agents_[node];
-  CRN_DCHECK(agent.frozen);
-  agent.frozen = false;
+  CRN_DCHECK(agent_frozen_[node] != 0);
+  agent_frozen_[node] = 0;
   agent.resume_time = simulator_.now();
-  agent.expiry_event =
-      simulator_.ScheduleAfter(agent.remaining, sim::EventPriority::kTimerExpiry,
-                               [this, node] { OnBackoffExpired(node); });
+  agent.expiry_timer.ArmAfter(agent.remaining);
   EmitLifecycle(LifecycleEvent::Kind::kResumed, node, nullptr, agent.remaining);
 }
 
 void CollectionMac::UpdateFreezeState(NodeId node) {
-  Agent& agent = agents_[node];
-  if (agent.phase != Phase::kContending) return;
-  const bool busy = agent.pu_busy || agent.su_busy_count > 0;
-  if (busy && !agent.frozen) {
+  if (agent_phase_[node] != Phase::kContending) return;
+  const bool busy = agent_pu_busy_[node] != 0 || agent_su_busy_[node] > 0;
+  if (busy && agent_frozen_[node] == 0) {
     FreezeTimer(node);
-  } else if (!busy && agent.frozen) {
+  } else if (!busy && agent_frozen_[node] != 0) {
     ResumeTimer(node);
   }
 }
 
-bool CollectionMac::ComputePuBusy(const Agent& agent) const {
-  for (pu::PuId p : agent.nearby_pus) {
+bool CollectionMac::ComputePuBusy(NodeId node) const {
+  if (pu_mask_words_ > 0) {
+    // Dense path: intersect this node's static "PUs near me" mask row with
+    // the slot's activity mask. A handful of unconditional word ops beats
+    // the early-exit id scan, whose data-dependent branch mispredicts ~every
+    // slot at moderate p_t. Same truth value, so behavior is bit-identical.
+    const std::uint64_t* row = agent_pu_mask_.data() +
+                               static_cast<std::size_t>(node) * pu_mask_words_;
+    const std::uint64_t* act = primary_.activity_mask().data();
+    std::uint64_t hit = 0;
+    for (std::size_t w = 0; w < pu_mask_words_; ++w) hit |= row[w] & act[w];
+    return hit != 0;
+  }
+  for (pu::PuId p : agents_[node].nearby_pus) {
     if (primary_.IsActive(p)) return true;
   }
   return false;
 }
 
-bool CollectionMac::SensePuBusy(const Agent& agent) {
-  const bool truth = ComputePuBusy(agent);
+bool CollectionMac::SensePuBusy(NodeId node) {
+  const bool truth = ComputePuBusy(node);
   if (truth) {
     if (config_.sensing_missed_detection > 0.0 &&
         sensing_rng_.Bernoulli(config_.sensing_missed_detection)) {
@@ -397,14 +429,13 @@ std::int32_t CollectionMac::ComputeSuBusyCount(NodeId node) const {
 
 void CollectionMac::OnBackoffExpired(NodeId node) {
   Agent& agent = agents_[node];
-  CRN_DCHECK(agent.phase == Phase::kContending);
-  agent.expiry_event = sim::kInvalidEventId;
+  CRN_DCHECK(agent_phase_[node] == Phase::kContending);
   // Defensive re-check: a same-instant busy transition processed earlier in
   // the event order freezes the timer and cancels this event, but if the
   // spectrum turned busy through a path that did not touch this agent the
   // conservative move is to wait for the next free period.
-  if (agent.pu_busy || agent.su_busy_count > 0) {
-    agent.frozen = true;
+  if (agent_pu_busy_[node] != 0 || agent_su_busy_[node] > 0) {
+    agent_frozen_[node] = 1;
     agent.remaining = 0;
     return;
   }
@@ -420,12 +451,10 @@ void CollectionMac::OnBackoffExpired(NodeId node) {
   const sim::TimeNs slot_end = slot_start_time_ + config_.slot;
   if (config_.slot_aware_defer &&
       simulator_.now() + config_.tx_duration > slot_end) {
-    agent.frozen = false;
+    agent_frozen_[node] = 0;
     agent.resume_time = simulator_.now();
     agent.remaining = slot_end - simulator_.now();
-    agent.expiry_event =
-        simulator_.ScheduleAfter(agent.remaining, sim::EventPriority::kTimerExpiry,
-                                 [this, node] { OnBackoffExpired(node); });
+    agent.expiry_timer.ArmAfter(agent.remaining);
     EmitLifecycle(LifecycleEvent::Kind::kDeferred, node, nullptr, agent.remaining);
     return;
   }
@@ -433,17 +462,15 @@ void CollectionMac::OnBackoffExpired(NodeId node) {
   // LeaveContention does not re-freeze and subtract the elapsed wait again
   // (which would drive `remaining` negative).
   agent.remaining = 0;
-  agent.frozen = true;
+  agent_frozen_[node] = 1;
   LeaveContention(node);
   StartTransmission(node);
 }
 
 void CollectionMac::OnPostTxWaitDone(NodeId node) {
-  Agent& agent = agents_[node];
-  CRN_DCHECK(agent.phase == Phase::kPostTxWait);
-  agent.wait_event = sim::kInvalidEventId;
-  if (agent.queue.empty()) {
-    agent.phase = Phase::kIdle;
+  CRN_DCHECK(agent_phase_[node] == Phase::kPostTxWait);
+  if (agents_[node].queue.empty()) {
+    agent_phase_[node] = Phase::kIdle;
   } else {
     BeginContention(node);
   }
@@ -452,9 +479,8 @@ void CollectionMac::OnPostTxWaitDone(NodeId node) {
 // --- transmissions ----------------------------------------------------------
 
 void CollectionMac::StartTransmission(NodeId node) {
-  Agent& agent = agents_[node];
-  CRN_DCHECK(!agent.queue.empty());
-  agent.phase = Phase::kTransmitting;
+  CRN_DCHECK(!agents_[node].queue.empty());
+  agent_phase_[node] = Phase::kTransmitting;
 
   const NodeId receiver = next_hop_[node];
   Transmission tx;
@@ -485,25 +511,28 @@ void CollectionMac::StartTransmission(NodeId node) {
     }
   }
 
-  tx.end_event = simulator_.ScheduleAfter(
-      config_.tx_duration, sim::EventPriority::kTransmissionEnd,
-      [this, node] { FinishTransmission(node, /*aborted=*/false); });
+  tx.end_timer.Bind(simulator_, sim::EventPriority::kTransmissionEnd,
+                    [this, node] { FinishTransmission(node, /*aborted=*/false); });
+  tx.end_timer.ArmAfter(config_.tx_duration);
   if (config_.sensing_latency <= 0) {
     tx.announced = true;
   } else {
-    tx.announce_event =
-        simulator_.ScheduleAfter(config_.sensing_latency, sim::EventPriority::kDefault,
-                                 [this, node] { AnnounceTxStart(node); });
+    tx.announce_timer.Bind(simulator_, sim::EventPriority::kDefault,
+                           [this, node] { AnnounceTxStart(node); });
+    tx.announce_timer.ArmAfter(config_.sensing_latency);
   }
 
+  const bool announced_now = tx.announced;
+  const sim::TimeNs tx_start = tx.start;
+  const sim::TimeNs tx_end = tx.end;
   active_tx_slot_[node] = static_cast<std::int32_t>(active_tx_.size());
-  active_tx_.push_back(tx);
+  active_tx_.push_back(std::move(tx));
   ++stats_.attempts;
   for (const auto& observer : tx_start_observers_) {
-    observer(node, receiver, tx.start, tx.end);
+    observer(node, receiver, tx_start, tx_end);
   }
 
-  if (tx.announced) NotifySensorsTxStart(node);
+  if (announced_now) NotifySensorsTxStart(node);
   // A new interferer appeared: refresh the SIR floor of every ongoing
   // reception, including the new one.
   field_.NoteSuInterfererAdded();
@@ -515,44 +544,47 @@ void CollectionMac::AnnounceTxStart(NodeId transmitter) {
   CRN_DCHECK(pos >= 0) << "announce for a vanished transmission";
   Transmission& tx = active_tx_[pos];
   tx.announced = true;
-  tx.announce_event = sim::kInvalidEventId;
   NotifySensorsTxStart(transmitter);
 }
 
 void CollectionMac::FinishTransmission(NodeId node, bool aborted) {
   const std::int32_t pos = active_tx_slot_[node];
   CRN_DCHECK(pos >= 0);
-  Transmission tx = active_tx_[pos];
-  if (aborted) {
-    simulator_.Cancel(tx.end_event);
-  }
+  // Move the transmission out: its timers ride along, and the local's
+  // destructor cancels whatever is still pending (the end event on an
+  // abort, the announcement on an early end) — including when this call
+  // *is* the end timer's own fire, where the slot release is deferred
+  // until the callback returns.
+  Transmission tx = std::move(active_tx_[pos]);
   // Remove from the active set first so our own signal is not counted as
   // interference in any further evaluation.
   const NodeId moved = active_tx_.back().transmitter;
-  active_tx_[pos] = active_tx_.back();
+  active_tx_[pos] = std::move(active_tx_.back());
   active_tx_slot_[moved] = pos;
   active_tx_.pop_back();
   active_tx_slot_[node] = -1;
   field_.NoteSuInterfererRemoved();
-  if (!tx.announced) {
-    // The carrier vanished before anyone could sense it; drop the pending
-    // announcement so increments and decrements stay paired.
-    if (tx.announce_event != sim::kInvalidEventId) simulator_.Cancel(tx.announce_event);
-  } else if (config_.sensing_latency <= 0) {
-    NotifySensorsTxEnd(node);
-  } else {
-    // End of carrier is sensed sensing_latency later; until then new
-    // contenders must still count it (fading_tx_).
-    fading_tx_.push_back(node);
-    simulator_.ScheduleAfter(config_.sensing_latency, sim::EventPriority::kDefault,
-                             [this, node] {
-                               const auto it =
-                                   std::find(fading_tx_.begin(), fading_tx_.end(), node);
-                               CRN_DCHECK(it != fading_tx_.end());
-                               fading_tx_.erase(it);
-                               NotifySensorsTxEnd(node);
-                             });
+  if (tx.announced) {
+    if (config_.sensing_latency <= 0) {
+      NotifySensorsTxEnd(node);
+    } else {
+      // End of carrier is sensed sensing_latency later; until then new
+      // contenders must still count it (fading_tx_).
+      fading_tx_.push_back(node);
+      simulator_.ScheduleOnceAfter(  // crn-lint-ok: per-transmission node
+                                     // payload with dynamic multiplicity; a
+                                     // bind-once Timer would drop a fade
+                                     // re-armed while one is pending.
+          config_.sensing_latency, sim::EventPriority::kDefault, [this, node] {
+            const auto it = std::find(fading_tx_.begin(), fading_tx_.end(), node);
+            CRN_DCHECK(it != fading_tx_.end());
+            fading_tx_.erase(it);
+            NotifySensorsTxEnd(node);
+          });
+    }
   }
+  // else: the carrier vanished before anyone could sense it; the pending
+  // announcement dies with `tx`, so increments and decrements stay paired.
 
   Agent& agent = agents_[node];
   TxOutcome outcome = TxOutcome::kSuccess;
@@ -590,13 +622,12 @@ void CollectionMac::FinishTransmission(NodeId node, bool aborted) {
 
   // Fairness rule (Algorithm 1, line 12): wait out the remainder of the
   // contention window before the next attempt.
-  agent.phase = Phase::kPostTxWait;
+  agent_phase_[node] = Phase::kPostTxWait;
   const sim::TimeNs wait =
       config_.fairness_wait
           ? std::max<sim::TimeNs>(0, config_.contention_window - agent.backoff_drawn)
           : 0;
-  agent.wait_event = simulator_.ScheduleAfter(
-      wait, sim::EventPriority::kDefault, [this, node] { OnPostTxWaitDone(node); });
+  agent.wait_timer.ArmAfter(wait);
 }
 
 void CollectionMac::AbortOnPuReturn(NodeId node) {
@@ -606,10 +637,10 @@ void CollectionMac::AbortOnPuReturn(NodeId node) {
 
 void CollectionMac::NotifySensorsTxStart(NodeId transmitter) {
   if (carrier_count_[transmitter]++ == 0) carrier_grid_.Insert(transmitter);
+  // Hot loop: touches only the SoA flag arrays, never the Agent structs.
   sensing_grid_.ForEachMemberInDisk(
       positions_[transmitter], config_.pcr, [&](NodeId sensor) {
-        Agent& agent = agents_[sensor];
-        ++agent.su_busy_count;
+        ++agent_su_busy_[sensor];
         UpdateFreezeState(sensor);
       });
 }
@@ -619,9 +650,8 @@ void CollectionMac::NotifySensorsTxEnd(NodeId transmitter) {
   if (--carrier_count_[transmitter] == 0) carrier_grid_.Erase(transmitter);
   sensing_grid_.ForEachMemberInDisk(
       positions_[transmitter], config_.pcr, [&](NodeId sensor) {
-        Agent& agent = agents_[sensor];
-        CRN_DCHECK(agent.su_busy_count > 0);
-        --agent.su_busy_count;
+        CRN_DCHECK(agent_su_busy_[sensor] > 0);
+        --agent_su_busy_[sensor];
         UpdateFreezeState(sensor);
       });
 }
@@ -724,6 +754,7 @@ void CollectionMac::OnSlotBoundary() {
   if (now >= config_.max_sim_time) {
     stats_.timed_out = true;
     stats_.finish_time = now;
+    slot_timer_.Stop();  // suppress the re-arm: no sequence number consumed
     simulator_.Stop();
     return;
   }
@@ -740,7 +771,7 @@ void CollectionMac::OnSlotBoundary() {
   if (!active_tx_.empty()) {
     std::vector<NodeId> to_abort;
     for (const Transmission& tx : active_tx_) {
-      if (SensePuBusy(agents_[tx.transmitter])) to_abort.push_back(tx.transmitter);
+      if (SensePuBusy(tx.transmitter)) to_abort.push_back(tx.transmitter);
     }
     for (NodeId node : to_abort) AbortOnPuReturn(node);
   }
@@ -748,12 +779,11 @@ void CollectionMac::OnSlotBoundary() {
   // Refresh every contending SU's PU-side busy flag; each check doubles as
   // one spectrum-opportunity observation (Lemma 7 validation).
   for (NodeId node : contending_list_) {
-    Agent& agent = agents_[node];
-    const bool pu_busy = SensePuBusy(agent);
+    const bool pu_busy = SensePuBusy(node);
     ++stats_.slot_checks_total;
     if (!pu_busy) ++stats_.slot_checks_free;
-    if (pu_busy != agent.pu_busy) {
-      agent.pu_busy = pu_busy;
+    if (pu_busy != (agent_pu_busy_[node] != 0)) {
+      agent_pu_busy_[node] = pu_busy ? 1 : 0;
       UpdateFreezeState(node);
     }
   }
@@ -766,12 +796,10 @@ void CollectionMac::OnSlotBoundary() {
   // 40% into the slot intersects most on-air intervals; at the boundary
   // itself the secondary network is always silent.
   if (config_.audit_stride > 0 && slot_index_ % config_.audit_stride == 0) {
-    simulator_.ScheduleAfter(config_.slot * 2 / 5, sim::EventPriority::kDefault,
-                             [this] { AuditPrimaryReceptions(); });
+    audit_timer_.ArmAfter(config_.slot * 2 / 5);
   }
-
-  simulator_.ScheduleAfter(config_.slot, sim::EventPriority::kSlotBoundary,
-                           [this] { OnSlotBoundary(); });
+  // slot_timer_ re-arms the next boundary after this body returns, taking
+  // the same sequence number the explicit self-reschedule used to.
 }
 
 void CollectionMac::AuditPrimaryReceptions() {

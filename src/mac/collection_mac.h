@@ -279,18 +279,18 @@ class CollectionMac {
   // parameter with a less actionable message.
   static const MacConfig& ValidatedConfig(const MacConfig& config);
 
+  // Cold per-agent state. The hot flags the sensing-notification storms
+  // touch (phase / frozen / pu_busy / su_busy_count) live in the packed SoA
+  // arrays below instead, so those loops never drag a whole Agent — queue,
+  // timers, PU list — through the cache.
   struct Agent {
-    Phase phase = Phase::kIdle;
     std::deque<Packet> queue;
     // Contention state (valid in kContending).
     sim::TimeNs backoff_drawn = 0;  // t_i of the current attempt
     sim::TimeNs remaining = 0;
     sim::TimeNs resume_time = 0;
-    bool frozen = true;
-    bool pu_busy = false;
-    std::int32_t su_busy_count = 0;
-    sim::EventId expiry_event = sim::kInvalidEventId;
-    sim::EventId wait_event = sim::kInvalidEventId;
+    sim::Timer expiry_timer;  // fires OnBackoffExpired(node)
+    sim::Timer wait_timer;    // fires OnPostTxWaitDone(node)
     std::vector<pu::PuId> nearby_pus;  // PUs within the PCR (static)
     // Consecutive failed attempts while the next hop was failed; reset by
     // any success or route repair (dead_hop_retx_budget).
@@ -302,12 +302,12 @@ class CollectionMac {
     NodeId receiver = graph::kInvalidNode;
     sim::TimeNs start = 0;
     sim::TimeNs end = 0;
-    sim::EventId end_event = sim::kInvalidEventId;
+    sim::Timer end_timer;  // fires FinishTransmission(tx, /*aborted=*/false)
     double signal_power = 0.0;  // received power at the receiver
     double min_sir = std::numeric_limits<double>::infinity();
     bool receiver_ok = true;    // false on half-duplex clash / capture loss
     bool announced = false;     // sensing notification delivered (latency)
-    sim::EventId announce_event = sim::kInvalidEventId;
+    sim::Timer announce_timer;  // fires AnnounceTxStart after sensing_latency
     TxOutcome forced_outcome = TxOutcome::kSuccess;  // when !receiver_ok
     // Dirty-set reevaluation state (interference_field.h): the change epoch
     // at the last min-SIR floor update.
@@ -343,10 +343,10 @@ class CollectionMac {
   void OnBackoffExpired(NodeId node);
   void OnPostTxWaitDone(NodeId node);
   // Ground truth: any PU inside the PCR currently transmitting.
-  [[nodiscard]] bool ComputePuBusy(const Agent& agent) const;
+  [[nodiscard]] bool ComputePuBusy(NodeId node) const;
   // What the detector reports: ground truth filtered through the
   // false-alarm / missed-detection probabilities.
-  [[nodiscard]] bool SensePuBusy(const Agent& agent);
+  [[nodiscard]] bool SensePuBusy(NodeId node);
   [[nodiscard]] std::int32_t ComputeSuBusyCount(NodeId node) const;
 
   // --- transmissions ----------------------------------------------------
@@ -395,6 +395,22 @@ class CollectionMac {
   spectrum::InterferenceField field_;
 
   std::vector<Agent> agents_;
+  // Hot per-agent MAC state, split out of Agent into packed parallel arrays
+  // (SoA). The sensing-notification storms — NotifySensorsTxStart/End and the
+  // slot-boundary PU refresh — read and write only these four arrays, so a
+  // cache line holds 64 nodes' flags instead of one node's whole Agent.
+  std::vector<Phase> agent_phase_;
+  std::vector<std::uint8_t> agent_frozen_;
+  std::vector<std::uint8_t> agent_pu_busy_;
+  std::vector<std::int32_t> agent_su_busy_;
+  // Per-agent "PUs within my PCR" as bitmasks over PU ids, flattened
+  // (pu_mask_words_ words per agent). ComputePuBusy intersects an agent's
+  // row with PrimaryNetwork::activity_mask() — branch-free, no early-exit
+  // mispredicts — instead of walking Agent::nearby_pus. Built only while
+  // the PU population is small enough (kDensePuSenseWordsMax) that a row
+  // stays a few cache lines; empty otherwise, falling back to the id scan.
+  std::size_t pu_mask_words_ = 0;
+  std::vector<std::uint64_t> agent_pu_mask_;
   std::vector<char> failed_;
   // Sensing set: nodes currently in kContending, as both an iterable list
   // (slot-boundary PU refresh) and a spatial grid (tx start/stop
@@ -437,6 +453,12 @@ class CollectionMac {
   std::int64_t slot_index_ = 0;
   sim::TimeNs slot_start_time_ = 0;  // start of the current slot
   bool running_ = false;
+  // Drives OnSlotBoundary every τ; re-arms after the handler body so events
+  // scheduled inside a slot keep their pre-refactor sequence numbers.
+  sim::PeriodicTimer slot_timer_;
+  // Mid-slot PU-protection audit (at most one pending: armed from the slot
+  // boundary, fires at 0.4τ into the same slot).
+  sim::Timer audit_timer_;
 };
 
 }  // namespace crn::mac

@@ -51,17 +51,53 @@ PrimaryNetwork::PrimaryNetwork(const PrimaryConfig& config, geom::Aabb area,
   CRN_CHECK(static_cast<std::int32_t>(positions_.size()) == config.count)
       << positions_.size() << " positions for N=" << config.count;
   active_.assign(positions_.size(), 0);
+  activity_mask_.assign((positions_.size() + 63) / 64, 0);
   receiver_.assign(positions_.size(), geom::Vec2{});
 }
 
 void PrimaryNetwork::ResampleSlot(Rng& rng) {
-  active_list_.clear();
   switch (config_.process) {
-    case ActivityProcess::kIid:
-      for (PuId id = 0; id < count(); ++id) {
-        active_[id] = rng.Bernoulli(config_.activity) ? 1 : 0;
+    case ActivityProcess::kIid: {
+      // This loop is the single hottest site in long runs (N draws per slot
+      // boundary, every slot), so the Bernoulli is hoisted into an integer
+      // threshold compare: (x >> 11)·2⁻⁵³ < p  ⟺  (x >> 11) < ⌈p·2⁵³⌉.
+      // Both double operations are exact (53-bit integer, power-of-two
+      // scale), so the draws are bit-identical to Rng::Bernoulli.
+      const double p = config_.activity;
+      if (p <= 0.0 || p >= 1.0) {
+        // Rng::Bernoulli consumes no draw at the extremes; match that.
+        const char pinned = p >= 1.0 ? 1 : 0;
+        for (PuId id = 0; id < count(); ++id) active_[id] = pinned;
+        PackMaskFromBytes();
+        break;
       }
+      const std::uint64_t threshold = Rng::BernoulliThreshold(p);
+      const PuId n = count();
+      // Draw from a local copy of the generator: active_ stores are char
+      // writes, which the compiler must otherwise assume may alias the
+      // caller's Rng state, forcing a state reload/spill on every draw.
+      // The draw loop packs activity into the bitmask in the same pass; the
+      // active list is rebuilt afterwards by ctz-scanning the mask words. A
+      // per-PU branchy (or even branchless store+bump) append costs ~2.5×
+      // as much as the whole draw loop at p_t ≈ 0.3 — the data-dependent
+      // branch mispredicts, and the index chain serializes the loop.
+      Rng local = rng;
+      char* out = active_.data();
+      std::uint64_t* mask = activity_mask_.data();
+      std::uint64_t word = 0;
+      for (PuId id = 0; id < n; ++id) {
+        const std::uint64_t is_active = (local() >> 11) < threshold ? 1 : 0;
+        out[id] = static_cast<char>(is_active);
+        word |= is_active << (id & 63);
+        if ((id & 63) == 63) {
+          mask[id >> 6] = word;
+          word = 0;
+        }
+      }
+      if ((n & 63) != 0) mask[n >> 6] = word;
+      rng = local;
       break;
+    }
     case ActivityProcess::kMarkov: {
       // Two-state chain with stationary probability p_t of being active:
       //   P(active -> idle)  = 1/L                    (mean burst L slots)
@@ -85,16 +121,44 @@ void PrimaryNetwork::ResampleSlot(Rng& rng) {
         }
         active_[id] = is_active ? 1 : 0;
       }
+      PackMaskFromBytes();
       break;
     }
   }
-  for (PuId id = 0; id < count(); ++id) {
-    if (active_[id]) {
-      active_list_.push_back(id);
-      ++activations_total_;
+  RebuildActiveList();
+  activations_total_ += static_cast<std::int64_t>(active_list_.size());
+  ++slots_sampled_;
+}
+
+void PrimaryNetwork::PackMaskFromBytes() {
+  std::uint64_t* mask = activity_mask_.data();
+  const char* bytes = active_.data();
+  const PuId n = count();
+  std::uint64_t word = 0;
+  for (PuId id = 0; id < n; ++id) {
+    word |= static_cast<std::uint64_t>(bytes[id] != 0) << (id & 63);
+    if ((id & 63) == 63) {
+      mask[id >> 6] = word;
+      word = 0;
     }
   }
-  ++slots_sampled_;
+  if ((n & 63) != 0) mask[n >> 6] = word;
+}
+
+void PrimaryNetwork::RebuildActiveList() {
+  active_list_.resize(active_.size());
+  PuId* list = active_list_.data();
+  const std::uint64_t* mask = activity_mask_.data();
+  std::size_t actives = 0;
+  for (std::size_t w = 0; w < activity_mask_.size(); ++w) {
+    std::uint64_t bits = mask[w];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      list[actives++] = static_cast<PuId>(w * 64 + static_cast<std::size_t>(bit));
+      bits &= bits - 1;
+    }
+  }
+  active_list_.resize(actives);
 }
 
 void PrimaryNetwork::OverrideActivity(double activity) {

@@ -85,6 +85,12 @@ class PrimaryNetwork {
   [[nodiscard]] const std::vector<PuId>& active_transmitters() const {
     return active_list_;
   }
+  // Per-slot activity as a bitmask (bit id = IsActive(id)), ⌈N/64⌉ words.
+  // Carrier-sensing hot loops intersect it with precomputed "PUs near me"
+  // masks instead of walking id lists (collection_mac.cc).
+  [[nodiscard]] const std::vector<std::uint64_t>& activity_mask() const {
+    return activity_mask_;
+  }
 
   // Draws a fresh receiver (uniform in the disk of radius R, per Lemma 2's
   // D(S_i, S_i') ≤ R) for every currently active PU. Lazy by design: only
@@ -100,10 +106,17 @@ class PrimaryNetwork {
   [[nodiscard]] std::int64_t activations_total() const { return activations_total_; }
 
  private:
+  // Mirrors active_ bytes into activity_mask_ (slow paths; the iid fast
+  // path packs the mask during the draw loop itself).
+  void PackMaskFromBytes();
+  // Rebuilds active_list_ by ctz-scanning activity_mask_.
+  void RebuildActiveList();
+
   PrimaryConfig config_;
   std::vector<geom::Vec2> positions_;
   geom::SpatialGrid grid_;
   std::vector<char> active_;
+  std::vector<std::uint64_t> activity_mask_;  // bit-per-PU mirror of active_
   std::vector<PuId> active_list_;
   std::vector<geom::Vec2> receiver_;
   std::int64_t slots_sampled_ = 0;

@@ -1,0 +1,122 @@
+// Move-only callable for simulator events, with a small-buffer optimization.
+//
+// The event core fires tens of millions of callbacks per run; std::function
+// heap-allocates its captured state for anything beyond a pointer or two and
+// is copyable (forcing capture types to be copyable too). EventFn stores
+// captures up to kInlineSize bytes inline in the event slot, falls back to
+// one heap allocation for larger states (e.g. a seeded snapshot closure
+// capturing a producer vector), and is move-only so ownership of the capture
+// is never duplicated.
+#ifndef CRN_SIM_CALLBACK_H_
+#define CRN_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crn::sim {
+
+class EventFn {
+ public:
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): callable wrapper, by design.
+  EventFn(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  void operator()() {
+    CRN_CHECK(ops_ != nullptr) << "invoking an empty EventFn";
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  // Captures up to this many bytes live inline in the event slot.
+  static constexpr std::size_t kInlineSize = 48;
+
+ private:
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's state from src's and destroys src's.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static Fn* Inline(void* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+  template <typename Fn>
+  static Fn** Boxed(void* storage) {
+    return std::launder(reinterpret_cast<Fn**>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*Inline<Fn>(storage))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn(std::move(*Inline<Fn>(src)));
+        Inline<Fn>(src)->~Fn();
+      },
+      [](void* storage) { Inline<Fn>(storage)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) { (**Boxed<Fn>(storage))(); },
+      [](void* src, void* dst) { ::new (dst) Fn*(*Boxed<Fn>(src)); },
+      [](void* storage) { delete *Boxed<Fn>(storage); },
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace crn::sim
+
+#endif  // CRN_SIM_CALLBACK_H_

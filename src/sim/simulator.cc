@@ -1,56 +1,219 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace crn::sim {
 
-EventId Simulator::ScheduleAt(TimeNs when, EventPriority priority,
-                              std::function<void()> fn) {
-  CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
-                          << " now=" << now_;
-  CRN_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, priority, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+Simulator::Simulator(SchedulerKind kind) : kind_(kind) {
+  if (kind_ == SchedulerKind::kCalendar) {
+    cal_buckets_.resize(kMinCalendarBuckets);
+    cal_mask_ = kMinCalendarBuckets - 1;
+  }
 }
 
-bool Simulator::Cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+std::uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    Slot& s = slots_[slot];
+    free_head_ = s.next_free;
+    s.next_free = kNoSlot;
+    s.flags = kInUse;
+    return slot;
+  }
+  slots_.emplace_back();
+  const auto slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  slots_[slot].flags = kInUse;
+  return slot;
+}
+
+void Simulator::FreeSlotNow(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  ++s.generation;  // any entry still in a queue is now stale
+  s.flags = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+std::uint32_t Simulator::BindSlot(EventPriority priority, EventFn fn) {
+  CRN_CHECK(static_cast<bool>(fn));
+  const std::uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.priority = priority;
+  return slot;
+}
+
+void Simulator::ArmSlot(std::uint32_t slot, TimeNs when) {
+  CRN_CHECK(!in_observer_) << "event observers must not schedule or cancel";
+  CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
+                          << " now=" << now_;
+  Slot& s = slots_[slot];
+  if ((s.flags & kArmed) != 0) {
+    // Implicit reschedule: the old entry dies by generation bump.
+    ++s.generation;
+    --pending_;
+    ++stats_.cancels;
+  }
+  s.flags |= kArmed;
+  Push(QEntry{when, next_seq_++, slot, s.generation, s.priority});
+  ++pending_;
+}
+
+bool Simulator::DisarmSlot(std::uint32_t slot) {
+  CRN_CHECK(!in_observer_) << "event observers must not schedule or cancel";
+  Slot& s = slots_[slot];
+  if ((s.flags & kArmed) == 0) return false;
+  s.flags &= static_cast<std::uint8_t>(~kArmed);
+  ++s.generation;
+  --pending_;
+  ++stats_.cancels;
   return true;
 }
 
-bool Simulator::ExecuteNext() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    if (const auto cancelled_it = cancelled_.find(entry.id);
-        cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+void Simulator::ReleaseSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if ((s.flags & kArmed) != 0) {
+    s.flags &= static_cast<std::uint8_t>(~kArmed);
+    ++s.generation;
+    --pending_;
+    ++stats_.cancels;
+  }
+  if ((s.flags & kExecuting) != 0) {
+    // Timer destroyed from inside its own callback (e.g. a transmission
+    // torn down by its own end event): free after the callback returns.
+    s.flags |= kReleaseDeferred;
+    return;
+  }
+  FreeSlotNow(slot);
+}
+
+void Simulator::ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn) {
+  CRN_CHECK(!in_observer_) << "event observers must not schedule or cancel";
+  CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
+                          << " now=" << now_;
+  const std::uint32_t slot = BindSlot(priority, std::move(fn));
+  Slot& s = slots_[slot];
+  s.flags |= static_cast<std::uint8_t>(kArmed | kOneShot);
+  Push(QEntry{when, next_seq_++, slot, s.generation, priority});
+  ++pending_;
+}
+
+void Simulator::Push(const QEntry& entry) {
+  ++stats_.pushes;
+  if (kind_ == SchedulerKind::kReference) {
+    ref_queue_.push(entry);
+  } else {
+    CalPush(entry);
+  }
+}
+
+bool Simulator::PopLive(QEntry* out) {
+  if (kind_ == SchedulerKind::kReference) {
+    while (!ref_queue_.empty()) {
+      const QEntry entry = ref_queue_.top();
+      ref_queue_.pop();
+      if (!EntryLive(entry)) {
+        ++stats_.stale_skips;
+        continue;
+      }
+      ++stats_.pops;
+      *out = entry;
+      return true;
+    }
+    return false;
+  }
+  while (cal_size_ > 0) {
+    std::vector<QEntry>* bucket = CalMinBucket();
+    const QEntry entry = bucket->back();
+    bucket->pop_back();
+    --cal_size_;
+    CalMaybeShrink();
+    if (!EntryLive(entry)) {
+      ++stats_.stale_skips;
       continue;
     }
-    const auto callback_it = callbacks_.find(entry.id);
-    CRN_CHECK(callback_it != callbacks_.end()) << "event " << entry.id << " lost";
-    // Move the callback out before invoking so the callback may freely
-    // schedule/cancel without invalidating our iterator.
-    std::function<void()> fn = std::move(callback_it->second);
-    callbacks_.erase(callback_it);
-    now_ = entry.time;
-    for (const auto& observer : event_observers_) observer(now_);
-    fn();
-    ++events_executed_;
-    if (event_limit_ != 0 && events_executed_ > event_limit_) {
-      // Thrown from the event *loop*, after fn() returned — never from
-      // inside a callback, so no MAC state is left half-applied.
-      throw ContractViolation(  // crn-lint-ok: loop guard, not callback code
-          "simulator event limit exceeded — runaway event loop?");
-    }
+    ++stats_.pops;
+    *out = entry;
     return true;
   }
   return false;
+}
+
+bool Simulator::PeekLive(QEntry* out) {
+  if (kind_ == SchedulerKind::kReference) {
+    while (!ref_queue_.empty()) {
+      const QEntry entry = ref_queue_.top();
+      if (!EntryLive(entry)) {
+        ref_queue_.pop();
+        ++stats_.stale_skips;
+        continue;
+      }
+      *out = entry;
+      return true;
+    }
+    return false;
+  }
+  while (cal_size_ > 0) {
+    std::vector<QEntry>* bucket = CalMinBucket();
+    const QEntry entry = bucket->back();
+    if (!EntryLive(entry)) {
+      bucket->pop_back();
+      --cal_size_;
+      ++stats_.stale_skips;
+      continue;
+    }
+    *out = entry;
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunObservers() {
+  in_observer_ = true;
+  for (const auto& observer : event_observers_) observer(now_);
+  in_observer_ = false;
+}
+
+void Simulator::Fire(const QEntry& entry) {
+  Slot& s = slots_[entry.slot];
+  now_ = entry.time;
+  --pending_;
+  if ((s.flags & kOneShot) != 0) {
+    // Move the callback out and free the slot first so the callback may
+    // freely schedule (and even land in this same slot) without aliasing.
+    EventFn fn = std::move(s.fn);
+    FreeSlotNow(entry.slot);
+    RunObservers();
+    fn();
+  } else {
+    // Mark unarmed and bump the generation *before* invoking so the
+    // callback can re-arm its own timer.
+    s.flags &= static_cast<std::uint8_t>(~kArmed);
+    ++s.generation;
+    s.flags |= kExecuting;
+    RunObservers();
+    s.fn();
+    // The arena is a deque, so `s` is still valid; the callback may have
+    // requested this slot's release (Timer destroyed from inside).
+    s.flags &= static_cast<std::uint8_t>(~kExecuting);
+    if ((s.flags & kReleaseDeferred) != 0) FreeSlotNow(entry.slot);
+  }
+  ++events_executed_;
+  if (event_limit_ != 0 && events_executed_ > event_limit_) {
+    // Thrown from the event *loop*, after the callback returned — never
+    // from inside a callback, so no MAC state is left half-applied.
+    throw ContractViolation(  // crn-lint-ok: loop guard, not callback code
+        "simulator event limit exceeded — runaway event loop?");
+  }
+}
+
+bool Simulator::ExecuteNext() {
+  QEntry entry;
+  if (!PopLive(&entry)) return false;
+  Fire(entry);
+  return true;
 }
 
 TimeNs Simulator::Run() {
@@ -62,18 +225,105 @@ TimeNs Simulator::Run() {
 
 TimeNs Simulator::RunUntil(TimeNs deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past cancelled entries without executing.
-    if (cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().time > deadline) break;
+  QEntry entry;
+  while (!stopped_ && PeekLive(&entry)) {
+    if (entry.time > deadline) break;
     ExecuteNext();
   }
   if (now_ < deadline) now_ = deadline;
   return now_;
+}
+
+void Simulator::CalPush(const QEntry& entry) {
+  if (cal_size_ + 1 > 2 * cal_buckets_.size()) CalResize(cal_size_ + 1);
+  CalInsert(entry);
+}
+
+void Simulator::CalInsert(const QEntry& entry) {
+  const auto tick = static_cast<std::uint64_t>(entry.time) >> cal_shift_;
+  // An insert at or behind the cursor (possible after RunUntil advanced the
+  // clock through an idle stretch) clamps the cursor back so the entry can
+  // never be stranded behind it.
+  if (cal_size_ == 0 || tick < cal_tick_) cal_tick_ = tick;
+  std::vector<QEntry>& bucket = cal_buckets_[tick & cal_mask_];
+  // Keep the bucket sorted descending by key: back() is the bucket minimum.
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), entry,
+      [](const QEntry& a, const QEntry& b) { return b.key() < a.key(); });
+  bucket.insert(pos, entry);
+  ++cal_size_;
+}
+
+auto Simulator::CalMinBucket() -> std::vector<QEntry>* {
+  // Dense path: walk the bucket ring one tick at a time. Each tick maps to
+  // exactly one bucket, and a bucket's back() is its minimum, so the first
+  // back() matching the cursor tick is the global minimum.
+  for (std::size_t i = 0; i < cal_buckets_.size(); ++i) {
+    std::vector<QEntry>& bucket = cal_buckets_[cal_tick_ & cal_mask_];
+    if (!bucket.empty() &&
+        (static_cast<std::uint64_t>(bucket.back().time) >> cal_shift_) ==
+            cal_tick_) {
+      return &bucket;
+    }
+    ++cal_tick_;
+  }
+  // Sparse horizon: no event within one full ring rotation of the cursor.
+  // Jump the cursor straight to the global minimum (this direct scan is the
+  // engine's sparse-queue fallback — O(buckets), amortized by the jump).
+  std::vector<QEntry>* best = nullptr;
+  for (std::vector<QEntry>& bucket : cal_buckets_) {
+    if (bucket.empty()) continue;
+    if (best == nullptr || bucket.back().key() < best->back().key()) {
+      best = &bucket;
+    }
+  }
+  CRN_CHECK(best != nullptr) << "CalMinBucket on an empty calendar";
+  cal_tick_ = static_cast<std::uint64_t>(best->back().time) >> cal_shift_;
+  return best;
+}
+
+void Simulator::CalMaybeShrink() {
+  if (cal_buckets_.size() > kMinCalendarBuckets &&
+      cal_size_ < cal_buckets_.size() / 8) {
+    CalResize(std::max(kMinCalendarBuckets, 2 * cal_size_));
+  }
+}
+
+void Simulator::CalResize(std::size_t min_buckets) {
+  ++stats_.bucket_resizes;
+  std::vector<QEntry> all;
+  all.reserve(cal_size_);
+  for (std::vector<QEntry>& bucket : cal_buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  std::size_t nbuckets = kMinCalendarBuckets;
+  while (nbuckets < min_buckets) nbuckets <<= 1U;
+  if (nbuckets != cal_buckets_.size()) {
+    cal_buckets_.assign(nbuckets, {});
+    cal_mask_ = nbuckets - 1;
+  }
+  if (all.size() >= 2) {
+    TimeNs min_time = all.front().time;
+    TimeNs max_time = all.front().time;
+    for (const QEntry& entry : all) {
+      min_time = std::min(min_time, entry.time);
+      max_time = std::max(max_time, entry.time);
+    }
+    // Bucket width ≈ the mean inter-event gap (rounded up to a power of
+    // two), so the dense-path cursor sees about one event per tick. All
+    // inputs are deterministic, so the resize schedule is too.
+    const std::uint64_t gap =
+        static_cast<std::uint64_t>(max_time - min_time) / (all.size() - 1);
+    int shift = 0;
+    while (shift < kMaxCalendarShift && (1ULL << shift) < gap) ++shift;
+    cal_shift_ = shift;
+    cal_tick_ = static_cast<std::uint64_t>(min_time) >> cal_shift_;
+  } else if (!all.empty()) {
+    cal_tick_ = static_cast<std::uint64_t>(all.front().time) >> cal_shift_;
+  }
+  cal_size_ = 0;
+  for (const QEntry& entry : all) CalInsert(entry);
 }
 
 }  // namespace crn::sim

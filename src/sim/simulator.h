@@ -1,22 +1,46 @@
-// Deterministic discrete-event simulator.
+// Deterministic discrete-event simulator with a typed timer API.
 //
-// Events fire in (time, priority, sequence) order; priority breaks
-// same-instant ties between event *kinds* (e.g. a transmission that ends
-// exactly at a slot boundary completes before the new slot's primary-user
-// state applies), and the monotone sequence number makes everything else
-// deterministic. Scheduled events can be cancelled; cancellation is lazy
-// (cancelled entries are skipped on pop), which keeps Cancel O(1).
+// Events fire in (time, priority, sequence) order — sim/event_key.h is the
+// single definition of that order; priority breaks same-instant ties between
+// event *kinds* (e.g. a transmission that ends exactly at a slot boundary
+// completes before the new slot's primary-user state applies), and the
+// monotone sequence number makes everything else deterministic.
+//
+// Scheduling surface:
+//   * Timer — a move-only handle over an arena slot. Bind() once with a
+//     priority and callback, then ArmAt()/ArmAfter()/Disarm() freely:
+//     cancel and reschedule are O(1) generation bumps, no hash lookups, and
+//     the bound callback is allocated exactly once for the timer's lifetime.
+//   * PeriodicTimer — a self-re-arming Timer for slot boundaries. The next
+//     occurrence is scheduled after the callback returns (so events the
+//     callback schedules take earlier sequence numbers), and Stop() from
+//     inside the callback suppresses the re-arm without consuming a
+//     sequence number.
+//   * ScheduleOnce()/ScheduleOnceAfter() — fire-and-forget one-shots for
+//     cold paths (fault timelines, audit strides, snapshot seeds).
+//
+// Engine: an arena-backed event store (slot + generation liveness, so a
+// cancelled or re-armed event is a stale queue entry skipped on pop) under
+// one of two queue backends selected by SchedulerKind:
+//   * kCalendar — a bucketed calendar queue; O(1) amortized push/pop under
+//     the backoff-freeze timer churn CollectionMac generates, with a
+//     global-min cursor jump as the sparse-horizon fallback.
+//   * kReference — the pre-overhaul binary heap, kept so A/B runs can prove
+//     the calendar queue pops in exactly the same order (trace digests must
+//     be bit-identical; mirrors the SirEngine::kDirect pattern).
 #ifndef CRN_SIM_SIMULATOR_H_
 #define CRN_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/callback.h"
+#include "sim/event_key.h"
 #include "sim/time.h"
 
 namespace crn::sim {
@@ -29,32 +53,55 @@ enum class EventPriority : std::int8_t {
   kDefault = 3,
 };
 
+// Strictly increasing per-schedule sequence number (the EventKey tie-break).
 using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
+
+// Queue backend. kReference exists for determinism A/B tests only — both
+// backends implement the exact same (time, priority, seq) total order.
+enum class SchedulerKind : std::uint8_t {
+  kCalendar = 0,
+  kReference = 1,
+};
+
+inline const char* ToString(SchedulerKind kind) {
+  return kind == SchedulerKind::kCalendar ? "calendar" : "reference";
+}
+
+// Deterministic scheduler work counters — exact functions of (scenario,
+// seed), exported as perf.sched_* metrics and budget-gated in CI.
+struct SchedStats {
+  std::int64_t pushes = 0;          // queue entries enqueued
+  std::int64_t pops = 0;            // live entries dequeued (events fired)
+  std::int64_t cancels = 0;         // disarms/releases of a pending event
+  std::int64_t stale_skips = 0;     // dead entries discarded on pop
+  std::int64_t bucket_resizes = 0;  // calendar-queue reorganizations
+};
+
+class Timer;
+class PeriodicTimer;
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(SchedulerKind kind = SchedulerKind::kCalendar);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] TimeNs now() const { return now_; }
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
-  [[nodiscard]] std::size_t pending_count() const { return queue_.size() - cancelled_.size(); }
+  // Exact count of live pending events (armed timers + unfired one-shots);
+  // maintained directly, so cancel-after-pop interleavings cannot skew it.
+  [[nodiscard]] std::size_t pending_count() const { return pending_; }
+  [[nodiscard]] SchedulerKind scheduler_kind() const { return kind_; }
+  [[nodiscard]] const SchedStats& sched_stats() const { return stats_; }
 
-  // Schedules `fn` at absolute time `when` (≥ now). Returns an id usable
-  // with Cancel().
-  EventId ScheduleAt(TimeNs when, EventPriority priority, std::function<void()> fn);
+  // Schedules a fire-and-forget `fn` at absolute time `when` (≥ now).
+  void ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn);
 
-  // Schedules `fn` after `delay` (≥ 0) from now.
-  EventId ScheduleAfter(TimeNs delay, EventPriority priority, std::function<void()> fn) {
+  // Schedules a fire-and-forget `fn` after `delay` (≥ 0) from now.
+  void ScheduleOnceAfter(TimeNs delay, EventPriority priority, EventFn fn) {
     CRN_CHECK(delay >= 0) << "delay=" << delay;
-    return ScheduleAt(now_ + delay, priority, std::move(fn));
+    ScheduleOnce(now_ + delay, priority, std::move(fn));
   }
-
-  // Cancels a pending event. Cancelling an already-fired or already-
-  // cancelled id is a no-op (returns false).
-  bool Cancel(EventId id);
 
   // Runs until the queue drains or `Stop()` is called. Returns the final
   // simulation time.
@@ -74,40 +121,242 @@ class Simulator {
 
   // Registers an observer fired once per executed event, after the clock
   // advances and before the callback runs. Observers must not schedule or
-  // cancel events; they exist for audit layers (sim/audit.h) that verify
-  // clock monotonicity or fingerprint the event stream.
+  // cancel events (enforced with CRN_CHECK); they exist for audit layers
+  // (sim/audit.h) that verify clock monotonicity or fingerprint the event
+  // stream.
   void AddEventObserver(std::function<void(TimeNs)> observer) {
     CRN_CHECK(observer != nullptr);
     event_observers_.push_back(std::move(observer));
   }
 
  private:
-  struct Entry {
+  friend class Timer;
+  friend class PeriodicTimer;
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFU;
+  static constexpr std::size_t kMinCalendarBuckets = 16;
+  static constexpr int kInitialCalendarShift = 20;  // ~1 ms buckets
+  static constexpr int kMaxCalendarShift = 40;
+
+  enum SlotFlags : std::uint8_t {
+    kInUse = 1U << 0U,
+    kArmed = 1U << 1U,
+    kOneShot = 1U << 2U,
+    kExecuting = 1U << 3U,
+    kReleaseDeferred = 1U << 4U,
+  };
+
+  // Arena slot: callback + priority bound once, generation bumped on every
+  // cancel/re-arm/fire so stale queue entries die by comparison, never by
+  // lookup. Slots are recycled through a free list; generations survive
+  // recycling so entries from a previous tenant can never fire.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    EventPriority priority = EventPriority::kDefault;
+    std::uint8_t flags = 0;
+  };
+
+  // Queue entry (POD, ~32 B): everything pop needs to order and to check
+  // liveness against the arena.
+  struct QEntry {
     TimeNs time;
+    EventId seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
     EventPriority priority;
-    EventId id;  // doubles as the sequence number (strictly increasing)
-    // Ordering for a max-heap turned min-heap: later entries are "less".
-    bool operator<(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      if (priority != other.priority) return priority > other.priority;
-      return id > other.id;
+
+    [[nodiscard]] EventKey key() const {
+      return EventKey{time, static_cast<std::int32_t>(priority), seq};
+    }
+  };
+  struct QEntryGreater {
+    bool operator()(const QEntry& a, const QEntry& b) const {
+      return a.key() > b.key();
     }
   };
 
-  bool ExecuteNext();
+  [[nodiscard]] bool EntryLive(const QEntry& e) const {
+    return slots_[e.slot].generation == e.gen;
+  }
 
+  std::uint32_t AllocSlot();
+  void FreeSlotNow(std::uint32_t slot);
+  // Timer-facing: bind/arm/disarm/release one slot.
+  std::uint32_t BindSlot(EventPriority priority, EventFn fn);
+  void ArmSlot(std::uint32_t slot, TimeNs when);
+  bool DisarmSlot(std::uint32_t slot);
+  void ReleaseSlot(std::uint32_t slot);
+  [[nodiscard]] bool SlotArmed(std::uint32_t slot) const {
+    return (slots_[slot].flags & kArmed) != 0;
+  }
+
+  void Push(const QEntry& entry);
+  bool PopLive(QEntry* out);
+  bool PeekLive(QEntry* out);
+  void Fire(const QEntry& entry);
+  bool ExecuteNext();
+  void RunObservers();
+
+  // Calendar backend.
+  void CalPush(const QEntry& entry);
+  void CalInsert(const QEntry& entry);
+  std::vector<QEntry>* CalMinBucket();
+  void CalResize(std::size_t min_buckets);
+  void CalMaybeShrink();
+
+  SchedulerKind kind_;
   TimeNs now_ = 0;
-  EventId next_id_ = 1;
+  EventId next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_limit_ = 0;
+  std::size_t pending_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry> queue_;
-  // id -> callback for pending events; erased on fire/cancel. Lookup-only
-  // containers: never iterated, so their unordered layout cannot leak into
-  // simulation-visible state.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  bool in_observer_ = false;
+  SchedStats stats_;
+
+  // Arena. A deque so slots never relocate: the engine invokes a repeating
+  // timer's callback in place, and the callback may allocate new slots.
+  std::deque<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+
+  // Calendar queue: power-of-two bucket ring, bucket width 1<<cal_shift_ ns,
+  // each bucket sorted descending by EventKey so back() is its minimum.
+  // cal_tick_ is the cursor (time >> cal_shift_); inserts clamp it back so
+  // an event can never land behind the cursor and be missed.
+  std::vector<std::vector<QEntry>> cal_buckets_;
+  std::uint64_t cal_tick_ = 0;
+  std::uint64_t cal_mask_ = 0;
+  int cal_shift_ = kInitialCalendarShift;
+  std::size_t cal_size_ = 0;
+
+  // Reference backend (binary heap over the same key).
+  std::priority_queue<QEntry, std::vector<QEntry>, QEntryGreater> ref_queue_;
+
   std::vector<std::function<void(TimeNs)>> event_observers_;
+};
+
+// Move-only handle to one arena slot. Bind() allocates the slot and stores
+// the callback + priority once; ArmAt()/ArmAfter() (re)schedule it, Disarm()
+// cancels, and destruction releases the slot (cancelling any pending fire).
+// Destroying a Timer from inside its own callback is safe: the release is
+// deferred until the callback returns.
+class Timer {
+ public:
+  Timer() = default;
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& other) noexcept : sim_(other.sim_), slot_(other.slot_) {
+    other.sim_ = nullptr;
+    other.slot_ = Simulator::kNoSlot;
+  }
+  Timer& operator=(Timer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      sim_ = other.sim_;
+      slot_ = other.slot_;
+      other.sim_ = nullptr;
+      other.slot_ = Simulator::kNoSlot;
+    }
+    return *this;
+  }
+  ~Timer() { Release(); }
+
+  // Allocates the slot and stores `fn` + `priority` for the timer's
+  // lifetime. A Timer is bound at most once.
+  void Bind(Simulator& sim, EventPriority priority, EventFn fn) {
+    CRN_CHECK(sim_ == nullptr) << "Timer is already bound";
+    sim_ = &sim;
+    slot_ = sim.BindSlot(priority, std::move(fn));
+  }
+
+  [[nodiscard]] bool bound() const { return sim_ != nullptr; }
+  [[nodiscard]] bool armed() const {
+    return sim_ != nullptr && sim_->SlotArmed(slot_);
+  }
+
+  // Schedules the bound callback at absolute time `when` (≥ now). If the
+  // timer is already armed this is an O(1) reschedule.
+  void ArmAt(TimeNs when) {
+    CRN_CHECK(sim_ != nullptr) << "ArmAt on an unbound Timer";
+    sim_->ArmSlot(slot_, when);
+  }
+
+  // Schedules the bound callback after `delay` (≥ 0) from now.
+  void ArmAfter(TimeNs delay) {
+    CRN_CHECK(delay >= 0) << "delay=" << delay;
+    CRN_CHECK(sim_ != nullptr) << "ArmAfter on an unbound Timer";
+    sim_->ArmSlot(slot_, sim_->now() + delay);
+  }
+
+  // Cancels the pending fire, if any. Returns whether the timer was armed.
+  bool Disarm() {
+    CRN_CHECK(sim_ != nullptr) << "Disarm on an unbound Timer";
+    return sim_->DisarmSlot(slot_);
+  }
+
+  // Returns the timer to the unbound state, cancelling any pending fire and
+  // releasing the arena slot. Equivalent to destruction; idempotent.
+  void Release() {
+    if (sim_ != nullptr) {
+      sim_->ReleaseSlot(slot_);
+      sim_ = nullptr;
+      slot_ = Simulator::kNoSlot;
+    }
+  }
+
+ private:
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = Simulator::kNoSlot;
+};
+
+// A Timer that re-arms itself every `period` after the callback returns —
+// the re-arm consumes the next sequence number *after* any events the
+// callback scheduled, which is what slot-boundary determinism requires.
+// Stop() from inside the callback suppresses the re-arm. Non-movable: the
+// internal trampoline captures `this`.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  PeriodicTimer(PeriodicTimer&&) = delete;
+  PeriodicTimer& operator=(PeriodicTimer&&) = delete;
+
+  void Bind(Simulator& sim, EventPriority priority, EventFn fn) {
+    CRN_CHECK(static_cast<bool>(fn));
+    fn_ = std::move(fn);
+    timer_.Bind(sim, priority, EventFn([this] { OnFire(); }));
+  }
+
+  [[nodiscard]] bool bound() const { return timer_.bound(); }
+
+  // Fires first at absolute time `first`, then every `period` until Stop().
+  void Start(TimeNs first, TimeNs period) {
+    CRN_CHECK(period > 0) << "period=" << period;
+    period_ = period;
+    running_ = true;
+    timer_.ArmAt(first);
+  }
+
+  void Stop() {
+    running_ = false;
+    timer_.Disarm();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void OnFire() {
+    fn_();
+    if (running_) timer_.ArmAfter(period_);
+  }
+
+  Timer timer_;
+  EventFn fn_;
+  TimeNs period_ = 0;
+  bool running_ = false;
 };
 
 }  // namespace crn::sim

@@ -199,11 +199,11 @@ TEST(FaultInjectorTest, SensingBurstSwapsAndRestoresDetectorRates) {
   FaultInjector injector(plan, Rng(9));
   injector.Attach(rig.simulator, rig.mac, rig.graph, &rig.primary, nullptr);
   std::vector<std::pair<double, double>> probes;
-  rig.simulator.ScheduleAt(5 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
+  rig.simulator.ScheduleOnce(5 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
     probes.emplace_back(rig.mac.config().sensing_false_alarm,
                         rig.mac.config().sensing_missed_detection);
   });
-  rig.simulator.ScheduleAt(15 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
+  rig.simulator.ScheduleOnce(15 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
     probes.emplace_back(rig.mac.config().sensing_false_alarm,
                         rig.mac.config().sensing_missed_detection);
   });
@@ -225,9 +225,9 @@ TEST(FaultInjectorTest, PuActivityPerturbationIsWindowed) {
   FaultInjector injector(plan, Rng(9));
   injector.Attach(rig.simulator, rig.mac, rig.graph, &rig.primary, nullptr);
   std::vector<double> probes;
-  rig.simulator.ScheduleAt(5 * sim::kMillisecond, sim::EventPriority::kDefault,
+  rig.simulator.ScheduleOnce(5 * sim::kMillisecond, sim::EventPriority::kDefault,
                            [&] { probes.push_back(rig.primary.config().activity); });
-  rig.simulator.ScheduleAt(15 * sim::kMillisecond, sim::EventPriority::kDefault,
+  rig.simulator.ScheduleOnce(15 * sim::kMillisecond, sim::EventPriority::kDefault,
                            [&] { probes.push_back(rig.primary.config().activity); });
   rig.simulator.Run();
   ASSERT_EQ(probes.size(), 2u);

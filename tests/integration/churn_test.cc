@@ -55,7 +55,7 @@ TEST(ChurnTest, FailedNodeQueueShrinksExpectations) {
   ChurnRig rig;
   rig.mac.StartSnapshotCollection();  // 5 packets
   // Kill node 2 immediately: its own packet dies with it.
-  rig.simulator.ScheduleAt(0, sim::EventPriority::kDefault, [&] {
+  rig.simulator.ScheduleOnce(0, sim::EventPriority::kDefault, [&] {
     rig.mac.FailNode(2);
     // Node 3 routed through 2; re-route via the shortcut node 5 — within
     // range (node 3 at (34,50), node 5 at (26,44): ~10 m if radius allows;
@@ -81,7 +81,7 @@ TEST(ChurnTest, MidFlightFailureCutsTransmission) {
     }
   });
   // Fail node 2 at 0.35 ms — mid-backoff or mid-transmission.
-  rig.simulator.ScheduleAfter(350 * sim::kMicrosecond, sim::EventPriority::kDefault,
+  rig.simulator.ScheduleOnceAfter(350 * sim::kMicrosecond, sim::EventPriority::kDefault,
                               [&] { rig.mac.FailNode(2); });
   rig.simulator.Run();
   EXPECT_EQ(rig.mac.expected_packets(), 0);
@@ -92,7 +92,7 @@ TEST(ChurnTest, MidFlightFailureCutsTransmission) {
 TEST(ChurnTest, TransmissionTowardFailedNodeFails) {
   ChurnRig rig;
   rig.mac.StartCollection({3});  // routes 3 -> 2 -> 1 -> 0
-  rig.simulator.ScheduleAt(0, sim::EventPriority::kDefault,
+  rig.simulator.ScheduleOnce(0, sim::EventPriority::kDefault,
                            [&] { rig.mac.FailNode(2); });
   // No repair: node 3 keeps failing into the void until the timeout.
   ChurnRig::Config();
@@ -106,7 +106,7 @@ TEST(ChurnTest, GuardsRejectIllegalOperations) {
   ChurnRig rig;
   rig.mac.StartSnapshotCollection();
   EXPECT_THROW(rig.mac.FailNode(0), ContractViolation);  // sink
-  rig.simulator.ScheduleAt(0, sim::EventPriority::kDefault, [&] {
+  rig.simulator.ScheduleOnce(0, sim::EventPriority::kDefault, [&] {
     rig.mac.FailNode(2);
     EXPECT_THROW(rig.mac.FailNode(2), ContractViolation);          // twice
     EXPECT_THROW(rig.mac.UpdateNextHop(3, 2), ContractViolation);  // dead hop
@@ -255,7 +255,7 @@ TEST(PlanLocalRepairTest, EndToEndCollectionSurvivesBackboneFailure) {
                          scenario.MakeRunRng().Stream("churn"));
   mac.StartSnapshotCollection();
   // 100 ms in: the connector dies; orphans repair locally.
-  simulator.ScheduleAfter(100 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
+  simulator.ScheduleOnceAfter(100 * sim::kMillisecond, sim::EventPriority::kDefault, [&] {
     std::vector<char> alive(graph.node_count(), 1);
     alive[victim] = 0;
     const RepairPlan plan = PlanLocalRepair(graph, bfs, next_hop, alive, victim);

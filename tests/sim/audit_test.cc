@@ -79,7 +79,7 @@ TEST(EventTimeAuditorTest, CountsEventsAndStaysOkOnMonotoneRun) {
   EventTimeAuditor auditor;
   auditor.Attach(simulator);
   for (TimeNs t : {5, 10, 10, 25}) {
-    simulator.ScheduleAt(t, EventPriority::kDefault, [] {});
+    simulator.ScheduleOnce(t, EventPriority::kDefault, [] {});
   }
   simulator.Run();
   EXPECT_EQ(auditor.events_observed(), 4u);
@@ -92,10 +92,11 @@ TEST(EventTimeAuditorTest, IgnoresCancelledEvents) {
   Simulator simulator;
   EventTimeAuditor auditor;
   auditor.Attach(simulator);
-  const EventId cancelled =
-      simulator.ScheduleAt(1, EventPriority::kDefault, [] {});
-  simulator.ScheduleAt(2, EventPriority::kDefault, [] {});
-  simulator.Cancel(cancelled);
+  Timer cancelled;
+  cancelled.Bind(simulator, EventPriority::kDefault, [] {});
+  cancelled.ArmAt(1);
+  simulator.ScheduleOnce(2, EventPriority::kDefault, [] {});
+  cancelled.Disarm();
   simulator.Run();
   EXPECT_EQ(auditor.events_observed(), 1u);
   EXPECT_TRUE(auditor.ok());
@@ -105,9 +106,9 @@ TEST(EventTimeAuditorTest, SurvivesMultipleRunSegments) {
   Simulator simulator;
   EventTimeAuditor auditor;
   auditor.Attach(simulator);
-  simulator.ScheduleAt(10, EventPriority::kDefault, [] {});
+  simulator.ScheduleOnce(10, EventPriority::kDefault, [] {});
   simulator.RunUntil(50);
-  simulator.ScheduleAt(60, EventPriority::kDefault, [] {});
+  simulator.ScheduleOnce(60, EventPriority::kDefault, [] {});
   simulator.Run();
   EXPECT_EQ(auditor.events_observed(), 2u);
   EXPECT_EQ(auditor.last_time(), 60);

@@ -2,96 +2,188 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace crn::sim {
 namespace {
 
-TEST(SimulatorTest, FiresInTimeOrder) {
-  Simulator simulator;
+// Every semantic contract is proven on both queue backends: the calendar
+// queue must be behaviorally indistinguishable from the reference heap.
+class SimulatorTest : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  Simulator simulator{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SimulatorTest,
+    ::testing::Values(SchedulerKind::kCalendar, SchedulerKind::kReference),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+      return std::string(ToString(info.param));
+    });
+
+TEST_P(SimulatorTest, FiresInTimeOrder) {
   std::vector<int> fired;
-  simulator.ScheduleAt(30, EventPriority::kDefault, [&] { fired.push_back(3); });
-  simulator.ScheduleAt(10, EventPriority::kDefault, [&] { fired.push_back(1); });
-  simulator.ScheduleAt(20, EventPriority::kDefault, [&] { fired.push_back(2); });
+  simulator.ScheduleOnce(30, EventPriority::kDefault, [&] { fired.push_back(3); });
+  simulator.ScheduleOnce(10, EventPriority::kDefault, [&] { fired.push_back(1); });
+  simulator.ScheduleOnce(20, EventPriority::kDefault, [&] { fired.push_back(2); });
   simulator.Run();
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(simulator.now(), 30);
   EXPECT_EQ(simulator.events_executed(), 3u);
 }
 
-TEST(SimulatorTest, PriorityBreaksTimeTies) {
-  Simulator simulator;
+TEST_P(SimulatorTest, PriorityBreaksTimeTies) {
   std::vector<int> fired;
-  simulator.ScheduleAt(10, EventPriority::kTimerExpiry, [&] { fired.push_back(2); });
-  simulator.ScheduleAt(10, EventPriority::kTransmissionEnd, [&] { fired.push_back(0); });
-  simulator.ScheduleAt(10, EventPriority::kSlotBoundary, [&] { fired.push_back(1); });
+  simulator.ScheduleOnce(10, EventPriority::kTimerExpiry, [&] { fired.push_back(2); });
+  simulator.ScheduleOnce(10, EventPriority::kTransmissionEnd, [&] { fired.push_back(0); });
+  simulator.ScheduleOnce(10, EventPriority::kSlotBoundary, [&] { fired.push_back(1); });
   simulator.Run();
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
 }
 
-TEST(SimulatorTest, SequenceBreaksFullTies) {
-  Simulator simulator;
+TEST_P(SimulatorTest, SequenceBreaksFullTies) {
   std::vector<int> fired;
   for (int i = 0; i < 5; ++i) {
-    simulator.ScheduleAt(7, EventPriority::kDefault, [&fired, i] { fired.push_back(i); });
+    simulator.ScheduleOnce(7, EventPriority::kDefault, [&fired, i] { fired.push_back(i); });
   }
   simulator.Run();
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(SimulatorTest, CancelPreventsExecution) {
-  Simulator simulator;
+TEST_P(SimulatorTest, DisarmPreventsExecution) {
   int fired = 0;
-  const EventId id = simulator.ScheduleAt(10, EventPriority::kDefault, [&] { ++fired; });
-  simulator.ScheduleAt(5, EventPriority::kDefault, [&] { ++fired; });
-  EXPECT_TRUE(simulator.Cancel(id));
-  EXPECT_FALSE(simulator.Cancel(id));  // second cancel is a no-op
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [&] { ++fired; });
+  timer.ArmAt(10);
+  simulator.ScheduleOnce(5, EventPriority::kDefault, [&] { ++fired; });
+  EXPECT_TRUE(timer.Disarm());
+  EXPECT_FALSE(timer.Disarm());  // second disarm is a no-op
   simulator.Run();
   EXPECT_EQ(fired, 1);
 }
 
-TEST(SimulatorTest, CancelFromInsideEvent) {
-  Simulator simulator;
+TEST_P(SimulatorTest, DisarmFromInsideEvent) {
   int fired = 0;
-  const EventId victim = simulator.ScheduleAt(10, EventPriority::kDefault, [&] { ++fired; });
-  simulator.ScheduleAt(10, EventPriority::kSlotBoundary,
-                       [&] { simulator.Cancel(victim); });
+  Timer victim;
+  victim.Bind(simulator, EventPriority::kDefault, [&] { ++fired; });
+  victim.ArmAt(10);
+  simulator.ScheduleOnce(10, EventPriority::kSlotBoundary, [&] { victim.Disarm(); });
   simulator.Run();
   EXPECT_EQ(fired, 0);
 }
 
-TEST(SimulatorTest, EventsCanScheduleEvents) {
-  Simulator simulator;
+TEST_P(SimulatorTest, EventsCanScheduleEvents) {
   std::vector<TimeNs> times;
-  std::function<void()> recurring = [&] {
+  simulator.ScheduleOnce(0, EventPriority::kDefault, [&] {
     times.push_back(simulator.now());
-    if (times.size() < 4) {
-      simulator.ScheduleAfter(10, EventPriority::kDefault, recurring);
-    }
-  };
-  simulator.ScheduleAt(0, EventPriority::kDefault, recurring);
+    // One-shot callbacks may schedule further one-shots.
+    simulator.ScheduleOnceAfter(10, EventPriority::kDefault, [&] {
+      times.push_back(simulator.now());
+    });
+  });
+  simulator.Run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{0, 10}));
+}
+
+TEST_P(SimulatorTest, TimerCallbackCanRearmItself) {
+  std::vector<TimeNs> times;
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [&] {
+    times.push_back(simulator.now());
+    if (times.size() < 4) timer.ArmAfter(10);
+  });
+  timer.ArmAt(0);
   simulator.Run();
   EXPECT_EQ(times, (std::vector<TimeNs>{0, 10, 20, 30}));
 }
 
-TEST(SimulatorTest, StopHaltsRun) {
-  Simulator simulator;
+TEST_P(SimulatorTest, RearmReplacesPendingFire) {
+  std::vector<TimeNs> times;
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault,
+             [&] { times.push_back(simulator.now()); });
+  timer.ArmAt(10);
+  timer.ArmAt(25);  // implicit disarm of the t=10 fire
+  simulator.Run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{25}));
+  EXPECT_EQ(simulator.events_executed(), 1u);
+  EXPECT_EQ(simulator.sched_stats().cancels, 1);
+}
+
+TEST_P(SimulatorTest, TimerDestructionCancelsPendingFire) {
   int fired = 0;
-  simulator.ScheduleAt(1, EventPriority::kDefault, [&] {
+  {
+    Timer timer;
+    timer.Bind(simulator, EventPriority::kDefault, [&] { ++fired; });
+    timer.ArmAt(10);
+    EXPECT_EQ(simulator.pending_count(), 1u);
+  }
+  EXPECT_EQ(simulator.pending_count(), 0u);
+  simulator.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_P(SimulatorTest, TimerMoveTransfersOwnership) {
+  std::vector<int> fired;
+  std::vector<Timer> timers;
+  for (int i = 0; i < 3; ++i) {
+    Timer timer;
+    timer.Bind(simulator, EventPriority::kDefault, [&fired, i] { fired.push_back(i); });
+    timer.ArmAt(10 * (i + 1));
+    timers.push_back(std::move(timer));  // move must keep the arm alive
+  }
+  // Swap-remove the middle timer (the active_tx_ idiom): its fire cancels.
+  timers[1] = std::move(timers.back());
+  timers.pop_back();
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+}
+
+// A timer destroyed from inside its own callback (the transmission-teardown
+// pattern: FinishTransmission destroys the Transmission holding the very
+// end-timer that fired) must defer the slot release until the callback
+// returns, and the slot must be cleanly reusable afterwards.
+TEST_P(SimulatorTest, TimerDestroyedInsideOwnCallbackIsSafe) {
+  struct Holder {
+    Timer timer;
+  };
+  int fired = 0;
+  auto holder = std::make_unique<Holder>();
+  holder->timer.Bind(simulator, EventPriority::kDefault, [&] {
+    ++fired;
+    holder.reset();  // destroys the executing timer
+  });
+  holder->timer.ArmAt(5);
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+  // The freed slot is recyclable.
+  simulator.ScheduleOnce(10, EventPriority::kDefault, [&] { ++fired; });
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_P(SimulatorTest, StopHaltsRun) {
+  int fired = 0;
+  simulator.ScheduleOnce(1, EventPriority::kDefault, [&] {
     ++fired;
     simulator.Stop();
   });
-  simulator.ScheduleAt(2, EventPriority::kDefault, [&] { ++fired; });
+  simulator.ScheduleOnce(2, EventPriority::kDefault, [&] { ++fired; });
   simulator.Run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(simulator.now(), 1);
 }
 
-TEST(SimulatorTest, RunUntilStopsAtDeadline) {
-  Simulator simulator;
+TEST_P(SimulatorTest, RunUntilStopsAtDeadline) {
   std::vector<TimeNs> times;
   for (TimeNs t : {5, 10, 15, 20}) {
-    simulator.ScheduleAt(t, EventPriority::kDefault, [&, t] { times.push_back(t); });
+    simulator.ScheduleOnce(t, EventPriority::kDefault, [&, t] { times.push_back(t); });
   }
   simulator.RunUntil(15);
   EXPECT_EQ(times, (std::vector<TimeNs>{5, 10, 15}));  // deadline inclusive
@@ -100,45 +192,73 @@ TEST(SimulatorTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(times.back(), 20);
 }
 
-TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
-  Simulator simulator;
+TEST_P(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
   simulator.RunUntil(100);
   EXPECT_EQ(simulator.now(), 100);
-}
-
-TEST(SimulatorTest, SchedulingInPastThrows) {
-  Simulator simulator;
-  simulator.ScheduleAt(10, EventPriority::kDefault, [] {});
+  // Scheduling resumes cleanly after the idle advance (the calendar cursor
+  // must clamp back to the new event).
+  std::vector<TimeNs> times;
+  simulator.ScheduleOnce(150, EventPriority::kDefault,
+                         [&] { times.push_back(simulator.now()); });
   simulator.Run();
-  EXPECT_THROW(simulator.ScheduleAt(5, EventPriority::kDefault, [] {}),
-               ContractViolation);
+  EXPECT_EQ(times, (std::vector<TimeNs>{150}));
 }
 
-TEST(SimulatorTest, EventLimitCatchesRunaway) {
-  Simulator simulator;
+TEST_P(SimulatorTest, SchedulingInPastThrows) {
+  simulator.ScheduleOnce(10, EventPriority::kDefault, [] {});
+  simulator.Run();
+  EXPECT_THROW(simulator.ScheduleOnce(5, EventPriority::kDefault, [] {}),
+               ContractViolation);
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [] {});
+  EXPECT_THROW(timer.ArmAt(5), ContractViolation);
+}
+
+TEST_P(SimulatorTest, EventLimitCatchesRunaway) {
   simulator.set_event_limit(100);
-  std::function<void()> forever = [&] {
-    simulator.ScheduleAfter(1, EventPriority::kDefault, forever);
-  };
-  simulator.ScheduleAt(0, EventPriority::kDefault, forever);
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [&] { timer.ArmAfter(1); });
+  timer.ArmAt(0);
   EXPECT_THROW(simulator.Run(), ContractViolation);
 }
 
-TEST(SimulatorTest, PendingCountTracksCancellations) {
-  Simulator simulator;
-  const EventId a = simulator.ScheduleAt(1, EventPriority::kDefault, [] {});
-  simulator.ScheduleAt(2, EventPriority::kDefault, [] {});
+TEST_P(SimulatorTest, PendingCountTracksCancellations) {
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [] {});
+  timer.ArmAt(1);
+  simulator.ScheduleOnce(2, EventPriority::kDefault, [] {});
   EXPECT_EQ(simulator.pending_count(), 2u);
-  simulator.Cancel(a);
+  timer.Disarm();
   EXPECT_EQ(simulator.pending_count(), 1u);
 }
 
-TEST(SimulatorTest, RunUntilLazilySkipsCancelledEntries) {
-  Simulator simulator;
+TEST_P(SimulatorTest, PendingCountExactUnderCancelAfterPopInterleavings) {
+  // Disarm an already-popped-but-stale sibling entry mid-run: the count
+  // must stay exact (this was the old core's queue-minus-cancelled skew).
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [] {});
+  std::vector<std::size_t> pending_seen;
+  timer.ArmAt(10);
+  timer.ArmAt(20);  // the t=10 entry is now stale but still queued
+  simulator.ScheduleOnce(15, EventPriority::kDefault, [&] {
+    // The stale t=10 entry has already been popped and skipped here.
+    pending_seen.push_back(simulator.pending_count());
+    timer.Disarm();
+    pending_seen.push_back(simulator.pending_count());
+  });
+  simulator.Run();
+  EXPECT_EQ(pending_seen, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(simulator.pending_count(), 0u);
+  EXPECT_EQ(simulator.events_executed(), 1u);
+}
+
+TEST_P(SimulatorTest, RunUntilLazilySkipsCancelledEntries) {
   int fired = 0;
-  const EventId cancelled = simulator.ScheduleAt(10, EventPriority::kDefault, [&] { ++fired; });
-  simulator.ScheduleAt(20, EventPriority::kDefault, [&] { ++fired; });
-  simulator.Cancel(cancelled);
+  Timer cancelled;
+  cancelled.Bind(simulator, EventPriority::kDefault, [&] { ++fired; });
+  cancelled.ArmAt(10);
+  simulator.ScheduleOnce(20, EventPriority::kDefault, [&] { ++fired; });
+  cancelled.Disarm();
   EXPECT_EQ(simulator.pending_count(), 1u);
   // The deadline crosses the cancelled entry: it must be consumed silently
   // (no callback, no events_executed tick) while bookkeeping stays exact.
@@ -152,39 +272,152 @@ TEST(SimulatorTest, RunUntilLazilySkipsCancelledEntries) {
   EXPECT_EQ(simulator.pending_count(), 0u);
 }
 
-TEST(SimulatorTest, DoubleCancelCountsOnce) {
-  Simulator simulator;
-  const EventId a = simulator.ScheduleAt(5, EventPriority::kDefault, [] {});
-  simulator.ScheduleAt(6, EventPriority::kDefault, [] {});
-  EXPECT_TRUE(simulator.Cancel(a));
-  EXPECT_FALSE(simulator.Cancel(a));  // second cancel must not double-count
-  EXPECT_EQ(simulator.pending_count(), 1u);
+TEST_P(SimulatorTest, DisarmAfterFireIsNoOp) {
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [] {});
+  timer.ArmAt(1);
   simulator.Run();
-  EXPECT_EQ(simulator.events_executed(), 1u);
+  EXPECT_FALSE(timer.Disarm());
   EXPECT_EQ(simulator.pending_count(), 0u);
+  EXPECT_EQ(simulator.sched_stats().cancels, 0);
 }
 
-TEST(SimulatorTest, CancelAfterExecutionIsNoOp) {
-  Simulator simulator;
-  const EventId a = simulator.ScheduleAt(1, EventPriority::kDefault, [] {});
-  simulator.Run();
-  EXPECT_FALSE(simulator.Cancel(a));
-  EXPECT_EQ(simulator.pending_count(), 0u);
-}
-
-TEST(SimulatorTest, EventObserversSeeEveryExecutedEventInOrder) {
-  Simulator simulator;
+TEST_P(SimulatorTest, EventObserversSeeEveryExecutedEventInOrder) {
   std::vector<TimeNs> observed;
   std::vector<TimeNs> fired;
   simulator.AddEventObserver([&](TimeNs now) { observed.push_back(now); });
-  const EventId cancelled = simulator.ScheduleAt(5, EventPriority::kDefault, [] {});
+  Timer cancelled;
+  cancelled.Bind(simulator, EventPriority::kDefault, [] {});
+  cancelled.ArmAt(5);
   for (TimeNs t : {10, 20, 30}) {
-    simulator.ScheduleAt(t, EventPriority::kDefault, [&, t] { fired.push_back(t); });
+    simulator.ScheduleOnce(t, EventPriority::kDefault, [&, t] { fired.push_back(t); });
   }
-  simulator.Cancel(cancelled);  // skipped entries must not reach observers
+  cancelled.Disarm();  // skipped entries must not reach observers
   simulator.Run();
   EXPECT_EQ(observed, (std::vector<TimeNs>{10, 20, 30}));
   EXPECT_EQ(observed, fired);
+}
+
+TEST_P(SimulatorTest, ObserversMustNotScheduleOrCancel) {
+  simulator.AddEventObserver([&](TimeNs) {
+    simulator.ScheduleOnce(50, EventPriority::kDefault, [] {});
+  });
+  simulator.ScheduleOnce(1, EventPriority::kDefault, [] {});
+  EXPECT_THROW(simulator.Run(), ContractViolation);
+}
+
+TEST_P(SimulatorTest, PeriodicTimerFiresEveryPeriod) {
+  std::vector<TimeNs> times;
+  PeriodicTimer periodic;
+  periodic.Bind(simulator, EventPriority::kSlotBoundary, [&] {
+    times.push_back(simulator.now());
+    if (times.size() == 4) periodic.Stop();
+  });
+  periodic.Start(5, 10);
+  simulator.Run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{5, 15, 25, 35}));
+  EXPECT_FALSE(periodic.running());
+  // Stop() from inside the callback consumed no sequence number: nothing
+  // is pending and the queue drained.
+  EXPECT_EQ(simulator.pending_count(), 0u);
+}
+
+TEST_P(SimulatorTest, PeriodicTimerRearmsAfterCallbackBody) {
+  // An event the callback schedules for the *next* boundary instant (same
+  // time, same priority) must fire before the next periodic occurrence:
+  // the re-arm happens after the callback body, so it draws a later
+  // sequence number.
+  std::vector<std::string> order;
+  PeriodicTimer periodic;
+  periodic.Bind(simulator, EventPriority::kDefault, [&] {
+    order.push_back("tick@" + std::to_string(simulator.now()));
+    if (simulator.now() == 0) {
+      simulator.ScheduleOnceAfter(10, EventPriority::kDefault, [&] {
+        order.push_back("oneshot@" + std::to_string(simulator.now()));
+      });
+    }
+    if (simulator.now() >= 10) periodic.Stop();
+  });
+  periodic.Start(0, 10);
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"tick@0", "oneshot@10", "tick@10"}));
+}
+
+TEST_P(SimulatorTest, SchedStatsBalance) {
+  Timer timer;
+  timer.Bind(simulator, EventPriority::kDefault, [] {});
+  timer.ArmAt(10);
+  timer.ArmAt(20);  // one implicit cancel
+  simulator.ScheduleOnce(30, EventPriority::kDefault, [] {});
+  simulator.Run();
+  const SchedStats& stats = simulator.sched_stats();
+  EXPECT_EQ(stats.pushes, 3);
+  EXPECT_EQ(stats.pops, 2);
+  EXPECT_EQ(stats.cancels, 1);
+  // At drain every push was either fired or skipped as stale.
+  EXPECT_EQ(stats.pushes, stats.pops + stats.stale_skips);
+  EXPECT_EQ(stats.cancels, stats.stale_skips);
+}
+
+TEST_P(SimulatorTest, HighChurnKeepsExactOrderAcrossResizes) {
+  // Enough spread-out events to force calendar-bucket growth and shrink;
+  // order must stay exact throughout.
+  std::vector<TimeNs> fired;
+  std::vector<TimeNs> expected;
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs t = (i * 7919) % 10000;
+    expected.push_back(t);
+    simulator.ScheduleOnce(t, EventPriority::kDefault,
+                           [&fired, this] { fired.push_back(simulator.now()); });
+  }
+  std::sort(expected.begin(), expected.end());
+  simulator.Run();
+  EXPECT_EQ(fired, expected);
+  if (GetParam() == SchedulerKind::kCalendar) {
+    EXPECT_GT(simulator.sched_stats().bucket_resizes, 0);
+  }
+}
+
+TEST_P(SimulatorTest, SparseHorizonsStayOrdered) {
+  // Events separated by ~hours of simulated time exercise the calendar's
+  // sparse-horizon cursor jump.
+  std::vector<TimeNs> fired;
+  for (TimeNs t : {TimeNs{7'200'000'000'000}, TimeNs{1'000}, TimeNs{3'600'000'000'000}, TimeNs{0}}) {
+    simulator.ScheduleOnce(t, EventPriority::kDefault,
+                           [&fired, this] { fired.push_back(simulator.now()); });
+  }
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{0, 1'000, 3'600'000'000'000,
+                                        7'200'000'000'000}));
+}
+
+TEST(EventFnTest, InlineAndHeapCapturesBothInvoke) {
+  int calls = 0;
+  EventFn small([&calls] { ++calls; });
+  small();
+  EXPECT_EQ(calls, 1);
+
+  // A capture far beyond the inline buffer takes the heap path.
+  std::array<std::uint64_t, 32> big_state{};
+  big_state[31] = 42;
+  int observed = 0;
+  EventFn big([big_state, &observed] {
+    observed = static_cast<int>(big_state[31]);
+  });
+  static_assert(sizeof(big_state) > EventFn::kInlineSize);
+  big();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(EventFnTest, MovePreservesStateAndEmptiesSource) {
+  auto state = std::make_unique<int>(7);
+  int observed = 0;
+  EventFn fn([state = std::move(state), &observed] { observed = *state; });
+  EventFn moved(std::move(fn));
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(observed, 7);
 }
 
 }  // namespace

@@ -43,6 +43,9 @@ Scenario (defaults: the paper's Fig. 6 configuration scaled by --scale):
   --pu-power=F --su-power=F --pu-radius=F --su-radius=F
   --eta-p-db=F --eta-s-db=F
   --c2=paper|corrected    PCR constant variant (default paper; see DESIGN.md)
+  --scheduler=calendar|reference  event-queue backend (default calendar; the
+                          reference heap is the determinism A/B check — both
+                          produce bit-identical runs, see DESIGN.md §12)
   --fairness=BOOL         Algorithm 1 line-12 wait (default true)
   --seed=INT --reps=INT   reproducibility (defaults 0x5EEDADDC, 1)
 
@@ -126,6 +129,13 @@ int main(int argc, char** argv) {
   const std::string c2 = flags.GetString("c2", "paper");
   config.c2_variant =
       c2 == "corrected" ? core::C2Variant::kCorrected : core::C2Variant::kPaper;
+  const std::string scheduler = flags.GetString("scheduler", "calendar");
+  if (scheduler != "calendar" && scheduler != "reference") {
+    std::cerr << "error: --scheduler must be calendar or reference, got '"
+              << scheduler << "'\n";
+    return 2;
+  }
+  config.reference_scheduler = scheduler == "reference";
 
   const std::string algorithm = flags.GetString("algorithm", "both");
   const std::string metric_name = flags.GetString("metric", "accumulated");
@@ -353,7 +363,9 @@ int main(int argc, char** argv) {
         for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
           next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);
         }
-        sim::Simulator simulator;
+        sim::Simulator simulator(config.reference_scheduler
+                                     ? sim::SchedulerKind::kReference
+                                     : sim::SchedulerKind::kCalendar);
         pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
         mac::MacConfig mac_config;
         mac_config.pcr = scenario.pcr();

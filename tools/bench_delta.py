@@ -6,7 +6,9 @@ Compares a freshly produced bench JSON against the committed baseline
 counters, not on wall time: the perf.* counters are exact functions of
 (scenario, seed), so any increase is a real algorithmic regression — there
 is no machine noise to absorb, and the default tolerance is therefore zero.
-Wall-clock deltas are printed for the log but never gate.
+Wall-clock deltas are printed for the log; they gate only when the caller
+opts in with --max-wall-ratio, and then with a deliberately generous bound
+sized for shared-runner noise, not for micro-regressions.
 
 Checks, without any third-party dependency:
   * envelope comparability — both files are schema v2, same bench name,
@@ -18,11 +20,17 @@ Checks, without any third-party dependency:
     baseline * (1 + --tolerance). Default budget: the cached engine's
     geometry-term count, the quantity DESIGN.md §10 pins.
   * --verify-digests — every sweep whose title starts with "engine
-    verification" must carry the same addc_trace_digest on all its points
-    (the cached-vs-direct bit-identity contract, re-checked from the
+    verification" or "scheduler verification" must carry the same
+    addc_trace_digest on all its points (the cached-vs-direct and
+    calendar-vs-reference bit-identity contracts, re-checked from the
     artifact).
   * --min-term-ratio R — at the largest n among "... (cached)"/"... (direct)"
     timing-sweep pairs, direct/cached perf.sir_terms_evaluated must be >= R.
+  * --max-wall-ratio R — for every sweep title present in both files,
+    current wall_seconds / baseline wall_seconds must be <= R. This is the
+    only wall-clock gate; it exists to catch order-of-magnitude blowups
+    (e.g. an accidentally quadratic scheduler) that the deterministic
+    counters cannot see.
 
 Exit 0 when all checks pass, 1 on any regression/violation, 2 on unusable
 or incomparable inputs.
@@ -161,27 +169,63 @@ def check_budget(baseline: dict, current: dict, keys: list[str],
     return problems
 
 
+VERIFICATION_TITLE_PREFIXES = ("engine verification", "scheduler verification")
+
+
 def check_digests(current: dict) -> list[str]:
     problems: list[str] = []
     checked = 0
     for sweep in current["sweeps"]:
-        if not sweep.get("title", "").startswith("engine verification"):
+        title = sweep.get("title", "")
+        if not title.startswith(VERIFICATION_TITLE_PREFIXES):
             continue
         digests = [point.get("addc_trace_digest")
                    for point in sweep.get("points", [])]
         checked += 1
         if len(digests) < 2 or None in digests:
-            problems.append(f"{sweep['title']}: verification points missing "
+            problems.append(f"{title}: verification points missing "
                             "addc_trace_digest")
         elif len(set(digests)) != 1:
-            problems.append(f"{sweep['title']}: engine digests differ: "
+            problems.append(f"{title}: verification digests differ: "
                             f"{digests}")
         else:
-            print(f"bench_delta: {sweep['title']}: {len(digests)} engine "
+            print(f"bench_delta: {title}: {len(digests)} "
                   f"digests identical ({digests[0]})")
     if checked == 0:
-        problems.append("--verify-digests: no 'engine verification' sweep "
-                        "in current run")
+        problems.append("--verify-digests: no verification sweep "
+                        f"(titles {VERIFICATION_TITLE_PREFIXES}) in "
+                        "current run")
+    return problems
+
+
+def check_wall_ratio(baseline: dict, current: dict,
+                     maximum: float) -> list[str]:
+    """Wall-clock blowup gate. Unlike the counters, wall time is noisy, so
+    the caller picks a generous `maximum` (CI uses 3x): the gate is meant to
+    catch complexity-class regressions, not jitter. Sweeps present on only
+    one side are skipped — new rungs have no baseline to regress against."""
+    problems: list[str] = []
+    base_sweeps = sweeps_by_title(baseline)
+    compared = 0
+    for title, sweep in sweeps_by_title(current).items():
+        base = base_sweeps.get(title)
+        if base is None:
+            continue
+        base_wall = base.get("wall_seconds")
+        wall = sweep.get("wall_seconds")
+        if not base_wall or not wall:
+            continue
+        compared += 1
+        ratio = wall / base_wall
+        if ratio > maximum:
+            problems.append(f"{title}: wall {wall:.3f}s is {ratio:.2f}x "
+                            f"baseline {base_wall:.3f}s (limit "
+                            f"{maximum:g}x)")
+    print(f"bench_delta: wall ratio <= {maximum:g}x checked on {compared} "
+          f"shared sweep(s): {'FAIL' if problems else 'OK'}")
+    if compared == 0:
+        problems.append("--max-wall-ratio: no sweep shared a title between "
+                        "baseline and current")
     return problems
 
 
@@ -232,6 +276,10 @@ def main() -> int:
                              "counters are deterministic)")
     parser.add_argument("--verify-digests", action="store_true")
     parser.add_argument("--min-term-ratio", type=float, default=0.0)
+    parser.add_argument("--max-wall-ratio", type=float, default=0.0,
+                        help="gate: current/baseline wall_seconds per shared "
+                             "sweep title must not exceed this (0 = wall "
+                             "stays informational)")
     arguments = parser.parse_args()
 
     baseline = load(arguments.baseline)
@@ -246,6 +294,9 @@ def main() -> int:
         problems += check_digests(current)
     if arguments.min_term_ratio > 0.0:
         problems += check_term_ratio(current, arguments.min_term_ratio)
+    if arguments.max_wall_ratio > 0.0:
+        problems += check_wall_ratio(baseline, current,
+                                     arguments.max_wall_ratio)
 
     for problem in problems:
         print(f"bench_delta: FAIL {problem}", file=sys.stderr)

@@ -228,6 +228,7 @@ int RunSelfTest(const std::string& root) {
       {"src__mac__bad_static_state.cc", "concurrency-discipline"},
       {"src__harness__bad_capture.cc", "concurrency-discipline"},
       {"src__core__bad_suppression.cc", "suppression-justification"},
+      {"src__mac__bad_raw_schedule.cc", "raw-schedule-in-mac"},
       {"src__core__clean_tokenizer.cc", ""},
   };
 

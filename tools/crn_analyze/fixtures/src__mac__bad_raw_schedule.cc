@@ -1,0 +1,15 @@
+// Fixture: fires [raw-schedule-in-mac]. A MAC-layer state machine arming a
+// backoff through the fire-and-forget entry point with a capturing lambda:
+// the callback state is allocated per event and the pending fire cannot be
+// cancelled through the arena's generation check. The Timer API (bind once,
+// re-arm) is the required shape in src/mac.
+#include "sim/simulator.h"
+
+namespace crn::mac {
+
+void ArmBackoff(sim::Simulator& sim, int node, sim::TimeNs delay) {
+  sim.ScheduleOnceAfter(delay, sim::EventPriority::kTimerExpiry,
+                        [&sim, node] { (void)node; });
+}
+
+}  // namespace crn::mac

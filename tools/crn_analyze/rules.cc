@@ -52,6 +52,16 @@ std::string ExpectedHeaderGuard(const std::string& logical_path) {
   return guard;
 }
 
+// Capture spellings the codebase uses for stateful lambdas. Array indexing
+// never produces these shapes, so the match is indexing-proof without a
+// full lambda parse.
+bool HasCapturingLambda(const std::string& text) {
+  for (const char* intro : {"[&", "[=", "[this"}) {
+    if (text.find(intro) != std::string::npos) return true;
+  }
+  return false;
+}
+
 constexpr char kSuppressionMarker[] = "crn-lint-ok";
 constexpr std::size_t kMinJustificationChars = 8;
 
@@ -184,6 +194,28 @@ std::vector<Finding> RunFileRules(const SourceFile& file) {
             "per-event pow()/Distance() in the SIR hot path; read gains "
             "through the PairGainCache (spectrum/interference_field.h) and "
             "compare squared distances (geom::DistanceSquared)");
+      }
+      // MAC state machines must drive recurring work through bind-once
+      // sim::Timer slots; a fire-and-forget one-shot with a capturing
+      // lambda allocates callback state per event on the hottest layer and
+      // dodges the arena's generation liveness check. Both the current
+      // (ScheduleOnce*) and pre-overhaul (ScheduleAt/ScheduleAfter) names
+      // are matched so old-style code cannot regress back in. The lambda
+      // may start on the line after the call, so the scan spans both.
+      if (StartsWith(logical_path, "src/mac/")) {
+        for (const char* name : {"ScheduleOnce", "ScheduleOnceAfter",
+                                 "ScheduleAt", "ScheduleAfter"}) {
+          if (!ContainsCallOf(line, name)) continue;
+          std::string span = line;
+          if (i + 1 < code.size()) span += " " + code[i + 1];
+          if (HasCapturingLambda(span)) {
+            add(static_cast<int>(i), "raw-schedule-in-mac",
+                "direct " + std::string(name) +
+                    "() with a capturing lambda in src/mac; bind a "
+                    "sim::Timer once and Arm*/re-arm it (sim/simulator.h)");
+            break;
+          }
+        }
       }
       const bool in_callback_layer =
           StartsWith(logical_path, "src/sim/") ||

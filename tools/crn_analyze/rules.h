@@ -13,6 +13,9 @@
 //   suppression-justification — a `crn-lint-ok` marker without a
 //   `crn-lint-ok: <reason>` justification is itself a finding, and is
 //   exempt from suppression (a bare marker cannot silence itself).
+//   raw-schedule-in-mac — src/mac must not pass capturing lambdas to the
+//   fire-and-forget ScheduleOnce*/ScheduleAt/ScheduleAfter entry points;
+//   MAC state machines bind a sim::Timer once and re-arm it.
 #ifndef CRN_ANALYZE_RULES_H_
 #define CRN_ANALYZE_RULES_H_
 

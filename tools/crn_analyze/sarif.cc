@@ -25,6 +25,9 @@ const std::map<std::string, std::string>& RuleDescriptions() {
       {"library-io", "no cout/cerr outside src/harness/"},
       {"suppression-justification",
        "crn-lint-ok markers must carry a reason"},
+      {"raw-schedule-in-mac",
+       "src/mac schedules through bind-once sim::Timer, not capturing "
+       "one-shots"},
       {"layering", "src/ includes must respect the layer DAG"},
       {"include-cycle", "src/ include graph must be acyclic"},
       {"determinism-taint",
