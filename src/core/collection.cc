@@ -84,6 +84,11 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   sim::Simulator simulator(config.reference_scheduler
                                ? sim::SchedulerKind::kReference
                                : sim::SchedulerKind::kCalendar);
+  // Attach the recorder before the MAC binds its timers so every registered
+  // event kind is mirrored into the recorder's name table.
+  if (options.flight_recorder != nullptr) {
+    simulator.AttachFlightRecorder(options.flight_recorder);
+  }
   pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
   const mac::MacConfig mac_config = MakeMacConfig(config, sensing_range, options);
 
@@ -103,6 +108,9 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
     auditor.emplace(audit_config);
     auditor->Attach(simulator, mac, &primary);
     if (options.metrics != nullptr) auditor->BindMetrics(*options.metrics);
+    if (options.flight_recorder != nullptr) {
+      auditor->BindFlightRecorder(options.flight_recorder);
+    }
   }
   // Observability sinks: attaching is opt-in and passive — with no sink the
   // MAC's lifecycle emits early-out and the run is byte-identical.
@@ -129,7 +137,23 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
     }
   }
   mac.StartSnapshotCollection();
-  simulator.Run();
+  if (options.flight_recorder != nullptr) {
+    // An exception escaping the event loop (e.g. the runaway-loop guard)
+    // leaves no usable state behind; rethrow it with the decoded causal
+    // trail appended so the failure arrives with its event history. The
+    // rethrow happens in the run orchestrator, after the callback stack has
+    // fully unwound — no MAC state is left half-applied by *this* frame.
+    try {
+      simulator.Run();
+    } catch (const std::exception& e) {
+      throw ContractViolation(  // crn-lint-ok: run-loop forensics rethrow,
+                                // outside any event callback
+          std::string(e.what()) + "\n" +
+          options.flight_recorder->FormatTrail(32));
+    }
+  } else {
+    simulator.Run();
+  }
   if (auditor.has_value()) {
     *options.audit_report = auditor->Finalize();
   }
@@ -166,6 +190,30 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
         .Add(sched_stats.stale_skips);
     options.metrics->GetCounter("perf.sched_bucket_resizes", sched)
         .Add(sched_stats.bucket_resizes);
+    // Per-event-kind scheduler counters (flight recorder attached only):
+    // exact, seed-stable action counts per registered kind. Kinds with no
+    // activity are skipped so the registry carries signal, not schema.
+    if (options.flight_recorder != nullptr) {
+      const sim::FlightRecorder& recorder = *options.flight_recorder;
+      const std::vector<std::string>& kind_names = recorder.kind_names();
+      const std::vector<sim::KindCounters>& kind_counts = recorder.counters();
+      for (std::size_t k = 0; k < kind_counts.size(); ++k) {
+        const sim::KindCounters& counts = kind_counts[k];
+        if (counts.arms == 0 && counts.reschedules == 0 &&
+            counts.disarms == 0 && counts.fires == 0) {
+          continue;
+        }
+        const std::string& name = k < kind_names.size() && !kind_names[k].empty()
+                                      ? kind_names[k]
+                                      : kind_names[0];
+        const obs::Labels kind{{"kind", name}};
+        options.metrics->GetCounter("sched.arms", kind).Add(counts.arms);
+        options.metrics->GetCounter("sched.reschedules", kind)
+            .Add(counts.reschedules);
+        options.metrics->GetCounter("sched.disarms", kind).Add(counts.disarms);
+        options.metrics->GetCounter("sched.fires", kind).Add(counts.fires);
+      }
+    }
   }
   if (injector.has_value()) {
     if (options.fault_report != nullptr) *options.fault_report = injector->report();

@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/span_tracer.h"
 #include "routing/coolest.h"
+#include "sim/flight_recorder.h"
 #include "sim/time.h"
 
 namespace crn::core {
@@ -97,6 +98,18 @@ struct RunOptions {
   // `fault_report` (optional) receives the injector's accounting.
   const faults::FaultPlan* faults = nullptr;
   faults::FaultReport* fault_report = nullptr;
+
+  // --- scheduler flight recorder (DESIGN.md §13) ------------------------
+  // When non-null, the recorder is attached to the run's simulator: every
+  // scheduler action (arm/reschedule/disarm/fire) appends one record to its
+  // ring, per-kind deterministic counters are exported into `metrics` (when
+  // also set) as sched.{arms,reschedules,disarms,fires}{kind=...}, the
+  // auditor (when attached) captures a decoded last-N trail into
+  // AuditReport::flight_trail on its first violation, and an exception
+  // unwinding out of the event loop is rethrown with the trail appended.
+  // Recording is pure observation — attaching never changes the run's
+  // behaviour or trace digest — and the recorder must outlive the call.
+  sim::FlightRecorder* flight_recorder = nullptr;
 };
 
 // Runs ADDC on the given deployed scenario. `options` passes MAC-model

@@ -197,7 +197,18 @@ void InvariantAuditor::VerifyRouting() {
   }
 }
 
+void InvariantAuditor::BindFlightRecorder(const sim::FlightRecorder* recorder,
+                                          std::size_t trail_depth) {
+  flight_recorder_ = recorder;
+  flight_trail_depth_ = trail_depth;
+}
+
 void InvariantAuditor::RecordViolation(std::string message) {
+  if (flight_recorder_ != nullptr && report_.flight_trail.empty()) {
+    // First violation: snapshot the causal trail before further events
+    // rotate it out of the ring.
+    report_.flight_trail = flight_recorder_->FormatTrail(flight_trail_depth_);
+  }
   if (report_.first_violations.size() < config_.max_recorded_violations) {
     report_.first_violations.push_back(std::move(message));
   }

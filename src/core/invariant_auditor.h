@@ -44,6 +44,7 @@
 #include "obs/metrics.h"
 #include "pu/primary_network.h"
 #include "sim/audit.h"
+#include "sim/flight_recorder.h"
 #include "sim/simulator.h"
 
 namespace crn::core {
@@ -83,6 +84,10 @@ struct AuditReport {
   // FNV-1a digest of the TxEvent trace (same seed ⇒ same digest).
   std::uint64_t trace_digest = 0;
   std::vector<std::string> first_violations;
+  // Decoded flight-recorder trail captured at the *first* violation — the
+  // last-N causal event history leading into it. Empty unless a recorder
+  // was bound (BindFlightRecorder) and a violation occurred.
+  std::string flight_trail;
 
   [[nodiscard]] std::int64_t total_violations() const {
     return time_violations + separation_violations + su_sir_violations +
@@ -111,6 +116,14 @@ class InvariantAuditor {
   // regression test cross-checks the totals). Call before the run; the
   // registry must outlive the auditor's Finalize().
   void BindMetrics(obs::MetricsRegistry& registry);
+
+  // Binds a flight recorder for violation forensics: the first recorded
+  // violation snapshots the recorder's decoded last-N trail into
+  // AuditReport::flight_trail, so "separation violated at t=..." arrives
+  // with the causal event history that led into it. Purely observational —
+  // the recorder is read, never written. Call before the run.
+  void BindFlightRecorder(const sim::FlightRecorder* recorder,
+                          std::size_t trail_depth = 32);
 
   // Re-validates the routing table immediately — call after FailNode /
   // UpdateNextHop churn; Finalize() runs it once more regardless.
@@ -144,6 +157,9 @@ class InvariantAuditor {
   Rng receiver_rng_;
   std::vector<ActiveTx> active_;
   bool finalized_ = false;
+  // Optional violation-forensics source (BindFlightRecorder).
+  const sim::FlightRecorder* flight_recorder_ = nullptr;
+  std::size_t flight_trail_depth_ = 32;
   // Optional metric mirrors (BindMetrics); null when no registry is bound.
   obs::Counter* viol_time_ = nullptr;
   obs::Counter* viol_separation_ = nullptr;

@@ -68,6 +68,7 @@ void FaultInjector::Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
           << "fault plan perturbs PU activity but no primary network attached";
     }
     simulator.ScheduleOnce(event.time, sim::EventPriority::kDefault,
+                           "faults.timeline", event.node,
                            [this, event] { Apply(event); });
   }
 }
@@ -99,7 +100,9 @@ void FaultInjector::Apply(const FaultEvent& event) {
           cursor = mac_->next_hop(cursor);
         }
       }
-      simulator_->ScheduleOnceAfter(plan_.repair_delay, sim::EventPriority::kDefault,
+      simulator_->ScheduleOnceAfter(plan_.repair_delay,
+                                    sim::EventPriority::kDefault,
+                                    "faults.repair", node,
                                     [this, node] { RunRepairPass(node); });
       break;
     }

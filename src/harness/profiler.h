@@ -22,6 +22,7 @@
 
 #include "harness/parallel_runner.h"
 #include "obs/chrome_trace.h"
+#include "sim/flight_recorder.h"
 
 namespace crn::harness {
 
@@ -86,6 +87,20 @@ class RunProfiler {
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
 };
+
+// --- flight-recorder integration (sim/flight_recorder.h) -----------------
+// The sim layer cannot read wall clocks, so the harness hands the recorder
+// the profiler's epoch clock as its probe. Install before the run.
+void AttachFlightRecorderProbe(RunProfiler& profiler,
+                               sim::FlightRecorder& recorder);
+
+// Folds the recorder's per-kind fire wall attribution into the profiler as
+// one closed "sched.fire:<kind>" span per active kind (label carries the
+// deterministic fire count). PhaseSummary() and the BENCH json `profile`
+// section then report scheduler callback wall time broken down by event
+// kind. Call after the run; kinds with no fires and no wall are skipped.
+void FoldFlightRecorderIntoProfiler(const sim::FlightRecorder& recorder,
+                                    RunProfiler& profiler);
 
 }  // namespace crn::harness
 

@@ -129,8 +129,10 @@ CollectionMac::CollectionMac(sim::Simulator& simulator, pu::PrimaryNetwork& prim
       }
     });
     agents_[v].expiry_timer.Bind(simulator_, sim::EventPriority::kTimerExpiry,
+                                 "mac.backoff_expiry", v,
                                  [this, v] { OnBackoffExpired(v); });
     agents_[v].wait_timer.Bind(simulator_, sim::EventPriority::kDefault,
+                               "mac.post_tx_wait", v,
                                [this, v] { OnPostTxWaitDone(v); });
   }
 }
@@ -170,16 +172,16 @@ void CollectionMac::StartContinuousCollection(const std::vector<NodeId>& produce
   // Slot boundary first (samples the initial PU state); snapshot seeding
   // events run at default priority, so producers always see a sampled slot.
   slot_timer_.Bind(simulator_, sim::EventPriority::kSlotBoundary,
-                   [this] { OnSlotBoundary(); });
+                   "mac.slot_boundary", sink_, [this] { OnSlotBoundary(); });
   slot_timer_.Start(now, config_.slot);
-  audit_timer_.Bind(simulator_, sim::EventPriority::kDefault,
-                    [this] { AuditPrimaryReceptions(); });
+  audit_timer_.Bind(simulator_, sim::EventPriority::kDefault, "mac.pu_audit",
+                    sink_, [this] { AuditPrimaryReceptions(); });
   for (std::int32_t k = 0; k < snapshot_count; ++k) {
     simulator_.ScheduleOnce(  // crn-lint-ok: one-time cold-path seeding burst;
                               // each one-shot carries a distinct snapshot
                               // payload, which a bind-once Timer cannot.
-        now + k * interval, sim::EventPriority::kDefault,
-        [this, producers, k] { SeedSnapshot(producers, k); });
+        now + k * interval, sim::EventPriority::kDefault, "mac.seed_snapshot",
+        sink_, [this, producers, k] { SeedSnapshot(producers, k); });
   }
 }
 
@@ -512,12 +514,14 @@ void CollectionMac::StartTransmission(NodeId node) {
   }
 
   tx.end_timer.Bind(simulator_, sim::EventPriority::kTransmissionEnd,
+                    "mac.tx_end", node,
                     [this, node] { FinishTransmission(node, /*aborted=*/false); });
   tx.end_timer.ArmAfter(config_.tx_duration);
   if (config_.sensing_latency <= 0) {
     tx.announced = true;
   } else {
     tx.announce_timer.Bind(simulator_, sim::EventPriority::kDefault,
+                           "mac.tx_announce", node,
                            [this, node] { AnnounceTxStart(node); });
     tx.announce_timer.ArmAfter(config_.sensing_latency);
   }
@@ -575,7 +579,8 @@ void CollectionMac::FinishTransmission(NodeId node, bool aborted) {
                                      // payload with dynamic multiplicity; a
                                      // bind-once Timer would drop a fade
                                      // re-armed while one is pending.
-          config_.sensing_latency, sim::EventPriority::kDefault, [this, node] {
+          config_.sensing_latency, sim::EventPriority::kDefault,
+          "mac.carrier_fade", node, [this, node] {
             const auto it = std::find(fading_tx_.begin(), fading_tx_.end(), node);
             CRN_DCHECK(it != fading_tx_.end());
             fading_tx_.erase(it);

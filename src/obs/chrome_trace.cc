@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
+#include <tuple>
 
 namespace crn::obs {
 namespace {
@@ -88,25 +90,46 @@ void WriteEvent(const ChromeTraceEvent& event, std::ostream& out) {
 
 void WriteChromeTrace(const std::vector<ChromeTraceEvent>& events,
                       std::ostream& out) {
-  // Sort by (metadata first, ts, insertion order). Stable sort keeps the
-  // producer's deterministic emit order among equal timestamps.
+  // Metadata is normalized, not just sorted first: merged streams (span
+  // tracer + profiler + crn_trace rows) may each announce the same thread,
+  // so exactly one metadata event survives per (pid, tid, name) — first
+  // emission wins — emitted in (pid, tid, name) order with args sorted by
+  // key. The rendered bytes are therefore identical however the producers'
+  // event vectors were concatenated.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::string>,
+           const ChromeTraceEvent*>
+      metadata;
   std::vector<const ChromeTraceEvent*> order;
   order.reserve(events.size());
-  for (const ChromeTraceEvent& event : events) order.push_back(&event);
+  for (const ChromeTraceEvent& event : events) {
+    if (event.phase == ChromeTraceEvent::Phase::kMetadata) {
+      metadata.emplace(std::make_tuple(event.pid, event.tid, event.name),
+                       &event);
+    } else {
+      order.push_back(&event);
+    }
+  }
+  // Stable sort keeps the producer's deterministic emit order among equal
+  // timestamps.
   std::stable_sort(order.begin(), order.end(),
                    [](const ChromeTraceEvent* a, const ChromeTraceEvent* b) {
-                     const bool a_meta =
-                         a->phase == ChromeTraceEvent::Phase::kMetadata;
-                     const bool b_meta =
-                         b->phase == ChromeTraceEvent::Phase::kMetadata;
-                     if (a_meta != b_meta) return a_meta;
                      return a->ts_us < b->ts_us;
                    });
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (i > 0) out << ',';
+  std::size_t written = 0;
+  auto separator = [&] {
+    if (written++ > 0) out << ',';
     out << "\n";
-    WriteEvent(*order[i], out);
+  };
+  for (const auto& [key, event] : metadata) {
+    ChromeTraceEvent normalized = *event;
+    std::sort(normalized.args.begin(), normalized.args.end());
+    separator();
+    WriteEvent(normalized, out);
+  }
+  for (const ChromeTraceEvent* event : order) {
+    separator();
+    WriteEvent(*event, out);
   }
   out << "\n]}\n";
 }

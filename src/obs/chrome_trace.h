@@ -43,7 +43,11 @@ struct ChromeTraceEvent {
 
 // Writes the object form: {"traceEvents": [...], "displayTimeUnit": "ms"}.
 // Events are emitted in (ts, insertion order) — monotone timestamps, which
-// the CI trace validator asserts. Metadata events sort first at their ts.
+// the CI trace validator asserts. Metadata is normalized before the
+// timeline: exactly one event per (pid, tid, name) — the first emission
+// wins — ordered by (pid, tid, name) with args sorted by key, so merged
+// event streams render byte-identically regardless of producer
+// concatenation order.
 void WriteChromeTrace(const std::vector<ChromeTraceEvent>& events,
                       std::ostream& out);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/flight_recorder.h"
+
 namespace crn::sim {
 
 Simulator::Simulator(SchedulerKind kind) : kind_(kind) {
@@ -36,12 +38,15 @@ void Simulator::FreeSlotNow(std::uint32_t slot) {
   free_head_ = slot;
 }
 
-std::uint32_t Simulator::BindSlot(EventPriority priority, EventFn fn) {
+std::uint32_t Simulator::BindSlot(EventPriority priority, EventFn fn,
+                                  std::uint16_t kind, std::int32_t owner) {
   CRN_CHECK(static_cast<bool>(fn));
   const std::uint32_t slot = AllocSlot();
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.priority = priority;
+  s.kind = kind;
+  s.owner = owner;
   return slot;
 }
 
@@ -50,15 +55,25 @@ void Simulator::ArmSlot(std::uint32_t slot, TimeNs when) {
   CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
                           << " now=" << now_;
   Slot& s = slots_[slot];
-  if ((s.flags & kArmed) != 0) {
+  const bool rearmed = (s.flags & kArmed) != 0;
+  if (rearmed) {
     // Implicit reschedule: the old entry dies by generation bump.
     ++s.generation;
     --pending_;
     ++stats_.cancels;
   }
   s.flags |= kArmed;
-  Push(QEntry{when, next_seq_++, slot, s.generation, s.priority});
+  const EventId seq = next_seq_++;
+  // Causal bookkeeping is unconditional (two stores); only the ring write
+  // is gated, so a recorder attached mid-run still sees correct parents.
+  s.pending_seq = seq;
+  s.armed_parent = current_fire_seq_;
+  Push(QEntry{when, seq, slot, s.generation, s.priority});
   ++pending_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(rearmed ? SchedAction::kReschedule : SchedAction::kArm,
+                      seq, now_, s.kind, s.owner, current_fire_seq_);
+  }
 }
 
 bool Simulator::DisarmSlot(std::uint32_t slot) {
@@ -69,6 +84,10 @@ bool Simulator::DisarmSlot(std::uint32_t slot) {
   ++s.generation;
   --pending_;
   ++stats_.cancels;
+  if (recorder_ != nullptr) {
+    recorder_->Record(SchedAction::kDisarm, s.pending_seq, now_, s.kind,
+                      s.owner, current_fire_seq_);
+  }
   return true;
 }
 
@@ -79,6 +98,10 @@ void Simulator::ReleaseSlot(std::uint32_t slot) {
     ++s.generation;
     --pending_;
     ++stats_.cancels;
+    if (recorder_ != nullptr) {
+      recorder_->Record(SchedAction::kDisarm, s.pending_seq, now_, s.kind,
+                        s.owner, current_fire_seq_);
+    }
   }
   if ((s.flags & kExecuting) != 0) {
     // Timer destroyed from inside its own callback (e.g. a transmission
@@ -90,14 +113,45 @@ void Simulator::ReleaseSlot(std::uint32_t slot) {
 }
 
 void Simulator::ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn) {
+  ScheduleOnce(when, priority, "unnamed", -1, std::move(fn));
+}
+
+void Simulator::ScheduleOnce(TimeNs when, EventPriority priority,
+                             std::string_view kind, std::int32_t owner,
+                             EventFn fn) {
   CRN_CHECK(!in_observer_) << "event observers must not schedule or cancel";
   CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
                           << " now=" << now_;
-  const std::uint32_t slot = BindSlot(priority, std::move(fn));
+  const std::uint32_t slot =
+      BindSlot(priority, std::move(fn), RegisterEventKind(kind), owner);
   Slot& s = slots_[slot];
   s.flags |= static_cast<std::uint8_t>(kArmed | kOneShot);
-  Push(QEntry{when, next_seq_++, slot, s.generation, priority});
+  const EventId seq = next_seq_++;
+  s.pending_seq = seq;
+  s.armed_parent = current_fire_seq_;
+  Push(QEntry{when, seq, slot, s.generation, priority});
   ++pending_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(SchedAction::kArm, seq, now_, s.kind, s.owner,
+                      current_fire_seq_);
+  }
+}
+
+std::uint16_t Simulator::RegisterEventKind(std::string_view name) {
+  CRN_CHECK(!name.empty()) << "event kind name must be non-empty";
+  const auto it = kind_ids_.find(name);
+  if (it != kind_ids_.end()) return it->second;
+  CRN_CHECK(kind_names_.size() < 0xFFFFU) << "event-kind registry full";
+  const auto id = static_cast<std::uint16_t>(kind_names_.size());
+  kind_names_.emplace_back(name);
+  kind_ids_.emplace(kind_names_.back(), id);
+  if (recorder_ != nullptr) recorder_->OnKindRegistered(id, name);
+  return id;
+}
+
+void Simulator::AttachFlightRecorder(FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ != nullptr) recorder_->SetKindNames(kind_names_);
 }
 
 void Simulator::Push(const QEntry& entry) {
@@ -180,6 +234,15 @@ void Simulator::Fire(const QEntry& entry) {
   Slot& s = slots_[entry.slot];
   now_ = entry.time;
   --pending_;
+  // Capture recorder fields before the one-shot branch frees the slot.
+  const std::uint16_t fired_kind = s.kind;
+  double fire_wall_begin = 0.0;
+  if (recorder_ != nullptr) {
+    recorder_->Record(SchedAction::kFire, entry.seq, entry.time, fired_kind,
+                      s.owner, s.armed_parent);
+    fire_wall_begin = recorder_->WallNow();
+  }
+  current_fire_seq_ = entry.seq;
   if ((s.flags & kOneShot) != 0) {
     // Move the callback out and free the slot first so the callback may
     // freely schedule (and even land in this same slot) without aliasing.
@@ -199,6 +262,10 @@ void Simulator::Fire(const QEntry& entry) {
     // requested this slot's release (Timer destroyed from inside).
     s.flags &= static_cast<std::uint8_t>(~kExecuting);
     if ((s.flags & kReleaseDeferred) != 0) FreeSlotNow(entry.slot);
+  }
+  current_fire_seq_ = 0;
+  if (recorder_ != nullptr && recorder_->has_wall_probe()) {
+    recorder_->AddFireWall(fired_kind, recorder_->WallNow() - fire_wall_begin);
   }
   ++events_executed_;
   if (event_limit_ != 0 && events_executed_ > event_limit_) {

@@ -35,7 +35,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <queue>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/check.h"
@@ -79,6 +82,7 @@ struct SchedStats {
 
 class Timer;
 class PeriodicTimer;
+class FlightRecorder;
 
 class Simulator {
  public:
@@ -97,11 +101,41 @@ class Simulator {
   // Schedules a fire-and-forget `fn` at absolute time `when` (≥ now).
   void ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn);
 
+  // Kind/owner-tagged one-shot: identical scheduling semantics, but the
+  // event carries a registered kind name and owner node for the flight
+  // recorder (src/mac must use this form — `unnamed-timer-kind` rule).
+  void ScheduleOnce(TimeNs when, EventPriority priority, std::string_view kind,
+                    std::int32_t owner, EventFn fn);
+
   // Schedules a fire-and-forget `fn` after `delay` (≥ 0) from now.
   void ScheduleOnceAfter(TimeNs delay, EventPriority priority, EventFn fn) {
     CRN_CHECK(delay >= 0) << "delay=" << delay;
     ScheduleOnce(now_ + delay, priority, std::move(fn));
   }
+
+  void ScheduleOnceAfter(TimeNs delay, EventPriority priority,
+                         std::string_view kind, std::int32_t owner,
+                         EventFn fn) {
+    CRN_CHECK(delay >= 0) << "delay=" << delay;
+    ScheduleOnce(now_ + delay, priority, kind, owner, std::move(fn));
+  }
+
+  // Interns `name` (non-empty) into the event-kind registry and returns its
+  // stable id. Id 0 is pre-registered as "unnamed" for untagged events.
+  // Registration is bind-time (cold-path) work; ids are dense and
+  // deterministic — they follow registration order, which follows
+  // construction order.
+  std::uint16_t RegisterEventKind(std::string_view name);
+  [[nodiscard]] const std::vector<std::string>& kind_names() const {
+    return kind_names_;
+  }
+
+  // Attaches (or detaches, with nullptr) a flight recorder. Every scheduler
+  // action hook is gated on this pointer, so a detached run pays one
+  // branch per action and records nothing. Attaching mirrors the kind
+  // registry into the recorder so dumps outlive the simulator.
+  void AttachFlightRecorder(FlightRecorder* recorder);
+  [[nodiscard]] FlightRecorder* flight_recorder() const { return recorder_; }
 
   // Runs until the queue drains or `Stop()` is called. Returns the final
   // simulation time.
@@ -154,6 +188,12 @@ class Simulator {
     EventFn fn;
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNoSlot;
+    // Flight-recorder bookkeeping: the seq of the currently armed entry and
+    // the seq of the event whose callback armed it (the causal parent).
+    EventId pending_seq = 0;
+    EventId armed_parent = 0;
+    std::int32_t owner = -1;
+    std::uint16_t kind = 0;
     EventPriority priority = EventPriority::kDefault;
     std::uint8_t flags = 0;
   };
@@ -184,7 +224,8 @@ class Simulator {
   std::uint32_t AllocSlot();
   void FreeSlotNow(std::uint32_t slot);
   // Timer-facing: bind/arm/disarm/release one slot.
-  std::uint32_t BindSlot(EventPriority priority, EventFn fn);
+  std::uint32_t BindSlot(EventPriority priority, EventFn fn,
+                         std::uint16_t kind = 0, std::int32_t owner = -1);
   void ArmSlot(std::uint32_t slot, TimeNs when);
   bool DisarmSlot(std::uint32_t slot);
   void ReleaseSlot(std::uint32_t slot);
@@ -209,6 +250,9 @@ class Simulator {
   SchedulerKind kind_;
   TimeNs now_ = 0;
   EventId next_seq_ = 1;
+  // Seq of the event whose callback is executing (0 outside callbacks) —
+  // the causal parent stamped into every arm the callback performs.
+  EventId current_fire_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_limit_ = 0;
   std::size_t pending_ = 0;
@@ -235,6 +279,11 @@ class Simulator {
   std::priority_queue<QEntry, std::vector<QEntry>, QEntryGreater> ref_queue_;
 
   std::vector<std::function<void(TimeNs)>> event_observers_;
+
+  // Event-kind registry (id 0 = "unnamed") + optional flight recorder.
+  std::vector<std::string> kind_names_{"unnamed"};
+  std::map<std::string, std::uint16_t, std::less<>> kind_ids_{{"unnamed", 0}};
+  FlightRecorder* recorder_ = nullptr;
 };
 
 // Move-only handle to one arena slot. Bind() allocates the slot and stores
@@ -269,6 +318,18 @@ class Timer {
     CRN_CHECK(sim_ == nullptr) << "Timer is already bound";
     sim_ = &sim;
     slot_ = sim.BindSlot(priority, std::move(fn));
+  }
+
+  // Kind/owner-tagged bind: registers `kind` (non-empty) and stamps it plus
+  // the owning node id into every record this timer produces. The flight
+  // recorder's causality threading needs no further cooperation from the
+  // call site — parent links come from the arming context automatically.
+  void Bind(Simulator& sim, EventPriority priority, std::string_view kind,
+            std::int32_t owner, EventFn fn) {
+    CRN_CHECK(sim_ == nullptr) << "Timer is already bound";
+    sim_ = &sim;
+    slot_ =
+        sim.BindSlot(priority, std::move(fn), sim.RegisterEventKind(kind), owner);
   }
 
   [[nodiscard]] bool bound() const { return sim_ != nullptr; }
@@ -328,6 +389,13 @@ class PeriodicTimer {
     CRN_CHECK(static_cast<bool>(fn));
     fn_ = std::move(fn);
     timer_.Bind(sim, priority, EventFn([this] { OnFire(); }));
+  }
+
+  void Bind(Simulator& sim, EventPriority priority, std::string_view kind,
+            std::int32_t owner, EventFn fn) {
+    CRN_CHECK(static_cast<bool>(fn));
+    fn_ = std::move(fn);
+    timer_.Bind(sim, priority, kind, owner, EventFn([this] { OnFire(); }));
   }
 
   [[nodiscard]] bool bound() const { return timer_.bound(); }

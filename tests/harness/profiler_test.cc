@@ -101,5 +101,31 @@ TEST(RunProfilerTest, ChromeTraceExportUsesProfilerTrack) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST(RunProfilerTest, FlightRecorderFoldReportsPerKindFireWall) {
+  // The harness is the only layer allowed to hand the recorder a wall
+  // clock; the fold then turns per-kind fire attribution into profiler
+  // phases that land in the BENCH json profile section via PhaseSummary().
+  sim::FlightRecorder recorder(8);
+  RunProfiler profiler;
+  AttachFlightRecorderProbe(profiler, recorder);
+  ASSERT_TRUE(recorder.has_wall_probe());
+
+  recorder.SetKindNames({"unnamed", "mac.tx_end", "mac.idle"});
+  recorder.Record(sim::SchedAction::kFire, 1, 10, /*kind=*/1, 0, 0);
+  recorder.Record(sim::SchedAction::kFire, 2, 20, /*kind=*/1, 0, 0);
+  recorder.AddFireWall(1, 0.5);
+  // Kind 2 never fires and accrues no wall — it must not produce a phase.
+
+  FoldFlightRecorderIntoProfiler(recorder, profiler);
+  const auto summary = profiler.PhaseSummary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].phase, "sched.fire:mac.tx_end");
+  EXPECT_EQ(summary[0].count, 1);
+  EXPECT_DOUBLE_EQ(summary[0].total_s, 0.5);
+  // The deterministic fire count rides in the span label.
+  ASSERT_EQ(profiler.spans().size(), 1u);
+  EXPECT_EQ(profiler.spans()[0].label, "fires=2");
+}
+
 }  // namespace
 }  // namespace crn::harness

@@ -127,6 +127,72 @@ TEST(MetricsRegistryTest, MergeOrderFixedByCallerReproduces) {
   EXPECT_EQ(root1.GetGauge("depth").value(), 7);
 }
 
+TEST(MetricsRegistryTest, MergeIsInvariantToLabelInsertionOrder) {
+  // Labels render sorted by key (RenderMetricKey), so two producers that
+  // list the same labels in different orders address the same instrument —
+  // and merging them folds into one series, not two.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("sched.fires", {{"kind", "tx"}, {"node", "3"}}).Add(2);
+  b.GetCounter("sched.fires", {{"node", "3"}, {"kind", "tx"}}).Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.GetCounter("sched.fires", {{"node", "3"}, {"kind", "tx"}}).value(),
+            7);
+  EXPECT_EQ(a.Capture(0).entries.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, DigestStableUnderMergePermutation) {
+  // Counters and histograms merge commutatively, so folding the same cell
+  // set in any order must land on the same digest. (Gauges are last-write
+  // and deliberately excluded — their merge order is fixed by the caller.)
+  auto make_cell = [](std::int64_t base) {
+    MetricsRegistry cell;
+    cell.GetCounter("n_total", {{"cell", std::to_string(base % 2)}}).Add(base);
+    cell.GetHistogram("h").Record(base);
+    cell.GetHistogram("h").Record(base * 16);
+    return cell;
+  };
+  MetricsRegistry forward;
+  MetricsRegistry backward;
+  for (std::int64_t base : {1, 2, 3}) forward.Merge(make_cell(base));
+  for (std::int64_t base : {3, 2, 1}) backward.Merge(make_cell(base));
+  EXPECT_EQ(forward.Digest(), backward.Digest());
+}
+
+TEST(MetricsRegistryTest, MergeWithEmptyAndSingletonRegistries) {
+  MetricsRegistry populated;
+  populated.GetCounter("n_total").Add(3);
+  populated.GetHistogram("h").Record(7);
+  const std::uint64_t before = populated.Digest();
+
+  // Empty in either direction: merging an empty registry is a no-op, and
+  // an empty root folded with a populated cell reproduces the cell.
+  const MetricsRegistry empty;
+  populated.Merge(empty);
+  EXPECT_EQ(populated.Digest(), before);
+  MetricsRegistry root;
+  root.Merge(populated);
+  EXPECT_EQ(root.Digest(), before);
+
+  // Singleton histogram: one recorded value folds exactly (count, sum, max
+  // and the occupied bucket all carry over).
+  MetricsRegistry single;
+  single.GetHistogram("h").Record(100);
+  populated.Merge(single);
+  EXPECT_EQ(populated.GetHistogram("h").count(), 2);
+  EXPECT_EQ(populated.GetHistogram("h").sum(), 107);
+  EXPECT_EQ(populated.GetHistogram("h").max(), 100);
+  // An empty histogram instrument (declared, never recorded) must not
+  // disturb the target's extrema when merged in.
+  MetricsRegistry declared;
+  (void)declared.GetHistogram("h");
+  const std::uint64_t merged_state = populated.Digest();
+  populated.Merge(declared);
+  EXPECT_EQ(populated.GetHistogram("h").count(), 2);
+  EXPECT_EQ(populated.GetHistogram("h").max(), 100);
+  EXPECT_EQ(populated.Digest(), merged_state);
+}
+
 TEST(SnapshotDigestTest, MatchesRegistryDigestContract) {
   MetricsRegistry registry;
   registry.GetCounter("n_total").Add(42);

@@ -20,6 +20,7 @@
 #include "harness/flags.h"
 #include "harness/obs_export.h"
 #include "harness/parallel_runner.h"
+#include "harness/profiler.h"
 #include "harness/svg_export.h"
 #include "harness/table.h"
 #include "mac/trace.h"
@@ -73,6 +74,12 @@ Execution:
                                   Perfetto / chrome://tracing; forces serial
   --metrics-out=FILE              write the metrics registry (ADDC runs, merged
                                   over reps in rep order) as JSON
+  --flight-recorder-out=FILE      record every scheduler action of rep 0's ADDC
+                                  run (arm/reschedule/disarm/fire with causal
+                                  parent links) into a binary flight dump —
+                                  decode with crn_trace; forces serial
+  --flight-recorder-depth=INT     flight-recorder ring capacity in records
+                                  (default 65536; older records are overwritten)
   --metrics-stride=INT            slots between series snapshots in the metrics
                                   JSON (default 1024; 0 = final state only)
   --svg=FILE                      render the deployment + CDS tree as SVG
@@ -150,6 +157,9 @@ int main(int argc, char** argv) {
   const std::string trace_path = flags.GetString("trace", "");
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string flight_out = flags.GetString("flight-recorder-out", "");
+  const auto flight_depth = static_cast<std::size_t>(
+      flags.GetInt("flight-recorder-depth", 1 << 16));
   const auto metrics_stride =
       static_cast<std::int32_t>(flags.GetInt("metrics-stride", 1024));
   const std::string svg_path = flags.GetString("svg", "");
@@ -185,7 +195,7 @@ int main(int argc, char** argv) {
   // bit-identical to the serial loop below. Trace and continuous runs keep
   // the serial path.
   if (jobs != 1 && continuous_ms <= 0.0 && trace_path.empty() &&
-      trace_out.empty()) {
+      trace_out.empty() && flight_out.empty()) {
     struct RepOutcome {
       double pcr = 0.0;
       bool has_addc = false;
@@ -317,6 +327,13 @@ int main(int argc, char** argv) {
   obs::PacketSpanTracer span_tracer;
   obs::MetricsRegistry merged_metrics;
   double metrics_final_ms = 0.0;
+  // Flight recorder watches rep 0's ADDC run; the profiler supplies its
+  // wall probe so per-kind fire wall time lands in the dump summary.
+  sim::FlightRecorder flight_recorder(flight_depth);
+  harness::RunProfiler flight_profiler;
+  if (!flight_out.empty()) {
+    harness::AttachFlightRecorderProbe(flight_profiler, flight_recorder);
+  }
 
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     const core::Scenario scenario(config, rep);
@@ -382,6 +399,9 @@ int main(int argc, char** argv) {
         mac::TraceRecorder recorder;
         recorder.Attach(mac);
         if (!trace_out.empty() && rep == 0) span_tracer.Attach(mac);
+        if (!flight_out.empty() && rep == 0) {
+          simulator.AttachFlightRecorder(&flight_recorder);
+        }
         mac.StartSnapshotCollection();
         simulator.Run();
         std::ofstream out(trace_path);
@@ -413,6 +433,9 @@ int main(int argc, char** argv) {
         options.metrics_series_stride = rep == 0 ? metrics_stride : 0;
       }
       if (!trace_out.empty() && rep == 0) options.spans = &span_tracer;
+      if (!flight_out.empty() && rep == 0) {
+        options.flight_recorder = &flight_recorder;
+      }
       const core::CollectionResult result = core::RunAddc(scenario, options);
       if (!metrics_out.empty()) {
         merged_metrics.Merge(rep_metrics);
@@ -431,13 +454,20 @@ int main(int argc, char** argv) {
           for (const std::string& violation : audit_report.first_violations) {
             std::cout << "    violation: " << violation << "\n";
           }
+          // Violation forensics: the causal event history leading into the
+          // first violation, captured from the flight recorder.
+          if (!audit_report.flight_trail.empty()) {
+            std::cout << "  " << audit_report.flight_trail;
+          }
         }
         if (rep == 0) {
-          // Sinkless dual run: re-attaching the tracer or registry would
-          // double-count rep 0 (the check itself is observation-free).
+          // Sinkless dual run: re-attaching the tracer, registry, or flight
+          // recorder would double-count rep 0 (the check itself is
+          // observation-free).
           core::RunOptions recheck = options;
           recheck.metrics = nullptr;
           recheck.spans = nullptr;
+          recheck.flight_recorder = nullptr;
           const core::DeterminismReport determinism =
               core::CheckAddcDeterminism(scenario, recheck);
           audit_clean &= determinism.identical;
@@ -472,6 +502,29 @@ int main(int argc, char** argv) {
                                  sim::FromMilliseconds(metrics_final_ms),
                                  metrics_out, std::cout)) {
     return 2;
+  }
+  if (!flight_out.empty()) {
+    harness::FoldFlightRecorderIntoProfiler(flight_recorder, flight_profiler);
+    std::ofstream out(flight_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot write " << flight_out << "\n";
+      return 2;
+    }
+    flight_recorder.WriteDump(out);
+    std::cout << "flight recorder: " << flight_recorder.size() << " of "
+              << flight_recorder.total_recorded()
+              << " recorded actions retained -> " << flight_out << "\n";
+    const std::vector<std::string>& kind_names = flight_recorder.kind_names();
+    const std::vector<sim::KindCounters>& counters = flight_recorder.counters();
+    for (std::size_t k = 0; k < counters.size(); ++k) {
+      if (counters[k].fires == 0) continue;
+      std::cout << "  " << kind_names[k] << ": " << counters[k].fires
+                << " fires, "
+                << harness::FormatDouble(
+                       flight_recorder.fire_wall_seconds(
+                           static_cast<std::uint16_t>(k)) * 1e3, 3)
+                << " ms wall\n";
+    }
   }
   if (audit && !audit_clean) {
     std::cerr << "audit: invariant violations or digest divergence detected\n";

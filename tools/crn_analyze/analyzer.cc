@@ -229,6 +229,7 @@ int RunSelfTest(const std::string& root) {
       {"src__harness__bad_capture.cc", "concurrency-discipline"},
       {"src__core__bad_suppression.cc", "suppression-justification"},
       {"src__mac__bad_raw_schedule.cc", "raw-schedule-in-mac"},
+      {"src__mac__bad_unnamed_timer.cc", "unnamed-timer-kind"},
       {"src__core__clean_tokenizer.cc", ""},
   };
 

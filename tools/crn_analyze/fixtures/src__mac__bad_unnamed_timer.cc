@@ -1,0 +1,20 @@
+// Fixture: fires [unnamed-timer-kind]. A MAC-layer timer bound through the
+// kind-less Bind overload: every arm/fire it produces decodes as "unnamed"
+// in flight-recorder dumps, sched.* metrics, and crn_trace causal chains.
+// The named overload — Bind(sim, priority, "layer.kind", owner, fn) — is
+// the required shape in src/mac. The string sits within three lines of the
+// call, so the clean sites in collection_mac.cc stay clean.
+#include "sim/simulator.h"
+
+namespace crn::mac {
+
+struct Agent {
+  sim::Timer expiry_timer;
+};
+
+void BindExpiry(sim::Simulator& sim, Agent& agent) {
+  agent.expiry_timer.Bind(sim, sim::EventPriority::kTimerExpiry,
+                          sim::EventFn([] {}));
+}
+
+}  // namespace crn::mac

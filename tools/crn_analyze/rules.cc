@@ -151,6 +151,20 @@ std::vector<Finding> RunFileRules(const SourceFile& file) {
   const std::vector<std::string> unordered_names =
       in_src ? UnorderedContainerNames(code) : std::vector<std::string>{};
 
+  // unnamed-timer-kind wants "a non-empty string literal near the Bind
+  // call", and literal contents are blanked in the scrubbed view — so the
+  // string positions come from the token stream instead.
+  const bool in_mac = StartsWith(logical_path, "src/mac/");
+  std::vector<bool> line_has_string(in_mac ? code.size() : 0, false);
+  if (in_mac) {
+    for (const Token& token : file.lex.tokens) {
+      if (token.kind == TokenKind::kString && !token.text.empty() &&
+          token.line >= 1 && token.line <= static_cast<int>(code.size())) {
+        line_has_string[static_cast<std::size_t>(token.line - 1)] = true;
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& line = code[i];
     if (line.empty()) continue;
@@ -215,6 +229,25 @@ std::vector<Finding> RunFileRules(const SourceFile& file) {
                     "sim::Timer once and Arm*/re-arm it (sim/simulator.h)");
             break;
           }
+        }
+      }
+      // Every Timer/PeriodicTimer bind site in the MAC must name its event
+      // kind: the flight recorder, the sched.* per-kind metrics, and
+      // crn_trace causal chains all decode through the kind registry, and
+      // an unnamed slot degrades every one of them to "unnamed". The kind
+      // string is a literal, so it lives in the token stream (scrubbed text
+      // blanks it); argument wrapping may push it up to three lines below
+      // the call.
+      if (in_mac && ContainsCallOf(line, "Bind")) {
+        bool named = false;
+        for (std::size_t j = i; j < code.size() && j <= i + 3 && !named; ++j) {
+          named = line_has_string[j];
+        }
+        if (!named) {
+          add(static_cast<int>(i), "unnamed-timer-kind",
+              "Timer::Bind in src/mac without a named event kind; use the "
+              "Bind(sim, priority, \"layer.kind\", owner, fn) overload so "
+              "flight-recorder dumps and sched.* metrics stay decodable");
         }
       }
       const bool in_callback_layer =

@@ -16,6 +16,11 @@
 //   raw-schedule-in-mac — src/mac must not pass capturing lambdas to the
 //   fire-and-forget ScheduleOnce*/ScheduleAt/ScheduleAfter entry points;
 //   MAC state machines bind a sim::Timer once and re-arm it.
+//   unnamed-timer-kind — every Timer/PeriodicTimer Bind site in src/mac
+//   must carry a named event kind (a non-empty string literal within three
+//   lines of the call), so flight-recorder dumps, sched.* metrics, and
+//   crn_trace causal chains decode to meaningful names instead of
+//   "unnamed".
 #ifndef CRN_ANALYZE_RULES_H_
 #define CRN_ANALYZE_RULES_H_
 

@@ -28,6 +28,9 @@ const std::map<std::string, std::string>& RuleDescriptions() {
       {"raw-schedule-in-mac",
        "src/mac schedules through bind-once sim::Timer, not capturing "
        "one-shots"},
+      {"unnamed-timer-kind",
+       "src/mac Timer binds must name their event kind for the flight "
+       "recorder"},
       {"layering", "src/ includes must respect the layer DAG"},
       {"include-cycle", "src/ include graph must be acyclic"},
       {"determinism-taint",
