@@ -127,6 +127,25 @@ class Rng {
     return UniformDouble() < p;
   }
 
+  // Checkpoint support: expose/restore the raw xoshiro state words so a
+  // resumed run continues the exact stream. Plain accessors by design —
+  // common/ must not depend on the sim checkpoint envelope.
+  [[nodiscard]] std::uint64_t state_word(int i) const {
+    CRN_DCHECK(i >= 0 && i < 4);
+    return state_[i];
+  }
+  void RestoreState(std::uint64_t s0, std::uint64_t s1, std::uint64_t s2,
+                    std::uint64_t s3) {
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+    // Preserve the xoshiro non-zero-state invariant even for hostile input.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      state_[0] = 1;
+    }
+  }
+
   // Integer threshold T such that, for p in (0, 1) and any raw draw x,
   //   (x >> 11) < T  ⟺  UniformDouble-from-x < p  (i.e. Bernoulli(p)).
   // Exact, not approximate: (x >> 11) is a 53-bit integer, so both the

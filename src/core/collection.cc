@@ -10,6 +10,7 @@
 #include "obs/mac_metrics.h"
 #include "core/theory.h"
 #include "graph/cds_tree.h"
+#include "sim/checkpoint.h"
 #include "sim/simulator.h"
 
 namespace crn::core {
@@ -71,6 +72,64 @@ mac::MacConfig MakeMacConfig(const ScenarioConfig& config, double sensing_range,
   return mac_config;
 }
 
+// Binds a checkpoint blob to the run that produced it. Restore reconstructs
+// the run from scratch, so the caller must hand back the same scenario,
+// next-hop label, and attachment set — this section is how a mismatch fails
+// with a message instead of a silent digest fork (or a CRN_CHECK deep in
+// some component's LoadState).
+void WriteRunSection(sim::StateWriter& writer, const Scenario& scenario,
+                     const std::string& label, const RunOptions& options) {
+  writer.BeginSection("run");
+  writer.WriteString(label);
+  writer.WriteU64(scenario.config().seed);
+  writer.WriteU64(scenario.repetition());
+  writer.WriteI32(scenario.config().num_sus);
+  writer.WriteI32(scenario.config().num_pus);
+  writer.WriteBool(options.audit_report != nullptr);
+  writer.WriteBool(options.metrics != nullptr);
+  writer.WriteBool(options.faults != nullptr);
+  writer.WriteBool(options.flight_recorder != nullptr);
+  writer.EndSection();
+}
+
+void CheckRunSection(sim::StateReader& reader, const Scenario& scenario,
+                     const std::string& label, const RunOptions& options) {
+  if (!reader.OpenSection("run")) return;
+  const std::string saved_label = reader.ReadString();
+  const std::uint64_t saved_seed = reader.ReadU64();
+  const std::uint64_t saved_rep = reader.ReadU64();
+  const std::int32_t saved_sus = reader.ReadI32();
+  const std::int32_t saved_pus = reader.ReadI32();
+  const bool saved_audit = reader.ReadBool();
+  const bool saved_metrics = reader.ReadBool();
+  const bool saved_faults = reader.ReadBool();
+  const bool saved_flight = reader.ReadBool();
+  reader.EndSection();
+  if (!reader.ok()) return;
+  CRN_CHECK(saved_label == label)
+      << "checkpoint was taken from a '" << saved_label
+      << "' run but restore was asked to resume '" << label << "'";
+  CRN_CHECK(saved_seed == scenario.config().seed &&
+            saved_rep == scenario.repetition() &&
+            saved_sus == scenario.config().num_sus &&
+            saved_pus == scenario.config().num_pus)
+      << "checkpoint scenario (seed " << saved_seed << ", repetition "
+      << saved_rep << ", " << saved_sus << " SUs, " << saved_pus
+      << " PUs) does not match the scenario handed to restore (seed "
+      << scenario.config().seed << ", repetition " << scenario.repetition()
+      << ", " << scenario.config().num_sus << " SUs, "
+      << scenario.config().num_pus << " PUs)";
+  CRN_CHECK(saved_audit == (options.audit_report != nullptr) &&
+            saved_metrics == (options.metrics != nullptr) &&
+            saved_faults == (options.faults != nullptr) &&
+            saved_flight == (options.flight_recorder != nullptr))
+      << "checkpoint attachment set (audit=" << saved_audit
+      << ", metrics=" << saved_metrics << ", faults=" << saved_faults
+      << ", flight=" << saved_flight
+      << ") does not match the restore options — attach the same sinks the "
+         "checkpointed run had";
+}
+
 }  // namespace
 
 CollectionResult RunWithNextHops(const Scenario& scenario,
@@ -81,13 +140,52 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
   const double sensing_range =
       options.sensing_range > 0.0 ? options.sensing_range : scenario.pcr();
 
+  const bool checkpointing = options.checkpoint_every_events > 0;
+  const bool restoring = options.restore_blob != nullptr;
+  if (checkpointing) {
+    CRN_CHECK(options.checkpoint_sink)
+        << "checkpoint_every_events is set but checkpoint_sink is empty";
+  }
+  if (checkpointing || restoring) {
+    CRN_CHECK(options.spans == nullptr)
+        << "packet-span tracing is not checkpointable — detach the span "
+           "tracer from checkpointed or restored runs";
+  }
+
   sim::Simulator simulator(config.reference_scheduler
                                ? sim::SchedulerKind::kReference
                                : sim::SchedulerKind::kCalendar);
+  // Restore phase 1 (sim/simulator.h): validate the blob, bind it to this
+  // run, and pre-populate the kind registry so components re-binding in the
+  // original construction order get their original kind ids back.
+  std::optional<sim::StateReader> reader;
+  if (restoring) {
+    reader.emplace(*options.restore_blob);
+    CRN_CHECK(reader->ok()) << "cannot restore: " << reader->error();
+    CheckRunSection(*reader, scenario, algorithm_label, options);
+    CRN_CHECK(reader->ok()) << "cannot restore: " << reader->error();
+    simulator.LoadRegistry(*reader);
+    CRN_CHECK(reader->ok()) << "cannot restore: " << reader->error();
+  }
   // Attach the recorder before the MAC binds its timers so every registered
-  // event kind is mirrored into the recorder's name table.
+  // event kind is mirrored into the recorder's name table (on restore,
+  // attaching after LoadRegistry syncs the pre-populated names; the
+  // recorder's own ring/counters are restored last, after FinishRestore).
   if (options.flight_recorder != nullptr) {
     simulator.AttachFlightRecorder(options.flight_recorder);
+  }
+  // Restore phase 2: load the clock/counters/calendar geometry and stage the
+  // saved queue. Components constructed below re-bind their timers and their
+  // LoadStates re-claim every pending event under its original seq.
+  if (restoring) {
+    simulator.BeginRestore(*reader);
+    CRN_CHECK(reader->ok()) << "cannot restore: " << reader->error();
+    if (options.metrics != nullptr) {
+      // Restore the registry before any component creates instruments so
+      // the instrument creation order (= export order) matches the saved
+      // run's, not the attach order of this process.
+      options.metrics->LoadState(*reader);
+    }
   }
   pu::PrimaryNetwork primary = scenario.MakePrimaryNetwork();
   const mac::MacConfig mac_config = MakeMacConfig(config, sensing_range, options);
@@ -136,7 +234,61 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
       injector->AddRepairObserver([&auditor] { auditor->VerifyRouting(); });
     }
   }
-  mac.StartSnapshotCollection();
+  if (restoring) {
+    // Restore phase 3: component LoadStates re-claim pending events between
+    // BeginRestore and FinishRestore. Order mirrors the save order below;
+    // the collector and auditor load after their Attach/Bind calls above.
+    primary.LoadState(*reader);
+    mac.LoadState(*reader);  // chains the interference field's section
+    if (metrics_collector.has_value()) metrics_collector->LoadState(*reader);
+    if (auditor.has_value()) auditor->LoadState(*reader);
+    if (injector.has_value() && injector->armed()) injector->LoadState(*reader);
+    // Restore phase 4: push the staged queue against the re-claimed slots.
+    simulator.FinishRestore();
+    if (options.flight_recorder != nullptr) {
+      options.flight_recorder->LoadState(*reader);
+    }
+    CRN_CHECK(reader->ok()) << "cannot restore: " << reader->error();
+  } else {
+    // A restored run resumes mid-collection; LoadState replaced this.
+    mac.StartSnapshotCollection();
+  }
+
+  // Serializes the full run — every section a restored run reads above, in
+  // the same order. SaveState is only legal between events; the run loop
+  // below pauses there before calling this.
+  const auto save_checkpoint = [&] {
+    sim::StateWriter writer;
+    WriteRunSection(writer, scenario, algorithm_label, options);
+    simulator.SaveState(writer);  // "sim.registry" + "sim.core"
+    primary.SaveState(writer);
+    mac.SaveState(writer);
+    if (options.metrics != nullptr) options.metrics->SaveState(writer);
+    if (metrics_collector.has_value()) metrics_collector->SaveState(writer);
+    if (auditor.has_value()) auditor->SaveState(writer);
+    if (injector.has_value() && injector->armed()) injector->SaveState(writer);
+    if (options.flight_recorder != nullptr) {
+      options.flight_recorder->SaveState(writer);
+    }
+    options.checkpoint_sink(writer.Finish(), simulator.events_executed());
+  };
+  const auto run_event_loop = [&] {
+    if (!checkpointing) {
+      simulator.Run();
+      return;
+    }
+    // Segment the run at event-count boundaries. Pausing is pure
+    // observation (RunUntilEvents decides paused-vs-drained without
+    // touching the queue), so a checkpointed run's digests match an
+    // uninterrupted one's.
+    sim::RunStatus status = sim::RunStatus::kPaused;
+    while (status == sim::RunStatus::kPaused) {
+      status = simulator.RunUntilEvents(
+          simulator.events_executed() +
+          static_cast<std::uint64_t>(options.checkpoint_every_events));
+      if (status == sim::RunStatus::kPaused) save_checkpoint();
+    }
+  };
   if (options.flight_recorder != nullptr) {
     // An exception escaping the event loop (e.g. the runaway-loop guard)
     // leaves no usable state behind; rethrow it with the decoded causal
@@ -144,7 +296,7 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
     // rethrow happens in the run orchestrator, after the callback stack has
     // fully unwound — no MAC state is left half-applied by *this* frame.
     try {
-      simulator.Run();
+      run_event_loop();
     } catch (const std::exception& e) {
       throw ContractViolation(  // crn-lint-ok: run-loop forensics rethrow,
                                 // outside any event callback
@@ -152,7 +304,7 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
           options.flight_recorder->FormatTrail(32));
     }
   } else {
-    simulator.Run();
+    run_event_loop();
   }
   if (auditor.has_value()) {
     *options.audit_report = auditor->Finalize();

@@ -10,6 +10,7 @@
 #define CRN_CORE_COLLECTION_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,29 @@ struct RunOptions {
   // Recording is pure observation — attaching never changes the run's
   // behaviour or trace digest — and the recorder must outlive the call.
   sim::FlightRecorder* flight_recorder = nullptr;
+
+  // --- checkpoint / restore (sim/checkpoint.h, DESIGN.md §14) -----------
+  // checkpoint_every_events > 0: the run pauses between events every N
+  // executed events and hands `checkpoint_sink` the serialized CRNCKPT1
+  // blob plus the cumulative event count it was taken at. The sink owns
+  // persistence (the harness writes it atomically); taking checkpoints
+  // never changes the run's behaviour or digests — RunUntilEvents pauses
+  // without touching the queue.
+  //
+  // restore_blob non-null: instead of starting fresh, the run resumes from
+  // the blob. The caller must rebuild the *same* run — same scenario
+  // (seed, repetition, sizes), same next-hop label, and the same
+  // attachment set (audit/metrics/faults/flight recorder all matching the
+  // checkpointed run); mismatches fail with an actionable error, never a
+  // silent digest fork. `metrics` must be a fresh registry (its saved
+  // contents are restored into it). A resumed run is bit-identical — trace
+  // digest, metrics digest, audit report — to the uninterrupted one.
+  // Packet-span tracing is not checkpointable; `spans` must be null when
+  // either field is set.
+  std::int64_t checkpoint_every_events = 0;
+  std::function<void(const std::string& blob, std::uint64_t events_executed)>
+      checkpoint_sink;
+  const std::string* restore_blob = nullptr;
 };
 
 // Runs ADDC on the given deployed scenario. `options` passes MAC-model

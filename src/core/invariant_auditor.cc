@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "sim/checkpoint.h"
 #include "spectrum/interference.h"
 
 namespace crn::core {
@@ -212,6 +213,78 @@ void InvariantAuditor::RecordViolation(std::string message) {
   if (report_.first_violations.size() < config_.max_recorded_violations) {
     report_.first_violations.push_back(std::move(message));
   }
+}
+
+void InvariantAuditor::SaveState(sim::StateWriter& writer) const {
+  writer.BeginSection("audit");
+  writer.WriteU64(time_auditor_.events_observed());
+  writer.WriteU64(time_auditor_.violations());
+  writer.WriteI64(time_auditor_.last_time());
+  writer.WriteU64(digest_.value());
+  sim::WriteRng(writer, receiver_rng_);
+  writer.WriteI64(report_.tx_starts);
+  writer.WriteI64(report_.separation_checks);
+  writer.WriteI64(report_.separation_violations);
+  writer.WriteI64(report_.receptions_checked);
+  writer.WriteI64(report_.su_sir_violations);
+  writer.WriteI64(report_.pu_checks);
+  writer.WriteI64(report_.pu_protection_violations);
+  writer.WriteI64(report_.routing_audits);
+  writer.WriteI64(report_.routing_violations);
+  writer.WriteU32(static_cast<std::uint32_t>(report_.first_violations.size()));
+  for (const std::string& violation : report_.first_violations) {
+    writer.WriteString(violation);
+  }
+  writer.WriteString(report_.flight_trail);
+  writer.WriteU32(static_cast<std::uint32_t>(active_.size()));
+  for (const ActiveTx& tx : active_) {
+    writer.WriteI32(tx.transmitter);
+    writer.WriteDouble(tx.position.x);
+    writer.WriteDouble(tx.position.y);
+  }
+  writer.EndSection();
+}
+
+void InvariantAuditor::LoadState(sim::StateReader& reader) {
+  CRN_CHECK(simulator_ != nullptr) << "LoadState before Attach()";
+  if (!reader.OpenSection("audit")) return;
+  const std::uint64_t events_observed = reader.ReadU64();
+  const std::uint64_t time_violations = reader.ReadU64();
+  const sim::TimeNs last_time = reader.ReadI64();
+  const std::uint64_t digest = reader.ReadU64();
+  Rng rng;
+  sim::ReadRng(reader, rng);
+  AuditReport report;
+  report.tx_starts = reader.ReadI64();
+  report.separation_checks = reader.ReadI64();
+  report.separation_violations = reader.ReadI64();
+  report.receptions_checked = reader.ReadI64();
+  report.su_sir_violations = reader.ReadI64();
+  report.pu_checks = reader.ReadI64();
+  report.pu_protection_violations = reader.ReadI64();
+  report.routing_audits = reader.ReadI64();
+  report.routing_violations = reader.ReadI64();
+  const std::uint32_t violation_count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < violation_count && reader.ok(); ++i) {
+    report.first_violations.push_back(reader.ReadString());
+  }
+  report.flight_trail = reader.ReadString();
+  std::vector<ActiveTx> active;
+  const std::uint32_t active_count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < active_count && reader.ok(); ++i) {
+    ActiveTx tx;
+    tx.transmitter = reader.ReadI32();
+    tx.position.x = reader.ReadDouble();
+    tx.position.y = reader.ReadDouble();
+    active.push_back(tx);
+  }
+  reader.EndSection();
+  if (!reader.ok()) return;
+  time_auditor_.RestoreState(events_observed, time_violations, last_time);
+  digest_.RestoreValue(digest);
+  receiver_rng_ = rng;
+  report_ = std::move(report);
+  active_ = std::move(active);
 }
 
 const AuditReport& InvariantAuditor::Finalize() {

@@ -135,6 +135,13 @@ class InvariantAuditor {
 
   [[nodiscard]] const AuditReport& report() const { return report_; }
 
+  // Checkpoint protocol (sim/checkpoint.h, section "audit"): the report
+  // counters, the trace digest accumulator, the private receiver-sampling
+  // stream, and the active-transmission watch list. Attach/Bind* must still
+  // be called on the fresh run before LoadState.
+  void SaveState(sim::StateWriter& writer) const;
+  void LoadState(sim::StateReader& reader);
+
  private:
   struct ActiveTx {
     mac::NodeId transmitter = graph::kInvalidNode;

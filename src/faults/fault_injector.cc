@@ -1,10 +1,12 @@
 #include "faults/fault_injector.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
 #include "common/check.h"
 #include "graph/repair.h"
+#include "sim/checkpoint.h"
 
 namespace crn::faults {
 
@@ -67,10 +69,33 @@ void FaultInjector::Attach(sim::Simulator& simulator, mac::CollectionMac& mac,
       CRN_CHECK(primary_ != nullptr)
           << "fault plan perturbs PU activity but no primary network attached";
     }
-    simulator.ScheduleOnce(event.time, sim::EventPriority::kDefault,
-                           "faults.timeline", event.node,
-                           [this, event] { Apply(event); });
   }
+  timeline_seqs_.assign(timeline_.size(), 0);
+  // Under restore the same timeline recompiles from the same stream; the
+  // still-pending events are re-claimed by LoadState instead of scheduled.
+  if (simulator.restoring()) return;
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    const FaultEvent& event = timeline_[i];
+    timeline_seqs_[i] = simulator.ScheduleOnce(
+        event.time, sim::EventPriority::kDefault, "faults.timeline", event.node,
+        [this, i] { OnTimelineFire(i); });
+  }
+}
+
+void FaultInjector::OnTimelineFire(std::size_t index) {
+  timeline_seqs_[index] = 0;
+  Apply(timeline_[index]);
+}
+
+void FaultInjector::OnRepairFire(graph::NodeId trigger) {
+  // FIFO per node: every repair uses the same delay, so the first matching
+  // entry is always the earliest-scheduled pass.
+  const auto it = std::find_if(
+      pending_repairs_.begin(), pending_repairs_.end(),
+      [trigger](const auto& p) { return p.first == trigger; });
+  CRN_DCHECK(it != pending_repairs_.end());
+  pending_repairs_.erase(it);
+  RunRepairPass(trigger);
 }
 
 void FaultInjector::Apply(const FaultEvent& event) {
@@ -100,10 +125,10 @@ void FaultInjector::Apply(const FaultEvent& event) {
           cursor = mac_->next_hop(cursor);
         }
       }
-      simulator_->ScheduleOnceAfter(plan_.repair_delay,
-                                    sim::EventPriority::kDefault,
-                                    "faults.repair", node,
-                                    [this, node] { RunRepairPass(node); });
+      pending_repairs_.emplace_back(
+          node, simulator_->ScheduleOnceAfter(
+                    plan_.repair_delay, sim::EventPriority::kDefault,
+                    "faults.repair", node, [this, node] { OnRepairFire(node); }));
       break;
     }
     case FaultKind::kRecover:
@@ -193,6 +218,110 @@ void FaultInjector::RunRepairPass(graph::NodeId trigger) {
         .Set(static_cast<std::int64_t>(plan.orphaned.size()));
   }
   for (const auto& observer : repair_observers_) observer();
+}
+
+void FaultInjector::SaveState(sim::StateWriter& writer) const {
+  writer.BeginSection("faults");
+  sim::WriteRng(writer, rng_);
+  for (const std::int64_t count : report_.injected) writer.WriteI64(count);
+  writer.WriteI64(report_.repairs_attempted);
+  writer.WriteI64(report_.reattached_total);
+  writer.WriteI64(report_.cascade_escalations);
+  writer.WriteI64(report_.recoveries);
+  writer.WriteI64(report_.orphaned_now);
+  writer.WriteDouble(base_false_alarm_);
+  writer.WriteDouble(base_missed_detection_);
+  writer.WriteDouble(base_pu_activity_);
+  writer.WriteI32(active_bursts_);
+  writer.WriteI32(active_pu_perturbations_);
+  writer.WriteU32(static_cast<std::uint32_t>(broken_since_.size()));
+  for (const sim::TimeNs since : broken_since_) writer.WriteI64(since);
+  std::uint32_t pending_timeline = 0;
+  for (const sim::EventId seq : timeline_seqs_) {
+    if (seq != 0) ++pending_timeline;
+  }
+  writer.WriteU32(pending_timeline);
+  for (std::size_t i = 0; i < timeline_seqs_.size(); ++i) {
+    if (timeline_seqs_[i] == 0) continue;
+    writer.WriteU32(static_cast<std::uint32_t>(i));
+    writer.WriteU64(timeline_seqs_[i]);
+  }
+  writer.WriteU32(static_cast<std::uint32_t>(pending_repairs_.size()));
+  for (const auto& [node, seq] : pending_repairs_) {
+    writer.WriteI32(node);
+    writer.WriteU64(seq);
+  }
+  writer.EndSection();
+}
+
+void FaultInjector::LoadState(sim::StateReader& reader) {
+  if (!reader.OpenSection("faults")) return;
+  std::array<std::uint64_t, 4> rng_words{};
+  for (std::uint64_t& word : rng_words) word = reader.ReadU64();
+  FaultReport report;
+  for (std::int64_t& count : report.injected) count = reader.ReadI64();
+  report.repairs_attempted = reader.ReadI64();
+  report.reattached_total = reader.ReadI64();
+  report.cascade_escalations = reader.ReadI64();
+  report.recoveries = reader.ReadI64();
+  report.orphaned_now = reader.ReadI64();
+  const double base_false_alarm = reader.ReadDouble();
+  const double base_missed_detection = reader.ReadDouble();
+  const double base_pu_activity = reader.ReadDouble();
+  const std::int32_t active_bursts = reader.ReadI32();
+  const std::int32_t active_pu_perturbations = reader.ReadI32();
+  const std::uint32_t broken_count = reader.ReadU32();
+  if (reader.ok() && broken_count != broken_since_.size()) {
+    reader.EndSection();
+    return;
+  }
+  std::vector<sim::TimeNs> broken_since(broken_count, -1);
+  for (sim::TimeNs& since : broken_since) since = reader.ReadI64();
+  const std::uint32_t pending_timeline = reader.ReadU32();
+  std::vector<std::pair<std::uint32_t, sim::EventId>> timeline_pending(
+      pending_timeline);
+  for (std::uint32_t i = 0; i < pending_timeline && reader.ok(); ++i) {
+    timeline_pending[i].first = reader.ReadU32();
+    timeline_pending[i].second = reader.ReadU64();
+  }
+  const std::uint32_t repair_count = reader.ReadU32();
+  std::vector<std::pair<graph::NodeId, sim::EventId>> pending_repairs(
+      repair_count);
+  for (std::uint32_t i = 0; i < repair_count && reader.ok(); ++i) {
+    pending_repairs[i].first = reader.ReadI32();
+    pending_repairs[i].second = reader.ReadU64();
+  }
+  reader.EndSection();
+  if (!reader.ok()) return;
+  for (const auto& [index, seq] : timeline_pending) {
+    CRN_CHECK(index < timeline_.size())
+        << "checkpoint references fault-timeline event " << index
+        << " but the recompiled timeline has " << timeline_.size()
+        << " — the restored run used a different fault plan or seed";
+  }
+
+  rng_.RestoreState(rng_words[0], rng_words[1], rng_words[2], rng_words[3]);
+  report_ = report;
+  base_false_alarm_ = base_false_alarm;
+  base_missed_detection_ = base_missed_detection;
+  base_pu_activity_ = base_pu_activity;
+  active_bursts_ = active_bursts;
+  active_pu_perturbations_ = active_pu_perturbations;
+  broken_since_ = std::move(broken_since);
+  for (const auto& [index, seq] : timeline_pending) {
+    timeline_seqs_[index] = seq;
+    const std::size_t i = index;
+    simulator_->RestoreOnce(seq, sim::EventPriority::kDefault,
+                            "faults.timeline", timeline_[i].node,
+                            sim::EventFn([this, i] { OnTimelineFire(i); }));
+  }
+  pending_repairs_ = std::move(pending_repairs);
+  for (const auto& [node, seq] : pending_repairs_) {
+    const graph::NodeId trigger = node;
+    simulator_->RestoreOnce(seq, sim::EventPriority::kDefault, "faults.repair",
+                            trigger,
+                            sim::EventFn([this, trigger] { OnRepairFire(trigger); }));
+  }
 }
 
 }  // namespace crn::faults

@@ -72,8 +72,18 @@ class FaultInjector {
   [[nodiscard]] const std::vector<FaultEvent>& timeline() const { return timeline_; }
   [[nodiscard]] const FaultReport& report() const { return report_; }
 
+  // Checkpoint protocol (sim/checkpoint.h, section "faults"): the report,
+  // per-node outage windows, burst/perturbation nesting depths, the
+  // generator stream, and every pending timeline/repair event. Call Attach
+  // first on the restored run — under Simulator::restoring() it compiles
+  // the timeline but leaves scheduling to LoadState's re-claims.
+  void SaveState(sim::StateWriter& writer) const;
+  void LoadState(sim::StateReader& reader);
+
  private:
   void Apply(const FaultEvent& event);
+  void OnTimelineFire(std::size_t index);
+  void OnRepairFire(graph::NodeId trigger);
   void RunRepairPass(graph::NodeId trigger);
 
   FaultPlan plan_;
@@ -95,6 +105,10 @@ class FaultInjector {
   std::int32_t active_bursts_ = 0;
   std::int32_t active_pu_perturbations_ = 0;
   std::vector<std::function<void()>> repair_observers_;
+  // Checkpoint bookkeeping: each timeline event's pending sequence number
+  // (0 once fired, parallel to timeline_) and the in-flight repair passes.
+  std::vector<sim::EventId> timeline_seqs_;
+  std::vector<std::pair<graph::NodeId, sim::EventId>> pending_repairs_;
 };
 
 }  // namespace crn::faults

@@ -1,7 +1,9 @@
 #include "faults/fault_plan.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <queue>
 #include <sstream>
@@ -51,44 +53,87 @@ bool ParsePlanText(const std::string& text, FaultPlan& plan, std::string& error)
   std::istringstream lines(text);
   std::string line;
   int line_number = 0;
+  // Cursor-based tokenizer so every error carries the 1-based column of the
+  // offending construct: `token_start` tracks where the token most recently
+  // looked at begins (or the line end when a token was missing entirely).
+  std::size_t cursor = 0;
+  std::size_t token_start = 0;
+  auto next_token = [&](std::string& token) {
+    while (cursor < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[cursor]))) {
+      ++cursor;
+    }
+    token_start = cursor;
+    if (cursor >= line.size()) return false;
+    while (cursor < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[cursor]))) {
+      ++cursor;
+    }
+    token = line.substr(token_start, cursor - token_start);
+    return true;
+  };
   auto fail = [&](const std::string& message) {
     std::ostringstream out;
-    out << "line " << line_number << ": " << message;
+    out << "line " << line_number << ", column " << (token_start + 1) << ": "
+        << message;
     error = out.str();
     return false;
+  };
+  auto read_double = [&](double& value, const std::string& usage) {
+    std::string token;
+    if (!next_token(token)) return fail(usage);
+    char* end = nullptr;
+    value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return fail("'" + token + "' is not a number (" + usage + ")");
+    }
+    return true;
+  };
+  auto read_int = [&](std::int64_t& value, const std::string& usage) {
+    std::string token;
+    if (!next_token(token)) return fail(usage);
+    char* end = nullptr;
+    value = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size()) {
+      return fail("'" + token + "' is not an integer (" + usage + ")");
+    }
+    return true;
   };
   while (std::getline(lines, line)) {
     ++line_number;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream tokens(line);
+    cursor = 0;
+    token_start = 0;
     std::string word;
-    if (!(tokens >> word)) continue;  // blank / comment-only line
+    if (!next_token(word)) continue;  // blank / comment-only line
 
     if (word == "at") {
       double ms = 0.0;
       std::string what;
-      if (!(tokens >> ms >> what)) return fail("expected: at <ms> <fault> ...");
+      if (!read_double(ms, "expected: at <ms> <fault> ...")) return false;
       if (ms < 0.0) return fail("fault time must be >= 0 ms");
+      if (!next_token(what)) return fail("expected: at <ms> <fault> ...");
       const sim::TimeNs when = MsToNs(ms);
       if (what == "crash" || what == "recover") {
         std::int64_t node = 0;
-        if (!(tokens >> node)) return fail("expected: at <ms> " + what + " <node>");
+        if (!read_int(node, "expected: at <ms> " + what + " <node>")) return false;
         FaultEvent event;
         event.time = when;
         event.kind = what == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
         event.node = static_cast<graph::NodeId>(node);
         plan.scripted.push_back(event);
       } else if (what == "sensing_burst") {
+        const std::string usage =
+            "expected: at <ms> sensing_burst <fa> <md> <duration_ms>";
         double fa = 0.0;
         double md = 0.0;
         double duration_ms = 0.0;
-        if (!(tokens >> fa >> md >> duration_ms)) {
-          return fail("expected: at <ms> sensing_burst <fa> <md> <duration_ms>");
-        }
-        if (fa < 0.0 || fa > 1.0 || md < 0.0 || md > 1.0) {
-          return fail("sensing rates must be in [0, 1]");
-        }
+        if (!read_double(fa, usage)) return false;
+        if (fa < 0.0 || fa > 1.0) return fail("sensing rates must be in [0, 1]");
+        if (!read_double(md, usage)) return false;
+        if (md < 0.0 || md > 1.0) return fail("sensing rates must be in [0, 1]");
+        if (!read_double(duration_ms, usage)) return false;
         if (duration_ms <= 0.0) return fail("burst duration must be > 0 ms");
         FaultEvent start;
         start.time = when;
@@ -101,14 +146,14 @@ bool ParsePlanText(const std::string& text, FaultPlan& plan, std::string& error)
         end.kind = FaultKind::kSensingBurstEnd;
         plan.scripted.push_back(end);
       } else if (what == "pu_activity") {
+        const std::string usage = "expected: at <ms> pu_activity <p> <duration_ms>";
         double activity = 0.0;
         double duration_ms = 0.0;
-        if (!(tokens >> activity >> duration_ms)) {
-          return fail("expected: at <ms> pu_activity <p> <duration_ms>");
-        }
+        if (!read_double(activity, usage)) return false;
         if (activity < 0.0 || activity > 1.0) {
           return fail("pu activity must be in [0, 1]");
         }
+        if (!read_double(duration_ms, usage)) return false;
         if (duration_ms <= 0.0) return fail("perturbation duration must be > 0 ms");
         FaultEvent start;
         start.time = when;
@@ -125,28 +170,32 @@ bool ParsePlanText(const std::string& text, FaultPlan& plan, std::string& error)
       }
     } else if (word == "gen") {
       std::string what;
-      if (!(tokens >> what)) return fail("expected: gen <generator> ...");
+      if (!next_token(what)) return fail("expected: gen <generator> ...");
       if (what == "crash") {
+        const std::string usage = "expected: gen crash <rate_per_s> <recover_after_ms>";
         CrashGenerator gen;
         double recover_after_ms = 0.0;
-        if (!(tokens >> gen.rate_per_s >> recover_after_ms)) {
-          return fail("expected: gen crash <rate_per_s> <recover_after_ms>");
-        }
+        if (!read_double(gen.rate_per_s, usage)) return false;
         if (gen.rate_per_s <= 0.0) return fail("crash rate must be > 0 /s");
+        if (!read_double(recover_after_ms, usage)) return false;
         gen.recover_after = recover_after_ms < 0.0 ? -1 : MsToNs(recover_after_ms);
         plan.crash_generators.push_back(gen);
       } else if (what == "sensing_burst") {
+        const std::string usage =
+            "expected: gen sensing_burst <rate_per_s> <fa> <md> <duration_ms>";
         SensingBurstGenerator gen;
         double duration_ms = 0.0;
-        if (!(tokens >> gen.rate_per_s >> gen.false_alarm >> gen.missed_detection >>
-              duration_ms)) {
-          return fail("expected: gen sensing_burst <rate_per_s> <fa> <md> <duration_ms>");
-        }
+        if (!read_double(gen.rate_per_s, usage)) return false;
         if (gen.rate_per_s <= 0.0) return fail("burst rate must be > 0 /s");
-        if (gen.false_alarm < 0.0 || gen.false_alarm > 1.0 ||
-            gen.missed_detection < 0.0 || gen.missed_detection > 1.0) {
+        if (!read_double(gen.false_alarm, usage)) return false;
+        if (gen.false_alarm < 0.0 || gen.false_alarm > 1.0) {
           return fail("sensing rates must be in [0, 1]");
         }
+        if (!read_double(gen.missed_detection, usage)) return false;
+        if (gen.missed_detection < 0.0 || gen.missed_detection > 1.0) {
+          return fail("sensing rates must be in [0, 1]");
+        }
+        if (!read_double(duration_ms, usage)) return false;
         if (duration_ms <= 0.0) return fail("burst duration must be > 0 ms");
         gen.duration = MsToNs(duration_ms);
         plan.burst_generators.push_back(gen);
@@ -155,18 +204,21 @@ bool ParsePlanText(const std::string& text, FaultPlan& plan, std::string& error)
       }
     } else if (word == "option") {
       std::string name;
-      if (!(tokens >> name)) return fail("expected: option <name> <value>");
+      if (!next_token(name)) return fail("expected: option <name> <value>");
       if (name == "horizon_ms") {
         double ms = 0.0;
-        if (!(tokens >> ms) || ms <= 0.0) return fail("horizon_ms wants a value > 0");
+        if (!read_double(ms, "expected: option horizon_ms <ms>")) return false;
+        if (ms <= 0.0) return fail("horizon_ms wants a value > 0");
         plan.horizon = MsToNs(ms);
       } else if (name == "repair_delay_ms") {
         double ms = 0.0;
-        if (!(tokens >> ms) || ms < 0.0) return fail("repair_delay_ms wants a value >= 0");
+        if (!read_double(ms, "expected: option repair_delay_ms <ms>")) return false;
+        if (ms < 0.0) return fail("repair_delay_ms wants a value >= 0");
         plan.repair_delay = MsToNs(ms);
       } else if (name == "retx_budget") {
         std::int64_t k = 0;
-        if (!(tokens >> k) || k < 0) return fail("retx_budget wants an integer >= 0");
+        if (!read_int(k, "expected: option retx_budget <k>")) return false;
+        if (k < 0) return fail("retx_budget wants an integer >= 0");
         plan.retx_budget = static_cast<std::int32_t>(k);
       } else {
         return fail("unknown option '" + name +
@@ -176,7 +228,7 @@ bool ParsePlanText(const std::string& text, FaultPlan& plan, std::string& error)
       return fail("unknown directive '" + word + "' (want at|gen|option)");
     }
     std::string extra;
-    if (tokens >> extra) return fail("trailing token '" + extra + "'");
+    if (next_token(extra)) return fail("trailing token '" + extra + "'");
   }
   return true;
 }

@@ -92,6 +92,19 @@ class DynamicSpatialGrid {
   [[nodiscard]] bool Contains(std::int32_t index) const { return slot_[index] >= 0; }
   [[nodiscard]] std::size_t member_count() const { return member_count_; }
 
+  // Members in (cell-major, in-cell) order — the exact order disk queries
+  // visit them. In-cell order is history-dependent (Erase swap-removes), so
+  // a checkpointed grid is rebuilt by re-Inserting members in this order
+  // into a fresh grid (Insert appends, reproducing the layout bit-exactly).
+  [[nodiscard]] std::vector<std::int32_t> MembersInIterationOrder() const {
+    std::vector<std::int32_t> members;
+    members.reserve(member_count_);
+    for (const std::vector<std::int32_t>& cell : cells_) {
+      members.insert(members.end(), cell.begin(), cell.end());
+    }
+    return members;
+  }
+
   template <typename Visitor>
   void ForEachMemberInDisk(Vec2 center, double radius, Visitor&& visit) const {
     const double r2 = radius * radius;

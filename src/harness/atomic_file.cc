@@ -1,0 +1,38 @@
+#include "harness/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace crn::harness {
+
+bool WriteFileAtomic(const std::string& path, std::string_view contents,
+                     std::string* error) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp,  // crn-lint-ok: the one sanctioned ofstream —
+                             // this *is* the atomic-write helper
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + temp + " for writing";
+      return false;
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      if (error != nullptr) {
+        *error = "short write to " + temp + " (disk full?)";
+      }
+      std::remove(temp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + temp + " to " + path;
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace crn::harness

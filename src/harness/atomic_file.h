@@ -1,0 +1,30 @@
+// Atomic artifact persistence: write-temp-then-rename, so a concurrent
+// reader — or a run killed mid-write — never observes a truncated
+// BENCH_*.json, metrics export, trace, checkpoint, or journal record.
+// Every artifact writer in the repo goes through this helper; the
+// crn_analyze `raw-artifact-write` rule flags direct std::ofstream writes
+// that bypass it.
+#ifndef CRN_HARNESS_ATOMIC_FILE_H_
+#define CRN_HARNESS_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+namespace crn::harness {
+
+// Writes `contents` to `path` atomically: the bytes land in `path + ".tmp"`
+// and the temp file is renamed over `path` only after a successful write
+// and close. POSIX rename(2) within one filesystem is atomic, so readers
+// see either the old file or the complete new one — never a prefix. On
+// failure the destination is untouched, the temp file is removed on a
+// best-effort basis, `error` (when non-null) receives an actionable
+// message naming the path and the failing step, and false is returned.
+// Concurrent writers of the *same* path race on the temp name and must be
+// serialized by the caller (the parallel runner gives every journal cell
+// its own file for exactly this reason).
+bool WriteFileAtomic(const std::string& path, std::string_view contents,
+                     std::string* error = nullptr);
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_ATOMIC_FILE_H_

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "harness/atomic_file.h"
 #include "harness/parallel_runner.h"
 #include "harness/profiler.h"
 
@@ -244,14 +245,17 @@ Json BenchEnvelope(const std::string& name, const BenchOptions& options) {
 }
 
 bool WriteJsonFile(const Json& root, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "json_writer: cannot open " << path << " for writing\n";
-    return false;
-  }
+  // Render in memory, land atomically: a bench killed mid-write (or a
+  // sweep consumer racing the writer) must never see a truncated JSON.
+  std::ostringstream out;
   root.Dump(out);
   out << "\n";
-  return out.good();
+  std::string error;
+  if (!WriteFileAtomic(path, out.str(), &error)) {
+    std::cerr << "json_writer: " << error << "\n";
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -269,14 +273,13 @@ bool FinishBenchJson(const std::string& name, const BenchOptions& options,
   if (!WriteJsonFile(root, path)) return false;
   log << "BENCH json: " << path << "\n";
   if (profiler != nullptr && !options.trace_out.empty()) {
-    std::ofstream trace(options.trace_out);
-    if (!trace) {
-      std::cerr << "json_writer: cannot open " << options.trace_out
-                << " for writing\n";
+    std::ostringstream trace;
+    profiler->WriteChromeTrace(trace);
+    std::string error;
+    if (!WriteFileAtomic(options.trace_out, trace.str(), &error)) {
+      std::cerr << "json_writer: " << error << "\n";
       return false;
     }
-    profiler->WriteChromeTrace(trace);
-    if (!trace.good()) return false;
     log << "BENCH trace: " << options.trace_out << "\n";
   }
   return true;

@@ -1,0 +1,143 @@
+#include "harness/sweep_journal.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "harness/atomic_file.h"
+#include "sim/checkpoint.h"  // Crc32
+
+namespace crn::harness {
+
+namespace {
+
+constexpr std::string_view kJournalMagic = "CRNJRNL1";
+
+// cell_<index>.rec → index, or -1 for anything else (including .tmp
+// leftovers from a write that was killed before its rename).
+std::int64_t ParseCellName(const std::string& name) {
+  constexpr std::string_view prefix = "cell_";
+  constexpr std::string_view suffix = ".rec";
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  const char* begin = name.data() + prefix.size();
+  const char* end = name.data() + name.size() - suffix.size();
+  std::int64_t index = -1;
+  const auto [ptr, ec] = std::from_chars(begin, end, index);
+  if (ec != std::errc() || ptr != end || index < 0) return -1;
+  return index;
+}
+
+// Parses one record file; returns true and fills `payload` iff every check
+// (magic, fingerprint, CRC) passes. Failures are not diagnosed — a torn or
+// foreign record is simply "not complete".
+bool ReadRecord(const std::filesystem::path& path,
+                std::string_view fingerprint, std::string& payload) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  // Three header lines, then the raw payload bytes.
+  std::size_t cursor = 0;
+  const auto next_line = [&](std::string_view& line) {
+    const std::size_t eol = contents.find('\n', cursor);
+    if (eol == std::string::npos) return false;
+    line = std::string_view(contents).substr(cursor, eol - cursor);
+    cursor = eol + 1;
+    return true;
+  };
+  std::string_view magic;
+  std::string_view saved_fingerprint;
+  std::string_view crc_text;
+  if (!next_line(magic) || !next_line(saved_fingerprint) ||
+      !next_line(crc_text)) {
+    return false;
+  }
+  if (magic != kJournalMagic || saved_fingerprint != fingerprint) return false;
+  std::uint32_t saved_crc = 0;
+  const auto [ptr, ec] = std::from_chars(
+      crc_text.data(), crc_text.data() + crc_text.size(), saved_crc, 16);
+  if (ec != std::errc() || ptr != crc_text.data() + crc_text.size()) {
+    return false;
+  }
+  const std::string_view body = std::string_view(contents).substr(cursor);
+  if (sim::Crc32(body) != saved_crc) return false;
+  payload.assign(body);
+  return true;
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string dir, std::string fingerprint)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  CRN_CHECK(!ec) << "cannot create journal directory " << dir_ << ": "
+                 << ec.message();
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::int64_t index = ParseCellName(entry.path().filename().string());
+    if (index < 0) continue;
+    std::string payload;
+    if (ReadRecord(entry.path(), fingerprint_, payload)) {
+      records_.emplace(index, std::move(payload));
+    }
+  }
+}
+
+const std::string* SweepJournal::Payload(std::int64_t index) const {
+  const auto it = records_.find(index);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::string SweepJournal::CellPath(std::int64_t index) const {
+  return dir_ + "/cell_" + std::to_string(index) + ".rec";
+}
+
+bool SweepJournal::Record(std::int64_t index, std::string_view payload) const {
+  std::ostringstream record;
+  record << kJournalMagic << "\n" << fingerprint_ << "\n" << std::hex
+         << sim::Crc32(payload) << "\n";
+  record << payload;
+  std::string error;
+  if (!WriteFileAtomic(CellPath(index), record.str(), &error)) {
+    std::cerr << "sweep_journal: " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+std::int64_t RunJournaled(
+    const ParallelRunner& runner, const SweepJournal& journal,
+    std::int64_t count, const std::function<std::string(std::int64_t)>& run_cell,
+    const std::function<void(std::int64_t, const std::string&)>& replay) {
+  std::vector<std::int64_t> fresh;
+  std::int64_t replayed = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (const std::string* payload = journal.Payload(i)) {
+      replay(i, *payload);
+      ++replayed;
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  runner.ForEachIndex(static_cast<std::int64_t>(fresh.size()),
+                      [&](std::int64_t slot) {
+                        const std::int64_t index =
+                            fresh[static_cast<std::size_t>(slot)];
+                        journal.Record(index, run_cell(index));
+                      });
+  return replayed;
+}
+
+}  // namespace crn::harness

@@ -1,0 +1,70 @@
+// Crash-safe sweep bookkeeping: one completion record per experiment cell,
+// written atomically (harness/atomic_file.h), so a sweep killed mid-flight
+// — power loss, OOM kill, SIGKILL in the crash-recovery soak — resumes by
+// re-running only the cells whose records are missing or torn.
+//
+// A record is a small self-validating file `cell_<index>.rec` inside the
+// journal directory: magic, the sweep fingerprint, a CRC-32 of the payload,
+// and the payload itself (whatever the caller needs to replay the cell's
+// contribution — typically its rendered output block). Records that fail
+// any check are treated as absent, never as errors: the worst a torn or
+// foreign record can cause is one re-run, the same cost as no record.
+//
+// The fingerprint scopes a journal to one experiment shape (config, flags,
+// cell count): resuming with different parameters ignores every stale
+// record instead of replaying results from a different sweep.
+#ifndef CRN_HARNESS_SWEEP_JOURNAL_H_
+#define CRN_HARNESS_SWEEP_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "harness/parallel_runner.h"
+
+namespace crn::harness {
+
+class SweepJournal {
+ public:
+  // Opens `dir` (created if missing) and scans it for valid records
+  // matching `fingerprint`. CRN_CHECK-fails only if the directory cannot
+  // be created; unreadable or invalid records are silently skipped.
+  SweepJournal(std::string dir, std::string fingerprint);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::size_t complete_count() const { return records_.size(); }
+  [[nodiscard]] bool IsComplete(std::int64_t index) const {
+    return records_.count(index) != 0;
+  }
+  // Payload of a valid record, or nullptr. The pointer is stable until the
+  // journal is destroyed (Record() does not mutate the loaded map).
+  [[nodiscard]] const std::string* Payload(std::int64_t index) const;
+
+  // Atomically records cell `index` complete with `payload`. Safe to call
+  // concurrently for distinct indices (each cell is its own file). Returns
+  // false (with a message on stderr) if the write failed — the sweep can
+  // continue; that cell just re-runs on the next resume.
+  bool Record(std::int64_t index, std::string_view payload) const;
+
+  [[nodiscard]] std::string CellPath(std::int64_t index) const;
+
+ private:
+  std::string dir_;
+  std::string fingerprint_;
+  std::map<std::int64_t, std::string> records_;
+};
+
+// Crash-safe fan-out: journaled cells replay through `replay` (in index
+// order, before the fresh cells run) and are never re-executed; the rest
+// run on `runner`, each recording its returned payload on completion.
+// Returns the number of cells replayed from the journal.
+std::int64_t RunJournaled(
+    const ParallelRunner& runner, const SweepJournal& journal,
+    std::int64_t count, const std::function<std::string(std::int64_t)>& run_cell,
+    const std::function<void(std::int64_t, const std::string&)>& replay);
+
+}  // namespace crn::harness
+
+#endif  // CRN_HARNESS_SWEEP_JOURNAL_H_

@@ -270,6 +270,17 @@ class CollectionMac {
     return static_cast<std::int32_t>(positions_.size());
   }
 
+  // Checkpoint protocol (sim/checkpoint.h, section "mac" plus the
+  // interference field's "field"): all dynamic MAC state — agent queues and
+  // contention timers, the active/fading transmission sets with their SIR
+  // memos, both dynamic grids in exact iteration order, the four RNG
+  // streams, and the not-yet-fired seed-snapshot one-shots. Construct the
+  // fresh MAC from the same scenario first; LoadState must run between
+  // Simulator::BeginRestore and FinishRestore (it re-claims saved sequence
+  // numbers) and replaces Start*Collection on the restored run.
+  void SaveState(sim::StateWriter& writer) const;
+  void LoadState(sim::StateReader& reader);
+
  private:
   enum class Phase : std::uint8_t { kIdle, kContending, kTransmitting, kPostTxWait };
 
@@ -334,6 +345,10 @@ class CollectionMac {
 
   // --- agent lifecycle -------------------------------------------------
   void SeedSnapshot(const std::vector<NodeId>& producers, std::int32_t snapshot);
+  // One-shot entry points that also maintain the checkpoint bookkeeping
+  // (pending_seeds_ / fading_seqs_) before running the original handler.
+  void OnSeedSnapshot(std::int32_t snapshot);
+  void OnCarrierFade(NodeId node);
   void ActivateIfIdle(NodeId node);           // node gained a packet
   void BeginContention(NodeId node);          // draw backoff, start sensing
   void LeaveContention(NodeId node);          // out of the sensing set
@@ -424,8 +439,11 @@ class CollectionMac {
   std::vector<std::int32_t> active_tx_slot_;  // node -> index in active_tx_, -1
   // Announced transmissions that ended but whose end-of-carrier has not yet
   // been sensed (sensing_latency > 0). Counted as busy by new contenders so
-  // the deferred decrement never underflows.
+  // the deferred decrement never underflows. fading_seqs_ holds each fade
+  // event's sequence number, parallel to fading_tx_, so a checkpoint can
+  // re-claim the pending fades.
   std::vector<NodeId> fading_tx_;
+  std::vector<sim::EventId> fading_seqs_;
   // Sensable carriers (announced active + fading), as a spatial grid for
   // O(disk) ComputeSuBusyCount queries. A node can carry more than one
   // sensable emission at once (a fresh announced transmission while an old
@@ -442,6 +460,14 @@ class CollectionMac {
   std::vector<sim::TimeNs> snapshot_created_;
   std::vector<sim::TimeNs> snapshot_finish_;
   std::vector<std::int64_t> snapshot_remaining_;
+  // Seed-snapshot bookkeeping for checkpointing: the producers list the
+  // one-shots read and each not-yet-fired seeding event's sequence number.
+  struct PendingSeed {
+    std::int32_t snapshot = 0;
+    sim::EventId seq = 0;
+  };
+  std::vector<NodeId> seed_producers_;
+  std::vector<PendingSeed> pending_seeds_;
   std::vector<std::function<void(const TxEvent&)>> observers_;
   std::vector<std::function<void(NodeId, sim::TimeNs)>> contention_observers_;
   std::vector<std::function<void(NodeId, NodeId, sim::TimeNs, sim::TimeNs)>>

@@ -1,5 +1,8 @@
 #include "obs/mac_metrics.h"
 
+#include "common/check.h"
+#include "sim/checkpoint.h"
+
 namespace crn::obs {
 
 std::string NodeLabel(mac::NodeId node) {
@@ -41,6 +44,30 @@ void MacMetricsCollector::Attach(mac::CollectionMac& mac) {
   mac.AddLifecycleObserver(
       [this](const mac::LifecycleEvent& event) { OnLifecycle(event); });
   mac.AddTxObserver([this](const mac::TxEvent& event) { OnTxEvent(event); });
+}
+
+void MacMetricsCollector::SaveState(sim::StateWriter& writer) const {
+  writer.BeginSection("mac_metrics");
+  writer.WriteI64(slots_seen_);
+  writer.WriteU32(static_cast<std::uint32_t>(freeze_begin_.size()));
+  for (const sim::TimeNs begin : freeze_begin_) writer.WriteI64(begin);
+  writer.EndSection();
+}
+
+void MacMetricsCollector::LoadState(sim::StateReader& reader) {
+  if (!reader.OpenSection("mac_metrics")) return;
+  const std::int64_t slots_seen = reader.ReadI64();
+  const std::uint32_t node_count = reader.ReadU32();
+  if (reader.ok() && node_count != freeze_begin_.size()) {
+    reader.EndSection();
+    return;
+  }
+  std::vector<sim::TimeNs> freeze_begin(freeze_begin_.size(), -1);
+  for (sim::TimeNs& begin : freeze_begin) begin = reader.ReadI64();
+  reader.EndSection();
+  if (!reader.ok()) return;
+  slots_seen_ = slots_seen;
+  freeze_begin_ = std::move(freeze_begin);
 }
 
 void MacMetricsCollector::OnLifecycle(const mac::LifecycleEvent& event) {

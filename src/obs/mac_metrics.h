@@ -39,6 +39,13 @@ class MacMetricsCollector {
   // before the run. Both the registry and the collector must outlive it.
   void Attach(mac::CollectionMac& mac);
 
+  // Checkpoint protocol (sim/checkpoint.h, section "mac_metrics"): the
+  // collector's own cursor state — slot counter and open freeze windows.
+  // Instrument values live in the registry's own section; load the registry
+  // before Attach so the cached handles bind to the restored instruments.
+  void SaveState(sim::StateWriter& writer) const;
+  void LoadState(sim::StateReader& reader);
+
  private:
   void OnLifecycle(const mac::LifecycleEvent& event);
   void OnTxEvent(const mac::TxEvent& event);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "sim/audit.h"
+#include "sim/checkpoint.h"
 
 namespace crn::obs {
 
@@ -172,6 +173,126 @@ std::uint64_t SnapshotDigest(const Snapshot& snapshot) {
     }
   }
   return digest.value();
+}
+
+namespace {
+
+void WriteSnapshot(sim::StateWriter& writer, const Snapshot& snapshot) {
+  writer.WriteI64(snapshot.at);
+  writer.WriteU32(static_cast<std::uint32_t>(snapshot.entries.size()));
+  for (const SnapshotEntry& entry : snapshot.entries) {
+    writer.WriteString(entry.key);
+    writer.WriteU8(static_cast<std::uint8_t>(entry.kind));
+    writer.WriteI64(entry.value);
+    writer.WriteI64(entry.count);
+    writer.WriteI64(entry.sum);
+    writer.WriteI64(entry.min);
+    writer.WriteI64(entry.max);
+    writer.WriteU32(static_cast<std::uint32_t>(entry.buckets.size()));
+    for (const auto& [bucket, n] : entry.buckets) {
+      writer.WriteI32(bucket);
+      writer.WriteI64(n);
+    }
+  }
+}
+
+Snapshot ReadSnapshot(sim::StateReader& reader) {
+  Snapshot snapshot;
+  snapshot.at = reader.ReadI64();
+  const std::uint32_t entry_count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < entry_count && reader.ok(); ++i) {
+    SnapshotEntry entry;
+    entry.key = reader.ReadString();
+    entry.kind = static_cast<MetricKind>(reader.ReadU8());
+    entry.value = reader.ReadI64();
+    entry.count = reader.ReadI64();
+    entry.sum = reader.ReadI64();
+    entry.min = reader.ReadI64();
+    entry.max = reader.ReadI64();
+    const std::uint32_t bucket_count = reader.ReadU32();
+    for (std::uint32_t b = 0; b < bucket_count && reader.ok(); ++b) {
+      const std::int32_t bucket = reader.ReadI32();
+      const std::int64_t n = reader.ReadI64();
+      entry.buckets.emplace_back(bucket, n);
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+void MetricsRegistry::SaveState(sim::StateWriter& writer) const {
+  writer.BeginSection("metrics");
+  writer.WriteU32(static_cast<std::uint32_t>(instruments_.size()));
+  for (const auto& [key, instrument] : instruments_) {
+    writer.WriteString(key);
+    writer.WriteU8(static_cast<std::uint8_t>(instrument->kind));
+    switch (instrument->kind) {
+      case MetricKind::kCounter:
+        writer.WriteI64(instrument->counter.value());
+        break;
+      case MetricKind::kGauge:
+        writer.WriteI64(instrument->gauge.value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = instrument->histogram;
+        writer.WriteI64(h.count());
+        writer.WriteI64(h.sum());
+        writer.WriteI64(h.min());
+        writer.WriteI64(h.max());
+        for (const std::int64_t n : h.buckets()) writer.WriteI64(n);
+        break;
+      }
+    }
+  }
+  writer.WriteU32(static_cast<std::uint32_t>(series_.size()));
+  for (const Snapshot& point : series_) WriteSnapshot(writer, point);
+  writer.EndSection();
+}
+
+void MetricsRegistry::LoadState(sim::StateReader& reader) {
+  if (!reader.OpenSection("metrics")) return;
+  const std::uint32_t instrument_count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < instrument_count && reader.ok(); ++i) {
+    const std::string key = reader.ReadString();
+    const auto kind = static_cast<MetricKind>(reader.ReadU8());
+    if (!reader.ok()) break;
+    auto it = instruments_.find(key);
+    if (it == instruments_.end()) {
+      auto instrument = std::make_unique<Instrument>();
+      instrument->kind = kind;
+      it = instruments_.emplace(key, std::move(instrument)).first;
+    }
+    Instrument& instrument = *it->second;
+    CRN_CHECK(instrument.kind == kind)
+        << "metric '" << key << "' kind mismatch on checkpoint restore";
+    switch (kind) {
+      case MetricKind::kCounter: {
+        const std::int64_t value = reader.ReadI64();
+        instrument.counter.Add(value - instrument.counter.value());
+        break;
+      }
+      case MetricKind::kGauge:
+        instrument.gauge.Set(reader.ReadI64());
+        break;
+      case MetricKind::kHistogram: {
+        const std::int64_t count = reader.ReadI64();
+        const std::int64_t sum = reader.ReadI64();
+        const std::int64_t min = reader.ReadI64();
+        const std::int64_t max = reader.ReadI64();
+        std::array<std::int64_t, Histogram::kBucketCount> buckets{};
+        for (std::int64_t& n : buckets) n = reader.ReadI64();
+        instrument.histogram.RestoreState(count, sum, min, max, buckets);
+        break;
+      }
+    }
+  }
+  const std::uint32_t series_count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < series_count && reader.ok(); ++i) {
+    series_.push_back(ReadSnapshot(reader));
+  }
+  reader.EndSection();
 }
 
 std::uint64_t MetricsRegistry::Digest() const {

@@ -28,6 +28,11 @@
 
 #include "sim/time.h"
 
+namespace crn::sim {
+class StateReader;
+class StateWriter;
+}  // namespace crn::sim
+
 namespace crn::obs {
 
 // Label set as passed by instrument users; canonicalized (sorted by label
@@ -82,6 +87,17 @@ class Histogram {
   }
 
   void MergeFrom(const Histogram& other);
+
+  // Checkpoint restore: reload the exact saved state.
+  void RestoreState(std::int64_t count, std::int64_t sum, std::int64_t min,
+                    std::int64_t max,
+                    const std::array<std::int64_t, kBucketCount>& buckets) {
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    buckets_ = buckets;
+  }
 
  private:
   std::int64_t count_ = 0;
@@ -149,6 +165,13 @@ class MetricsRegistry {
   // values. No wall-clock quantity ever enters a registry, so equal digests
   // certify bit-identical metric state across runs or jobs values.
   [[nodiscard]] std::uint64_t Digest() const;
+
+  // Checkpoint protocol (sim/checkpoint.h, section "metrics"): every
+  // instrument (by rendered key) plus the recorded series. Load before
+  // components attach their handles — find-or-create then binds them to the
+  // restored instruments.
+  void SaveState(sim::StateWriter& writer) const;
+  void LoadState(sim::StateReader& reader);
 
  private:
   struct Instrument {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "geom/deployment.h"
+#include "sim/checkpoint.h"
 
 namespace crn::pu {
 
@@ -169,6 +170,55 @@ void PrimaryNetwork::OverrideActivity(double activity) {
         << config_.mean_burst_slots << " (idle->active probability exceeds 1)";
   }
   config_.activity = activity;
+}
+
+void PrimaryNetwork::SaveState(sim::StateWriter& writer) const {
+  writer.BeginSection("pu");
+  // config_.activity may carry a fault-injection override at checkpoint
+  // time; the restored network must resample with the same target.
+  writer.WriteDouble(config_.activity);
+  writer.WriteI64(slots_sampled_);
+  writer.WriteI64(activations_total_);
+  writer.WriteU32(static_cast<std::uint32_t>(active_.size()));
+  for (const char byte : active_) {
+    writer.WriteU8(static_cast<std::uint8_t>(byte));
+  }
+  // Receiver draws are lazy (audit-only), but the audit stride may span the
+  // checkpoint boundary, so the positions must ride along bit-exactly.
+  for (const geom::Vec2& receiver : receiver_) {
+    writer.WriteDouble(receiver.x);
+    writer.WriteDouble(receiver.y);
+  }
+  writer.EndSection();
+}
+
+void PrimaryNetwork::LoadState(sim::StateReader& reader) {
+  if (!reader.OpenSection("pu")) return;
+  const double activity = reader.ReadDouble();
+  const std::int64_t slots_sampled = reader.ReadI64();
+  const std::int64_t activations_total = reader.ReadI64();
+  const std::uint32_t pu_count = reader.ReadU32();
+  if (reader.ok() && pu_count != active_.size()) {
+    // Consume nothing further; EndSection will flag the layout mismatch.
+    reader.EndSection();
+    return;
+  }
+  std::vector<char> active(active_.size(), 0);
+  for (char& byte : active) byte = static_cast<char>(reader.ReadU8());
+  std::vector<geom::Vec2> receivers(receiver_.size());
+  for (geom::Vec2& receiver : receivers) {
+    receiver.x = reader.ReadDouble();
+    receiver.y = reader.ReadDouble();
+  }
+  reader.EndSection();
+  if (!reader.ok()) return;
+  config_.activity = activity;
+  slots_sampled_ = slots_sampled;
+  activations_total_ = activations_total;
+  active_ = std::move(active);
+  receiver_ = std::move(receivers);
+  PackMaskFromBytes();
+  RebuildActiveList();
 }
 
 void PrimaryNetwork::SampleReceiverPositions(Rng& rng) {

@@ -19,6 +19,11 @@
 #include "geom/vec2.h"
 #include "sim/time.h"
 
+namespace crn::sim {
+class StateReader;
+class StateWriter;
+}  // namespace crn::sim
+
 namespace crn::pu {
 
 using PuId = std::int32_t;
@@ -104,6 +109,14 @@ class PrimaryNetwork {
   // Cumulative statistics (for tests validating the Bernoulli process).
   [[nodiscard]] std::int64_t slots_sampled() const { return slots_sampled_; }
   [[nodiscard]] std::int64_t activations_total() const { return activations_total_; }
+
+  // Checkpoint protocol (sim/checkpoint.h, section "pu"): per-slot activity
+  // state, receiver draws, cumulative counters, and the (possibly
+  // fault-overridden) activity target. Positions and the spatial grid are
+  // not serialized — the restore path reconstructs the network from the
+  // scenario first, then loads this state on top.
+  void SaveState(sim::StateWriter& writer) const;
+  void LoadState(sim::StateReader& reader);
 
  private:
   // Mirrors active_ bytes into activity_mask_ (slow paths; the iid fast

@@ -1,0 +1,351 @@
+#include "sim/checkpoint.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace crn::sim {
+
+namespace {
+
+// Envelope size guards: an adversarial blob must not be able to drive a
+// huge allocation before its lengths are checked against the bytes that
+// actually exist.
+constexpr std::size_t kMaxSectionName = 4096;
+constexpr std::uint32_t kMaxStringLength = 1U << 30U;
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1U) ^ ((crc & 1U) != 0 ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void AppendU32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8U * i)) & 0xFFU));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8U * i)) & 0xFFU));
+  }
+}
+
+std::string HexU32(std::uint32_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const char byte : data) {
+    crc = (crc >> 8U) ^ kTable[(crc ^ static_cast<unsigned char>(byte)) & 0xFFU];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+void StateWriter::BeginSection(std::string_view name) {
+  CRN_CHECK(!in_section_) << "BeginSection(" << name
+                          << ") with section '" << current_name_ << "' open";
+  CRN_CHECK(!name.empty() && name.size() <= kMaxSectionName);
+  current_name_ = std::string(name);
+  current_payload_.clear();
+  in_section_ = true;
+}
+
+void StateWriter::EndSection() {
+  CRN_CHECK(in_section_) << "EndSection without BeginSection";
+  sections_.push_back(
+      Section{std::move(current_name_), std::move(current_payload_)});
+  current_name_.clear();
+  current_payload_.clear();
+  in_section_ = false;
+}
+
+void StateWriter::WriteU8(std::uint8_t value) {
+  CRN_CHECK(in_section_) << "write outside a section";
+  current_payload_.push_back(static_cast<char>(value));
+}
+
+void StateWriter::WriteU16(std::uint16_t value) {
+  WriteU8(static_cast<std::uint8_t>(value & 0xFFU));
+  WriteU8(static_cast<std::uint8_t>((value >> 8U) & 0xFFU));
+}
+
+void StateWriter::WriteU32(std::uint32_t value) {
+  CRN_CHECK(in_section_) << "write outside a section";
+  AppendU32(current_payload_, value);
+}
+
+void StateWriter::WriteU64(std::uint64_t value) {
+  CRN_CHECK(in_section_) << "write outside a section";
+  AppendU64(current_payload_, value);
+}
+
+void StateWriter::WriteDouble(double value) {
+  WriteU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void StateWriter::WriteString(std::string_view value) {
+  CRN_CHECK(value.size() < kMaxStringLength);
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  CRN_CHECK(in_section_) << "write outside a section";
+  current_payload_.append(value.data(), value.size());
+}
+
+std::string StateWriter::Finish() {
+  CRN_CHECK(!in_section_) << "Finish with section '" << current_name_
+                          << "' open";
+  std::string blob;
+  blob.append(kCheckpointMagic, sizeof kCheckpointMagic);
+  AppendU32(blob, kCheckpointVersion);
+  AppendU32(blob, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& section : sections_) {
+    AppendU32(blob, static_cast<std::uint32_t>(section.name.size()));
+    blob.append(section.name);
+    AppendU64(blob, section.payload.size());
+    AppendU32(blob, Crc32(section.payload));
+    blob.append(section.payload);
+  }
+  sections_.clear();
+  return blob;
+}
+
+StateReader::StateReader(std::string_view blob) {
+  std::size_t pos = 0;
+  auto take = [&](std::size_t n) -> const char* {
+    if (blob.size() - pos < n) return nullptr;
+    const char* p = blob.data() + pos;
+    pos += n;
+    return p;
+  };
+  auto read_u32 = [&](std::uint32_t* value) {
+    const char* p = take(4);
+    if (p == nullptr) return false;
+    std::uint32_t out = 0;
+    for (int i = 3; i >= 0; --i) {
+      out = (out << 8U) | static_cast<unsigned char>(p[i]);
+    }
+    *value = out;
+    return true;
+  };
+  auto read_u64 = [&](std::uint64_t* value) {
+    const char* p = take(8);
+    if (p == nullptr) return false;
+    std::uint64_t out = 0;
+    for (int i = 7; i >= 0; --i) {
+      out = (out << 8U) | static_cast<unsigned char>(p[i]);
+    }
+    *value = out;
+    return true;
+  };
+
+  const char* magic = take(sizeof kCheckpointMagic);
+  if (magic == nullptr ||
+      std::memcmp(magic, kCheckpointMagic, sizeof kCheckpointMagic) != 0) {
+    Fail(
+        "not a CRNCKPT1 checkpoint (bad magic): the file is corrupt, "
+        "truncated, or not a checkpoint at all");
+    return;
+  }
+  std::uint32_t version = 0;
+  if (!read_u32(&version)) {
+    Fail("truncated checkpoint: envelope ends inside the version field");
+    return;
+  }
+  if (version > kCheckpointVersion) {
+    std::ostringstream message;
+    message << "checkpoint format version " << version
+            << " is newer than this binary supports (version "
+            << kCheckpointVersion
+            << ") — re-create the checkpoint or use a newer build";
+    Fail(message.str());
+    return;
+  }
+  std::uint32_t section_count = 0;
+  if (!read_u32(&section_count)) {
+    Fail("truncated checkpoint: envelope ends inside the section count");
+    return;
+  }
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    std::uint32_t name_length = 0;
+    if (!read_u32(&name_length) || name_length == 0 ||
+        name_length > kMaxSectionName) {
+      Fail("truncated or corrupt checkpoint: bad section name length");
+      return;
+    }
+    const char* name = take(name_length);
+    if (name == nullptr) {
+      Fail("truncated checkpoint: envelope ends inside a section name");
+      return;
+    }
+    std::uint64_t payload_length = 0;
+    std::uint32_t stored_crc = 0;
+    if (!read_u64(&payload_length) || !read_u32(&stored_crc)) {
+      std::ostringstream message;
+      message << "truncated checkpoint: section '"
+              << std::string_view(name, name_length)
+              << "' ends inside its header";
+      Fail(message.str());
+      return;
+    }
+    const char* payload = take(payload_length);
+    if (payload == nullptr) {
+      std::ostringstream message;
+      message << "truncated checkpoint: section '"
+              << std::string_view(name, name_length) << "' declares "
+              << payload_length << " payload bytes but the file ends early";
+      Fail(message.str());
+      return;
+    }
+    const std::string_view payload_view(payload, payload_length);
+    const std::uint32_t computed_crc = Crc32(payload_view);
+    if (computed_crc != stored_crc) {
+      std::ostringstream message;
+      message << "corrupt checkpoint: section '"
+              << std::string_view(name, name_length) << "' CRC mismatch (stored "
+              << HexU32(stored_crc) << ", computed " << HexU32(computed_crc)
+              << ")";
+      Fail(message.str());
+      return;
+    }
+    sections_.push_back(
+        Section{std::string_view(name, name_length), payload_view});
+  }
+  if (pos != blob.size()) {
+    Fail("corrupt checkpoint: trailing bytes after the last section");
+  }
+}
+
+bool StateReader::HasSection(std::string_view name) const {
+  for (const Section& section : sections_) {
+    if (section.name == name) return true;
+  }
+  return false;
+}
+
+bool StateReader::OpenSection(std::string_view name) {
+  if (!ok()) return false;
+  CRN_CHECK(open_ < 0) << "OpenSection(" << name << ") with '"
+                       << sections_[static_cast<std::size_t>(open_)].name
+                       << "' open";
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].name == name) {
+      open_ = static_cast<std::int32_t>(i);
+      cursor_ = 0;
+      return true;
+    }
+  }
+  std::ostringstream message;
+  message << "checkpoint has no section '" << name
+          << "' — it was written by an incompatible run configuration";
+  Fail(message.str());
+  return false;
+}
+
+void StateReader::EndSection() {
+  if (open_ < 0) return;
+  const Section& section = sections_[static_cast<std::size_t>(open_)];
+  if (ok() && cursor_ != section.payload.size()) {
+    std::ostringstream message;
+    message << "checkpoint section '" << section.name << "' has "
+            << (section.payload.size() - cursor_)
+            << " unread bytes — save/load layout mismatch";
+    Fail(message.str());
+  }
+  open_ = -1;
+  cursor_ = 0;
+}
+
+void StateReader::Fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+}
+
+const char* StateReader::Take(std::size_t n) {
+  if (!ok()) return nullptr;
+  if (open_ < 0) {
+    Fail("checkpoint read outside any section");
+    return nullptr;
+  }
+  const Section& section = sections_[static_cast<std::size_t>(open_)];
+  if (section.payload.size() - cursor_ < n) {
+    std::ostringstream message;
+    message << "checkpoint section '" << section.name
+            << "' is shorter than expected (read past its end)";
+    Fail(message.str());
+    return nullptr;
+  }
+  const char* p = section.payload.data() + cursor_;
+  cursor_ += n;
+  return p;
+}
+
+std::uint8_t StateReader::ReadU8() {
+  const char* p = Take(1);
+  return p == nullptr ? 0 : static_cast<std::uint8_t>(*p);
+}
+
+std::uint16_t StateReader::ReadU16() {
+  const char* p = Take(2);
+  if (p == nullptr) return 0;
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[1])) << 8U));
+}
+
+std::uint32_t StateReader::ReadU32() {
+  const char* p = Take(4);
+  if (p == nullptr) return 0;
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) {
+    out = (out << 8U) | static_cast<unsigned char>(p[i]);
+  }
+  return out;
+}
+
+std::uint64_t StateReader::ReadU64() {
+  const char* p = Take(8);
+  if (p == nullptr) return 0;
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) {
+    out = (out << 8U) | static_cast<unsigned char>(p[i]);
+  }
+  return out;
+}
+
+double StateReader::ReadDouble() {
+  return std::bit_cast<double>(ReadU64());
+}
+
+std::string StateReader::ReadString() {
+  const std::uint32_t length = ReadU32();
+  if (!ok()) return {};
+  if (length >= kMaxStringLength) {
+    Fail("corrupt checkpoint: oversized string length");
+    return {};
+  }
+  const char* p = Take(length);
+  return p == nullptr ? std::string{} : std::string(p, length);
+}
+
+std::size_t StateReader::SectionBytesLeft() const {
+  if (open_ < 0) return 0;
+  return sections_[static_cast<std::size_t>(open_)].payload.size() - cursor_;
+}
+
+}  // namespace crn::sim

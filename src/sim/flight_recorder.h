@@ -32,6 +32,9 @@
 
 namespace crn::sim {
 
+class StateReader;
+class StateWriter;
+
 using EventId = std::uint64_t;
 
 enum class SchedAction : std::uint8_t {
@@ -148,6 +151,14 @@ class FlightRecorder {
   // Decodes a WriteDump() stream. Returns false (and sets *error) on a
   // malformed dump; never throws.
   static bool ReadDump(std::istream& in, Dump* out, std::string* error);
+
+  // Checkpoint protocol (sim/checkpoint.h, section "flight"): ring contents
+  // (oldest first), totals, per-kind counters, and the kind-name mirror.
+  // Wall attribution (fire_wall_/wall_probe_) is deliberately excluded —
+  // wall readings are nondeterministic and must not survive into a resumed
+  // run's comparisons.
+  void SaveState(StateWriter& writer) const;
+  void LoadState(StateReader& reader);
 
   // Human-readable decode of the newest `max_records` records, oldest
   // first — the "last N" trail printed on invariant violations and escaped

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/checkpoint.h"
 #include "sim/flight_recorder.h"
 
 namespace crn::sim {
@@ -52,6 +53,7 @@ std::uint32_t Simulator::BindSlot(EventPriority priority, EventFn fn,
 
 void Simulator::ArmSlot(std::uint32_t slot, TimeNs when) {
   CRN_CHECK(!in_observer_) << "event observers must not schedule or cancel";
+  CRN_CHECK(!restoring_) << "ArmAt during restore — use RestoreArm";
   CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
                           << " now=" << now_;
   Slot& s = slots_[slot];
@@ -112,14 +114,16 @@ void Simulator::ReleaseSlot(std::uint32_t slot) {
   FreeSlotNow(slot);
 }
 
-void Simulator::ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn) {
-  ScheduleOnce(when, priority, "unnamed", -1, std::move(fn));
+EventId Simulator::ScheduleOnce(TimeNs when, EventPriority priority,
+                                EventFn fn) {
+  return ScheduleOnce(when, priority, "unnamed", -1, std::move(fn));
 }
 
-void Simulator::ScheduleOnce(TimeNs when, EventPriority priority,
-                             std::string_view kind, std::int32_t owner,
-                             EventFn fn) {
+EventId Simulator::ScheduleOnce(TimeNs when, EventPriority priority,
+                                std::string_view kind, std::int32_t owner,
+                                EventFn fn) {
   CRN_CHECK(!in_observer_) << "event observers must not schedule or cancel";
+  CRN_CHECK(!restoring_) << "ScheduleOnce during restore — use RestoreOnce";
   CRN_CHECK(when >= now_) << "cannot schedule in the past: when=" << when
                           << " now=" << now_;
   const std::uint32_t slot =
@@ -135,6 +139,7 @@ void Simulator::ScheduleOnce(TimeNs when, EventPriority priority,
     recorder_->Record(SchedAction::kArm, seq, now_, s.kind, s.owner,
                       current_fire_seq_);
   }
+  return seq;
 }
 
 std::uint16_t Simulator::RegisterEventKind(std::string_view name) {
@@ -299,6 +304,236 @@ TimeNs Simulator::RunUntil(TimeNs deadline) {
   }
   if (now_ < deadline) now_ = deadline;
   return now_;
+}
+
+RunStatus Simulator::RunUntilEvents(std::uint64_t event_target) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (events_executed_ >= event_target) {
+      // Decide paused-vs-drained from the live count, never by peeking:
+      // PeekLive discards stale entries without the shrink check, which
+      // would fork the calendar resize schedule (and sched_stats) from the
+      // uninterrupted run's.
+      return pending_ > 0 ? RunStatus::kPaused : RunStatus::kDrained;
+    }
+    if (!ExecuteNext()) return RunStatus::kDrained;
+  }
+  return RunStatus::kStopped;
+}
+
+void Simulator::SaveState(StateWriter& writer) const {
+  CRN_CHECK(current_fire_seq_ == 0)
+      << "SaveState from inside an event callback";
+
+  writer.BeginSection("sim.registry");
+  writer.WriteU32(static_cast<std::uint32_t>(kind_names_.size()));
+  for (const std::string& name : kind_names_) writer.WriteString(name);
+  writer.EndSection();
+
+  // Collect every queue entry — live and stale — in seq order (the save-side
+  // mirror of FinishRestore). Stale entries ride along so the resumed run's
+  // stale-skip count and calendar occupancy match the uninterrupted run.
+  std::vector<QEntry> entries;
+  if (kind_ == SchedulerKind::kReference) {
+    auto copy = ref_queue_;
+    entries.reserve(copy.size());
+    while (!copy.empty()) {
+      entries.push_back(copy.top());
+      copy.pop();
+    }
+  } else {
+    entries.reserve(cal_size_);
+    for (const std::vector<QEntry>& bucket : cal_buckets_) {
+      entries.insert(entries.end(), bucket.begin(), bucket.end());
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const QEntry& a, const QEntry& b) { return a.seq < b.seq; });
+
+  std::size_t live = 0;
+  for (const QEntry& entry : entries) {
+    if (EntryLive(entry)) ++live;
+  }
+  CRN_CHECK(live == pending_)
+      << "live queue entries (" << live << ") disagree with pending ("
+      << pending_ << ") at checkpoint";
+
+  writer.BeginSection("sim.core");
+  writer.WriteU8(static_cast<std::uint8_t>(kind_));
+  writer.WriteI64(now_);
+  writer.WriteU64(next_seq_);
+  writer.WriteU64(events_executed_);
+  writer.WriteI64(stats_.pushes);
+  writer.WriteI64(stats_.pops);
+  writer.WriteI64(stats_.cancels);
+  writer.WriteI64(stats_.stale_skips);
+  writer.WriteI64(stats_.bucket_resizes);
+  writer.WriteI32(cal_shift_);
+  writer.WriteU64(cal_tick_);
+  writer.WriteU64(static_cast<std::uint64_t>(cal_buckets_.size()));
+  writer.WriteU64(static_cast<std::uint64_t>(entries.size()));
+  for (const QEntry& entry : entries) {
+    const bool is_live = EntryLive(entry);
+    writer.WriteI64(entry.time);
+    writer.WriteU64(entry.seq);
+    writer.WriteU64(is_live ? slots_[entry.slot].armed_parent : 0);
+    writer.WriteU8(static_cast<std::uint8_t>(entry.priority));
+    writer.WriteBool(is_live);
+  }
+  writer.EndSection();
+}
+
+void Simulator::LoadRegistry(StateReader& reader) {
+  CRN_CHECK(kind_names_.size() == 1 && next_seq_ == 1)
+      << "LoadRegistry requires a fresh simulator";
+  if (!reader.OpenSection("sim.registry")) return;
+  const std::uint32_t count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = reader.ReadString();
+    if (!reader.ok()) break;
+    if (i == 0) {
+      CRN_CHECK(name == "unnamed") << "corrupt kind registry";
+      continue;
+    }
+    // Pre-populating in saved order means components re-binding in the
+    // original construction order get their original kind ids back.
+    const std::uint16_t id = RegisterEventKind(name);
+    CRN_CHECK(id == i) << "kind registry restore produced id " << id
+                       << " for '" << name << "' (expected " << i << ")";
+  }
+  reader.EndSection();
+}
+
+void Simulator::BeginRestore(StateReader& reader) {
+  CRN_CHECK(!restoring_) << "BeginRestore called twice";
+  CRN_CHECK(events_executed_ == 0 && pending_ == 0 && next_seq_ == 1)
+      << "BeginRestore requires a fresh simulator";
+  if (!reader.OpenSection("sim.core")) return;
+
+  const auto saved_kind = static_cast<SchedulerKind>(reader.ReadU8());
+  const TimeNs saved_now = reader.ReadI64();
+  const EventId saved_next_seq = reader.ReadU64();
+  const std::uint64_t saved_events = reader.ReadU64();
+  SchedStats saved_stats;
+  saved_stats.pushes = reader.ReadI64();
+  saved_stats.pops = reader.ReadI64();
+  saved_stats.cancels = reader.ReadI64();
+  saved_stats.stale_skips = reader.ReadI64();
+  saved_stats.bucket_resizes = reader.ReadI64();
+  const std::int32_t saved_shift = reader.ReadI32();
+  const std::uint64_t saved_tick = reader.ReadU64();
+  const std::uint64_t bucket_count = reader.ReadU64();
+  const std::uint64_t entry_count = reader.ReadU64();
+  staged_entries_.clear();
+  for (std::uint64_t i = 0; i < entry_count && reader.ok(); ++i) {
+    SavedEntry entry;
+    entry.time = reader.ReadI64();
+    entry.seq = reader.ReadU64();
+    entry.armed_parent = reader.ReadU64();
+    entry.priority = static_cast<EventPriority>(reader.ReadU8());
+    entry.live = reader.ReadBool();
+    staged_entries_.push_back(entry);
+  }
+  reader.EndSection();
+  if (!reader.ok()) return;  // caller surfaces reader.error()
+
+  CRN_CHECK(saved_kind == kind_)
+      << "checkpoint was taken with the " << ToString(saved_kind)
+      << " scheduler but this run uses " << ToString(kind_)
+      << " — restore with the same --scheduler";
+  if (kind_ == SchedulerKind::kCalendar) {
+    CRN_CHECK(bucket_count >= kMinCalendarBuckets &&
+              (bucket_count & (bucket_count - 1)) == 0)
+        << "checkpoint calendar geometry is invalid (" << bucket_count
+        << " buckets)";
+    // Geometry must be restored exactly: the resize schedule (a CI-gated
+    // work counter) depends on the (size, bucket-count) trajectory.
+    cal_buckets_.assign(static_cast<std::size_t>(bucket_count), {});
+    cal_mask_ = bucket_count - 1;
+    cal_shift_ = saved_shift;
+    cal_size_ = 0;
+  }
+  now_ = saved_now;
+  next_seq_ = saved_next_seq;
+  events_executed_ = saved_events;
+  saved_stats_ = saved_stats;
+  saved_cal_tick_ = saved_tick;
+  saved_cal_size_ = staged_entries_.size();
+
+  // The sentinel slot stale entries are re-pushed against: bound (kind 0,
+  // never armed, never fired) so its generation stays fixed and any entry
+  // carrying generation+1 is permanently stale.
+  sentinel_slot_ = BindSlot(EventPriority::kDefault, EventFn([] {}));
+  restoring_ = true;
+}
+
+void Simulator::RestoreArmSlot(std::uint32_t slot, EventId seq) {
+  CRN_CHECK(restoring_)
+      << "RestoreArm outside BeginRestore..FinishRestore";
+  CRN_CHECK(seq != 0 && seq < next_seq_)
+      << "RestoreArm seq " << seq << " out of checkpoint range";
+  Slot& s = slots_[slot];
+  CRN_CHECK((s.flags & kArmed) == 0) << "RestoreArm on an armed timer";
+  s.flags |= kArmed;
+  s.pending_seq = seq;
+  const bool inserted = restore_claims_.emplace(seq, slot).second;
+  CRN_CHECK(inserted) << "two timers claimed checkpoint seq " << seq;
+}
+
+void Simulator::RestoreOnce(EventId seq, EventPriority priority,
+                            std::string_view kind, std::int32_t owner,
+                            EventFn fn) {
+  CRN_CHECK(restoring_)
+      << "RestoreOnce outside BeginRestore..FinishRestore";
+  const std::uint32_t slot =
+      BindSlot(priority, std::move(fn), RegisterEventKind(kind), owner);
+  slots_[slot].flags |= kOneShot;
+  RestoreArmSlot(slot, seq);
+}
+
+void Simulator::FinishRestore() {
+  CRN_CHECK(restoring_) << "FinishRestore without BeginRestore";
+  const std::uint32_t stale_gen = slots_[sentinel_slot_].generation + 1;
+  std::size_t live_count = 0;
+  for (const SavedEntry& saved : staged_entries_) {
+    QEntry entry{saved.time, saved.seq, sentinel_slot_, stale_gen,
+                 saved.priority};
+    if (saved.live) {
+      const auto it = restore_claims_.find(saved.seq);
+      CRN_CHECK(it != restore_claims_.end())
+          << "checkpoint queue entry seq " << saved.seq
+          << " was never re-claimed — a component failed to restore its "
+             "pending timer";
+      Slot& s = slots_[it->second];
+      CRN_CHECK(s.priority == saved.priority)
+          << "timer claiming seq " << saved.seq
+          << " re-bound with a different priority than the checkpoint";
+      s.armed_parent = saved.armed_parent;
+      entry.slot = it->second;
+      entry.gen = s.generation;
+      restore_claims_.erase(it);
+      ++live_count;
+    }
+    // Bypass Push(): these re-pushes already happened in the original run
+    // (the saved work counters cover them), and the calendar geometry is
+    // already exact so no resize may trigger.
+    if (kind_ == SchedulerKind::kReference) {
+      ref_queue_.push(entry);
+    } else {
+      CalInsert(entry);
+    }
+  }
+  CRN_CHECK(restore_claims_.empty())
+      << restore_claims_.size()
+      << " RestoreArm claims matched no checkpoint queue entry";
+  if (kind_ == SchedulerKind::kCalendar) {
+    CRN_CHECK(cal_size_ == saved_cal_size_);
+    cal_tick_ = saved_cal_tick_;
+  }
+  pending_ = live_count;
+  stats_ = saved_stats_;
+  staged_entries_.clear();
+  restoring_ = false;
 }
 
 void Simulator::CalPush(const QEntry& entry) {

@@ -80,9 +80,16 @@ struct SchedStats {
   std::int64_t bucket_resizes = 0;  // calendar-queue reorganizations
 };
 
+// How a bounded run segment ended (RunUntilEvents): the queue drained, a
+// callback called Stop(), or the event budget was reached with live events
+// still pending — the checkpoint boundary.
+enum class RunStatus : std::uint8_t { kDrained, kStopped, kPaused };
+
 class Timer;
 class PeriodicTimer;
 class FlightRecorder;
+class StateReader;
+class StateWriter;
 
 class Simulator {
  public:
@@ -99,25 +106,27 @@ class Simulator {
   [[nodiscard]] const SchedStats& sched_stats() const { return stats_; }
 
   // Schedules a fire-and-forget `fn` at absolute time `when` (≥ now).
-  void ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn);
+  // Returns the event's sequence number so owners that must survive a
+  // checkpoint can re-register the pending one-shot under the same id.
+  EventId ScheduleOnce(TimeNs when, EventPriority priority, EventFn fn);
 
   // Kind/owner-tagged one-shot: identical scheduling semantics, but the
   // event carries a registered kind name and owner node for the flight
   // recorder (src/mac must use this form — `unnamed-timer-kind` rule).
-  void ScheduleOnce(TimeNs when, EventPriority priority, std::string_view kind,
-                    std::int32_t owner, EventFn fn);
+  EventId ScheduleOnce(TimeNs when, EventPriority priority,
+                       std::string_view kind, std::int32_t owner, EventFn fn);
 
   // Schedules a fire-and-forget `fn` after `delay` (≥ 0) from now.
-  void ScheduleOnceAfter(TimeNs delay, EventPriority priority, EventFn fn) {
+  EventId ScheduleOnceAfter(TimeNs delay, EventPriority priority, EventFn fn) {
     CRN_CHECK(delay >= 0) << "delay=" << delay;
-    ScheduleOnce(now_ + delay, priority, std::move(fn));
+    return ScheduleOnce(now_ + delay, priority, std::move(fn));
   }
 
-  void ScheduleOnceAfter(TimeNs delay, EventPriority priority,
-                         std::string_view kind, std::int32_t owner,
-                         EventFn fn) {
+  EventId ScheduleOnceAfter(TimeNs delay, EventPriority priority,
+                            std::string_view kind, std::int32_t owner,
+                            EventFn fn) {
     CRN_CHECK(delay >= 0) << "delay=" << delay;
-    ScheduleOnce(now_ + delay, priority, kind, owner, std::move(fn));
+    return ScheduleOnce(now_ + delay, priority, kind, owner, std::move(fn));
   }
 
   // Interns `name` (non-empty) into the event-kind registry and returns its
@@ -144,6 +153,41 @@ class Simulator {
   // Runs until simulated time would exceed `deadline`; events at exactly
   // `deadline` still fire. Returns current time.
   TimeNs RunUntil(TimeNs deadline);
+
+  // Runs until events_executed() reaches `event_target` (a cumulative
+  // count), the queue drains, or Stop() is called. Pausing happens strictly
+  // between events — current_fire_seq_ is 0 and no callback is mid-flight —
+  // so a checkpoint taken at the pause captures a consistent state.
+  RunStatus RunUntilEvents(std::uint64_t event_target);
+
+  // --- checkpoint/restore (sim/checkpoint.h, DESIGN.md §14) -------------
+  // Writes the event-kind registry ("sim.registry") and the full scheduler
+  // state ("sim.core"): clock, sequence counter, executed-event count, work
+  // counters, calendar geometry, and every queue entry — live entries keyed
+  // by the sequence number their component will re-claim on restore, stale
+  // entries kept so post-restore stale-skip counts stay exact. Callable
+  // only between events (never from inside a callback).
+  void SaveState(StateWriter& writer) const;
+
+  // Restore happens in four phases, in this order:
+  //   1. LoadRegistry() — pre-populates the kind registry so components
+  //      re-Binding in construction order get their original kind ids;
+  //   2. BeginRestore() — loads clock/counters/geometry and stages the
+  //      saved queue entries;
+  //   3. components re-register every pending event under its original
+  //      sequence number (Timer::RestoreArm / RestoreOnce);
+  //   4. FinishRestore() — pushes the staged entries against the claimed
+  //      slots (CRN_CHECK: every live entry must have been claimed) and
+  //      reinstates the saved work counters.
+  void LoadRegistry(StateReader& reader);
+  void BeginRestore(StateReader& reader);
+  // Re-registers a pending one-shot under its saved sequence number. The
+  // fire time lives in the staged queue entry; only the callback and its
+  // tagging are supplied fresh.
+  void RestoreOnce(EventId seq, EventPriority priority, std::string_view kind,
+                   std::int32_t owner, EventFn fn);
+  void FinishRestore();
+  [[nodiscard]] bool restoring() const { return restoring_; }
 
   // Stops Run()/RunUntil() after the current event completes.
   void Stop() { stopped_ = true; }
@@ -232,6 +276,13 @@ class Simulator {
   [[nodiscard]] bool SlotArmed(std::uint32_t slot) const {
     return (slots_[slot].flags & kArmed) != 0;
   }
+  [[nodiscard]] EventId SlotPendingSeq(std::uint32_t slot) const {
+    return SlotArmed(slot) ? slots_[slot].pending_seq : 0;
+  }
+  // Restore-path arming: marks the slot armed under the saved sequence
+  // number without consuming next_seq_, pushing, or recording — the queue
+  // entry is pushed by FinishRestore once every claim is in.
+  void RestoreArmSlot(std::uint32_t slot, EventId seq);
 
   void Push(const QEntry& entry);
   bool PopLive(QEntry* out);
@@ -284,6 +335,25 @@ class Simulator {
   std::vector<std::string> kind_names_{"unnamed"};
   std::map<std::string, std::uint16_t, std::less<>> kind_ids_{{"unnamed", 0}};
   FlightRecorder* recorder_ = nullptr;
+
+  // --- restore staging (BeginRestore .. FinishRestore) ------------------
+  // A saved queue entry. Live entries are matched to the slot that claimed
+  // their seq; stale entries are re-pushed against the dead sentinel slot so
+  // post-restore pops skip them exactly as the uninterrupted run would.
+  struct SavedEntry {
+    TimeNs time = 0;
+    EventId seq = 0;
+    EventId armed_parent = 0;
+    EventPriority priority = EventPriority::kDefault;
+    bool live = false;
+  };
+  bool restoring_ = false;
+  std::vector<SavedEntry> staged_entries_;
+  std::map<EventId, std::uint32_t> restore_claims_;  // seq -> armed slot
+  std::uint32_t sentinel_slot_ = kNoSlot;
+  SchedStats saved_stats_;
+  std::uint64_t saved_cal_tick_ = 0;
+  std::size_t saved_cal_size_ = 0;
 };
 
 // Move-only handle to one arena slot. Bind() allocates the slot and stores
@@ -335,6 +405,19 @@ class Timer {
   [[nodiscard]] bool bound() const { return sim_ != nullptr; }
   [[nodiscard]] bool armed() const {
     return sim_ != nullptr && sim_->SlotArmed(slot_);
+  }
+
+  // Sequence number of the pending fire (0 when unarmed) — what a component
+  // saves so the restore path can re-claim the exact queue entry.
+  [[nodiscard]] EventId pending_seq() const {
+    return sim_ == nullptr ? 0 : sim_->SlotPendingSeq(slot_);
+  }
+
+  // Restore-path arm: re-claims the saved sequence number. Valid only
+  // between Simulator::BeginRestore and FinishRestore.
+  void RestoreArm(EventId seq) {
+    CRN_CHECK(sim_ != nullptr) << "RestoreArm on an unbound Timer";
+    sim_->RestoreArmSlot(slot_, seq);
   }
 
   // Schedules the bound callback at absolute time `when` (≥ now). If the
@@ -414,6 +497,18 @@ class PeriodicTimer {
   }
 
   [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] TimeNs period() const { return period_; }
+  [[nodiscard]] EventId pending_seq() const { return timer_.pending_seq(); }
+
+  // Restore-path start: resumes the period and re-claims the pending fire's
+  // saved sequence number. A running PeriodicTimer is always armed between
+  // events, so a checkpointed one always has a pending seq to re-claim.
+  void RestoreRunning(TimeNs period, EventId seq) {
+    CRN_CHECK(period > 0) << "period=" << period;
+    period_ = period;
+    running_ = true;
+    timer_.RestoreArm(seq);
+  }
 
  private:
   void OnFire() {

@@ -46,6 +46,7 @@
 
 #include "common/check.h"
 #include "geom/vec2.h"
+#include "sim/checkpoint.h"
 #include "spectrum/interference.h"
 
 namespace crn::spectrum {
@@ -125,6 +126,62 @@ class PairGainCache {
       if (!row.empty()) ++rows;
     }
     return rows;
+  }
+
+  // Checkpoint support (writes into the caller's open section). Gains are
+  // pure functions of the static positions, so only the materialization
+  // pattern is serialized — which rows exist and which entries are present —
+  // plus an FNV digest of the cached values. LoadFrom re-derives every
+  // present entry through Direct() (never Gain(): the rebuild must not
+  // perturb the FieldWork counters) and verifies the digest, proving the
+  // rebuilt cache is bit-identical to the checkpointed one.
+  void SaveTo(sim::StateWriter& writer) const {
+    writer.WriteU32(static_cast<std::uint32_t>(rows_.size()));
+    writer.WriteU32(static_cast<std::uint32_t>(tx_.size()));
+    std::uint64_t digest = 0xCBF29CE484222325ULL;
+    for (const std::vector<double>& row : rows_) {
+      writer.WriteBool(!row.empty());
+      if (row.empty()) continue;
+      for (const double value : row) {
+        writer.WriteBool(!std::isnan(value));
+        if (std::isnan(value)) continue;
+        std::uint64_t bits = 0;
+        __builtin_memcpy(&bits, &value, sizeof bits);
+        digest = (digest ^ bits) * 0x100000001B3ULL;
+      }
+    }
+    writer.WriteU64(digest);
+  }
+
+  void LoadFrom(sim::StateReader& reader) {
+    const std::uint32_t rx_count = reader.ReadU32();
+    const std::uint32_t tx_count = reader.ReadU32();
+    if (reader.ok() && (rx_count != rows_.size() || tx_count != tx_.size())) {
+      return;  // scenario mismatch; EndSection flags the misalignment
+    }
+    std::uint64_t digest = 0xCBF29CE484222325ULL;
+    for (std::size_t rx = 0; rx < rows_.size() && reader.ok(); ++rx) {
+      std::vector<double>& row = rows_[rx];
+      row.clear();
+      if (!reader.ReadBool()) continue;
+      row.assign(tx_.size(), std::numeric_limits<double>::quiet_NaN());
+      for (std::size_t tx = 0; tx < tx_.size(); ++tx) {
+        if (!reader.ReadBool()) continue;
+        const double value = Direct(static_cast<std::int32_t>(tx),
+                                    static_cast<std::int32_t>(rx));
+        row[tx] = value;
+        std::uint64_t bits = 0;
+        __builtin_memcpy(&bits, &value, sizeof bits);
+        digest = (digest ^ bits) * 0x100000001B3ULL;
+      }
+    }
+    const std::uint64_t saved_digest = reader.ReadU64();
+    if (!reader.ok()) return;
+    CRN_CHECK(digest == saved_digest)
+        << "rebuilt gain cache diverges from the checkpoint (digest "
+        << digest << " vs saved " << saved_digest
+        << ") — the restored scenario's positions differ from the "
+           "checkpointed run's";
   }
 
  private:
@@ -228,6 +285,75 @@ class InterferenceField {
 
   [[nodiscard]] std::int64_t su_rows_allocated() const {
     return su_gains_.allocated_rows();
+  }
+
+  // Checkpoint protocol (sim/checkpoint.h, section "field"): work counters,
+  // the three epochs, the previous active-PU list, the per-receiver PU-sum
+  // memos, and both gain caches' materialization patterns (values are
+  // recomputed and digest-verified, see PairGainCache::SaveTo).
+  void SaveState(sim::StateWriter& writer) const {
+    writer.BeginSection("field");
+    writer.WriteI64(work_.sir_evaluations);
+    writer.WriteI64(work_.sir_terms_evaluated);
+    writer.WriteI64(work_.gain_cache_hits);
+    writer.WriteI64(work_.gain_cache_misses);
+    writer.WriteI64(work_.reeval_skipped);
+    writer.WriteI64(work_.pu_partials_reused);
+    writer.WriteI64(work_.su_resumes);
+    writer.WriteI64(work_.bound_skips);
+    writer.WriteI64(change_epoch_);
+    writer.WriteI64(pu_epoch_);
+    writer.WriteI64(shrink_epoch_);
+    writer.WriteU32(static_cast<std::uint32_t>(previous_active_pus_.size()));
+    for (const std::int32_t pu : previous_active_pus_) writer.WriteI32(pu);
+    writer.WriteU32(static_cast<std::uint32_t>(pu_sum_.size()));
+    for (std::size_t i = 0; i < pu_sum_.size(); ++i) {
+      writer.WriteDouble(pu_sum_[i]);
+      writer.WriteI64(pu_sum_epoch_[i]);
+    }
+    su_gains_.SaveTo(writer);
+    pu_gains_.SaveTo(writer);
+    writer.EndSection();
+  }
+
+  void LoadState(sim::StateReader& reader) {
+    if (!reader.OpenSection("field")) return;
+    FieldWork work;
+    work.sir_evaluations = reader.ReadI64();
+    work.sir_terms_evaluated = reader.ReadI64();
+    work.gain_cache_hits = reader.ReadI64();
+    work.gain_cache_misses = reader.ReadI64();
+    work.reeval_skipped = reader.ReadI64();
+    work.pu_partials_reused = reader.ReadI64();
+    work.su_resumes = reader.ReadI64();
+    work.bound_skips = reader.ReadI64();
+    const std::int64_t change_epoch = reader.ReadI64();
+    const std::int64_t pu_epoch = reader.ReadI64();
+    const std::int64_t shrink_epoch = reader.ReadI64();
+    std::vector<std::int32_t> previous(reader.ReadU32());
+    for (std::int32_t& pu : previous) pu = reader.ReadI32();
+    const std::uint32_t sum_count = reader.ReadU32();
+    if (reader.ok() && sum_count != pu_sum_.size()) {
+      reader.EndSection();
+      return;
+    }
+    std::vector<double> sums(pu_sum_.size(), 0.0);
+    std::vector<std::int64_t> sum_epochs(pu_sum_epoch_.size(), -1);
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      sums[i] = reader.ReadDouble();
+      sum_epochs[i] = reader.ReadI64();
+    }
+    su_gains_.LoadFrom(reader);
+    pu_gains_.LoadFrom(reader);
+    reader.EndSection();
+    if (!reader.ok()) return;
+    work_ = work;
+    change_epoch_ = change_epoch;
+    pu_epoch_ = pu_epoch;
+    shrink_epoch_ = shrink_epoch;
+    previous_active_pus_ = std::move(previous);
+    pu_sum_ = std::move(sums);
+    pu_sum_epoch_ = std::move(sum_epochs);
   }
 
  private:

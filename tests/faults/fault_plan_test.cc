@@ -91,6 +91,40 @@ TEST(FaultPlanParseTest, ErrorsCarryLineNumbers) {
             std::string::npos);
 }
 
+TEST(FaultPlanParseTest, ErrorsCarryTheColumnOfTheOffendingToken) {
+  // One malformed instance of every construct; the expected column is the
+  // 1-based start of the token the parser rejected (or one past the line
+  // end when the token is missing entirely).
+  const struct {
+    const char* text;
+    const char* location;
+  } cases[] = {
+      // Missing argument: the column points at the line end.
+      {"at 10 crash\n", "line 1, column 12"},
+      // Non-numeric where a number is due: the column points at the token.
+      {"at x crash 3\n", "line 1, column 4"},
+      // Out-of-range value: still the value's own column, not the keyword's.
+      {"at -5 crash 3\n", "line 1, column 4"},
+      {"at 10 sensing_burst 1.5 0 10\n", "line 1, column 21"},
+      {"gen crash 0 100\n", "line 1, column 11"},
+      {"option retx_budget -3\n", "line 1, column 20"},
+      // Unknown names: the column points at the name.
+      {"at 10 frobnicate 3\n", "line 1, column 7"},
+      {"gen frobnicate 1 2\n", "line 1, column 5"},
+      {"option unknown_knob 4\n", "line 1, column 8"},
+      {"frobnicate\n", "line 1, column 1"},
+      // Trailing junk after a complete directive.
+      {"at 10 crash 3 extra\n", "line 1, column 15"},
+      // Errors past line one carry that line's number and a fresh column.
+      {"at 10 crash 3\ngen crash\n", "line 2, column 10"},
+  };
+  for (const auto& test_case : cases) {
+    const std::string error = ParseError(test_case.text);
+    EXPECT_NE(error.find(test_case.location), std::string::npos)
+        << "plan <" << test_case.text << "> produced: " << error;
+  }
+}
+
 TEST(CompileTimelineTest, EmptyPlanCompilesToEmptyTimeline) {
   const FaultPlan plan;
   EXPECT_TRUE(plan.empty());

@@ -1,0 +1,58 @@
+// WriteFileAtomic: the write-temp-then-rename helper every artifact writer
+// goes through (and the raw-artifact-write lint steers toward). The
+// contract under test: on success the destination holds exactly the new
+// bytes and no temp file lingers; on failure the destination is untouched.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/atomic_file.h"
+
+namespace crn::harness {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AtomicFileTest, WritesContentsAndLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "atomic_file_basic.txt";
+  std::string error;
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\n", &error)) << error;
+  EXPECT_EQ(ReadAll(path), "hello\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicFileTest, OverwriteReplacesTheWholeFile) {
+  const std::string path = ::testing::TempDir() + "atomic_file_overwrite.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "a much longer first version\n"));
+  ASSERT_TRUE(WriteFileAtomic(path, "short\n"));
+  EXPECT_EQ(ReadAll(path), "short\n");
+}
+
+TEST(AtomicFileTest, BinaryBytesRoundTripExactly) {
+  const std::string path = ::testing::TempDir() + "atomic_file_binary.bin";
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteFileAtomic(path, payload));
+  EXPECT_EQ(ReadAll(path), payload);
+}
+
+TEST(AtomicFileTest, FailureLeavesTheDestinationUntouched) {
+  const std::string dir = ::testing::TempDir() + "atomic_file_missing_dir";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/sub/nope.txt";
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic(path, "x", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace crn::harness

@@ -1,0 +1,132 @@
+// SweepJournal + RunJournaled: the crash-safe sweep bookkeeping behind
+// addc_sim --journal/--resume. The contract under test: valid records
+// replay instead of re-running; torn, foreign, or wrong-fingerprint
+// records read as absent (worst case: one re-run, never a wrong result).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_runner.h"
+#include "harness/sweep_journal.h"
+
+namespace crn::harness {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string CellPayload(std::int64_t index) {
+  return "result for cell " + std::to_string(index) + "\n";
+}
+
+TEST(SweepJournalTest, RecordsPersistAcrossReopen) {
+  const std::string dir = FreshDir("journal_reopen");
+  {
+    const SweepJournal journal(dir, "fp-v1");
+    EXPECT_EQ(journal.complete_count(), 0U);
+    EXPECT_TRUE(journal.Record(0, CellPayload(0)));
+    EXPECT_TRUE(journal.Record(3, CellPayload(3)));
+  }
+  const SweepJournal reopened(dir, "fp-v1");
+  EXPECT_EQ(reopened.complete_count(), 2U);
+  EXPECT_TRUE(reopened.IsComplete(0));
+  EXPECT_FALSE(reopened.IsComplete(1));
+  EXPECT_TRUE(reopened.IsComplete(3));
+  ASSERT_NE(reopened.Payload(3), nullptr);
+  EXPECT_EQ(*reopened.Payload(3), CellPayload(3));
+}
+
+TEST(SweepJournalTest, FingerprintMismatchReadsAsAbsent) {
+  const std::string dir = FreshDir("journal_fingerprint");
+  {
+    const SweepJournal journal(dir, "fp-old");
+    EXPECT_TRUE(journal.Record(0, CellPayload(0)));
+  }
+  // Same directory, different experiment shape: the stale record must not
+  // replay into the new sweep.
+  const SweepJournal journal(dir, "fp-new");
+  EXPECT_EQ(journal.complete_count(), 0U);
+  EXPECT_EQ(journal.Payload(0), nullptr);
+}
+
+TEST(SweepJournalTest, TornAndForeignRecordsReadAsAbsent) {
+  const std::string dir = FreshDir("journal_torn");
+  const SweepJournal writer(dir, "fp");
+  ASSERT_TRUE(writer.Record(0, CellPayload(0)));
+  ASSERT_TRUE(writer.Record(1, CellPayload(1)));
+
+  // Truncate record 0 mid-payload (simulating a non-atomic torn write) and
+  // flip a payload byte of record 1 (CRC mismatch).
+  {
+    std::ifstream in(writer.CellPath(0), std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(writer.CellPath(0),
+                      std::ios::binary | std::ios::trunc);
+    out << contents.substr(0, contents.size() - 3);
+  }
+  {
+    std::fstream file(writer.CellPath(1),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(-1, std::ios::end);
+    file.put('X');
+  }
+  // Plus assorted non-record debris the scan must skip.
+  std::ofstream(dir + "/cell_7.rec.tmp") << "killed mid-write";
+  std::ofstream(dir + "/notes.txt") << "not a record";
+  std::ofstream(dir + "/cell_x.rec") << "unparseable index";
+
+  const SweepJournal reopened(dir, "fp");
+  EXPECT_EQ(reopened.complete_count(), 0U);
+  EXPECT_FALSE(reopened.IsComplete(0));
+  EXPECT_FALSE(reopened.IsComplete(1));
+}
+
+TEST(RunJournaledTest, ReplaysCompleteCellsAndRunsOnlyTheRest) {
+  const std::string dir = FreshDir("journal_run");
+  const ParallelRunner runner(1);
+  {
+    const SweepJournal journal(dir, "fp");
+    ASSERT_TRUE(journal.Record(1, CellPayload(1)));
+    ASSERT_TRUE(journal.Record(2, CellPayload(2)));
+  }
+  const SweepJournal journal(dir, "fp");
+  std::set<std::int64_t> ran;
+  std::vector<std::int64_t> replayed_order;
+  const std::int64_t replayed = RunJournaled(
+      runner, journal, 4,
+      [&](std::int64_t index) {
+        ran.insert(index);
+        return CellPayload(index);
+      },
+      [&](std::int64_t index, const std::string& payload) {
+        EXPECT_EQ(payload, CellPayload(index));
+        replayed_order.push_back(index);
+      });
+  EXPECT_EQ(replayed, 2);
+  EXPECT_EQ(replayed_order, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(ran, (std::set<std::int64_t>{0, 3}));
+
+  // The fresh cells were recorded, so a second pass replays everything.
+  const SweepJournal completed(dir, "fp");
+  EXPECT_EQ(completed.complete_count(), 4U);
+  const std::int64_t second = RunJournaled(
+      runner, completed, 4,
+      [&](std::int64_t index) {
+        ADD_FAILURE() << "cell " << index << " re-ran despite its record";
+        return CellPayload(index);
+      },
+      [](std::int64_t, const std::string&) {});
+  EXPECT_EQ(second, 4);
+}
+
+}  // namespace
+}  // namespace crn::harness

@@ -1,0 +1,109 @@
+// The checkpoint/restore bit-identity contract at full-stack scale
+// (DESIGN.md §14): a collection run checkpointed at event k and resumed
+// from the blob must finish with the same trace digest, the same metrics
+// digest, and the same audit report as the uninterrupted run — across
+// seeds, across checkpoint points, with and without fault injection and
+// the flight recorder attached. This is the library-level half of the
+// recovery story; tests/integration/crash_recovery_test.cc adds the
+// SIGKILL-under-fire half on top of the same machinery
+// (checkpoint_harness.h).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/invariant_auditor.h"
+#include "core/scenario.h"
+
+#include "checkpoint_harness.h"
+
+namespace crn::core {
+namespace {
+
+TEST(CheckpointResumeTest, TakingCheckpointsDoesNotPerturbTheRun) {
+  const Captured pure = RunVariant(41, {}, 0, nullptr);
+  const Captured checkpointed = RunVariant(41, {}, 2000, nullptr);
+  EXPECT_GE(checkpointed.checkpoints.size(), 2U);
+  ExpectBitIdentical(pure, checkpointed);
+}
+
+TEST(CheckpointResumeTest, ResumeIsBitIdenticalAcrossSeedsAndPoints) {
+  for (const std::uint64_t seed : {41ULL, 42ULL, 43ULL}) {
+    const Captured base = RunVariant(seed, {}, 2000, nullptr);
+    ASSERT_GE(base.checkpoints.size(), 2U) << "seed " << seed;
+    // An early and a mid-run point: pending one-shots and queue content
+    // differ materially between the two.
+    for (const std::size_t point : {std::size_t{0}, base.checkpoints.size() / 2}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << seed << " resumed from event "
+                   << base.checkpoints[point].first);
+      const Captured resumed =
+          RunVariant(seed, {}, 0, &base.checkpoints[point].second);
+      ExpectBitIdentical(base, resumed);
+    }
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeUnderFaultChurnIsBitIdentical) {
+  const Variant faulted{/*faults=*/true, /*flight=*/false};
+  for (const std::uint64_t seed : {41ULL, 42ULL, 43ULL}) {
+    const Captured base = RunVariant(seed, faulted, 2000, nullptr);
+    ASSERT_GE(base.checkpoints.size(), 2U) << "seed " << seed;
+    EXPECT_GT(base.fault_report.injected_total(), 0) << "seed " << seed;
+    for (const std::size_t point : {std::size_t{0}, base.checkpoints.size() / 2}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed " << seed << " resumed from event "
+                   << base.checkpoints[point].first);
+      const Captured resumed =
+          RunVariant(seed, faulted, 0, &base.checkpoints[point].second);
+      ExpectBitIdentical(base, resumed);
+    }
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeWithFlightRecorderIsBitIdentical) {
+  // Faults + recorder together: the per-kind scheduler counters feed the
+  // metrics digest, so a recorder restore gap would surface here.
+  const Variant instrumented{/*faults=*/true, /*flight=*/true};
+  const Captured base = RunVariant(41, instrumented, 2000, nullptr);
+  ASSERT_GE(base.checkpoints.size(), 2U);
+  for (const std::size_t point : {std::size_t{0}, base.checkpoints.size() / 2}) {
+    SCOPED_TRACE(::testing::Message() << "resumed from event "
+                                      << base.checkpoints[point].first);
+    const Captured resumed =
+        RunVariant(41, instrumented, 0, &base.checkpoints[point].second);
+    ExpectBitIdentical(base, resumed);
+  }
+}
+
+TEST(CheckpointResumeTest, ResumedRunCanItselfCheckpoint) {
+  // A resumed run that keeps checkpointing — the crash soak's steady state:
+  // kill, resume, kill again. Its later checkpoints must be usable too.
+  const Captured base = RunVariant(42, {}, 2000, nullptr);
+  ASSERT_GE(base.checkpoints.size(), 2U);
+  const Captured resumed =
+      RunVariant(42, {}, 2000, &base.checkpoints[0].second);
+  ExpectBitIdentical(base, resumed);
+  ASSERT_FALSE(resumed.checkpoints.empty());
+  const Captured resumed_again =
+      RunVariant(42, {}, 0, &resumed.checkpoints.back().second);
+  ExpectBitIdentical(base, resumed_again);
+}
+
+TEST(CheckpointResumeTest, RestoreRejectsMismatchedScenario) {
+  const Captured base = RunVariant(41, {}, 2000, nullptr);
+  ASSERT_FALSE(base.checkpoints.empty());
+  EXPECT_THROW(RunVariant(42, {}, 0, &base.checkpoints[0].second),
+               ContractViolation);
+}
+
+TEST(CheckpointResumeTest, RestoreRejectsMismatchedAttachments) {
+  const Captured base = RunVariant(41, {}, 2000, nullptr);
+  ASSERT_FALSE(base.checkpoints.empty());
+  const Variant faulted{/*faults=*/true, /*flight=*/false};
+  EXPECT_THROW(RunVariant(41, faulted, 0, &base.checkpoints[0].second),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace crn::core

@@ -9,19 +9,24 @@
 //   addc_sim --algorithm=addc --trace=/tmp/run.csv --seed=7
 //   addc_sim --continuous-interval-ms=5000 --snapshots=6
 #include <algorithm>
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/collection.h"
 #include "core/scenario.h"
 #include "faults/fault_plan.h"
 #include "graph/cds_tree.h"
+#include "harness/atomic_file.h"
 #include "harness/flags.h"
 #include "harness/obs_export.h"
 #include "harness/parallel_runner.h"
 #include "harness/profiler.h"
 #include "harness/svg_export.h"
+#include "harness/sweep_journal.h"
 #include "harness/table.h"
 #include "mac/trace.h"
 #include "obs/metrics.h"
@@ -84,23 +89,62 @@ Execution:
                                   JSON (default 1024; 0 = final state only)
   --svg=FILE                      render the deployment + CDS tree as SVG
   --csv                           machine-readable result rows
+
+Checkpoint / restore (DESIGN.md §14; single serial ADDC rep only):
+  --checkpoint-out=FILE   serialize the full run state to FILE at every
+                          checkpoint boundary (atomic write-temp-then-rename,
+                          CRNCKPT1 format); requires --algorithm=addc,
+                          --reps=1, --jobs=1, and no --trace/--trace-out/
+                          --continuous-interval-ms/--svg
+  --checkpoint-every-events=INT   events between checkpoints (default 100000)
+  --restore=FILE          resume from a checkpoint written by
+                          --checkpoint-out. Pass the same scenario flags and
+                          attachment set as the checkpointed run — mismatches
+                          are rejected with an error. Checkpoint/restore runs
+                          print `digest: trace=<hex> metrics=<hex>`; a
+                          resumed run's digests are bit-identical to the
+                          uninterrupted run's
+  --crash-after-events=INT  test hook for the crash-recovery soak: SIGKILL
+                          this process at the first checkpoint boundary at or
+                          after INT events, *before* that checkpoint is
+                          written (the on-disk file stays the previous one)
+
+Sweep journal (crash-safe repetition fan-out):
+  --journal=DIR           record one atomic completion record per repetition
+                          into DIR (any --jobs value; incompatible with
+                          --metrics-out/--trace/--trace-out/
+                          --flight-recorder-out/--continuous-interval-ms)
+  --resume                with --journal: skip repetitions whose records
+                          validate, replaying their stored output instead of
+                          re-running them
 )";
 
-void PrintResultRow(const core::CollectionResult& r, bool csv) {
+void PrintResultRow(const core::CollectionResult& r, bool csv,
+                    std::ostream& out = std::cout) {
   if (csv) {
-    std::cout << r.algorithm << "," << (r.completed ? 1 : 0) << "," << r.delay_ms
-              << "," << r.capacity_fraction << "," << r.avg_hops << ","
-              << r.jain_delivery_fairness << "," << r.mac.attempts << ","
-              << r.mac.su_caused_violations << "\n";
+    out << r.algorithm << "," << (r.completed ? 1 : 0) << "," << r.delay_ms
+        << "," << r.capacity_fraction << "," << r.avg_hops << ","
+        << r.jain_delivery_fairness << "," << r.mac.attempts << ","
+        << r.mac.su_caused_violations << "\n";
     return;
   }
-  std::cout << r.algorithm << ": " << (r.completed ? "completed" : "TIMED OUT")
-            << " in " << r.delay_ms << " ms, capacity "
-            << harness::FormatDouble(r.capacity_fraction, 4) << "·W, avg hops "
-            << harness::FormatDouble(r.avg_hops, 2) << ", Jain "
-            << harness::FormatDouble(r.jain_delivery_fairness, 3) << ", "
-            << r.mac.attempts << " attempts, " << r.mac.su_caused_violations
-            << " PU violations\n";
+  out << r.algorithm << ": " << (r.completed ? "completed" : "TIMED OUT")
+      << " in " << r.delay_ms << " ms, capacity "
+      << harness::FormatDouble(r.capacity_fraction, 4) << "·W, avg hops "
+      << harness::FormatDouble(r.avg_hops, 2) << ", Jain "
+      << harness::FormatDouble(r.jain_delivery_fairness, 3) << ", "
+      << r.mac.attempts << " attempts, " << r.mac.su_caused_violations
+      << " PU violations\n";
+}
+
+// Atomic artifact write with the CLI's error convention (message + exit 2).
+bool WriteArtifactOrComplain(const std::string& path, std::string_view bytes) {
+  std::string error;
+  if (!crn::harness::WriteFileAtomic(path, bytes, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -166,6 +210,13 @@ int main(int argc, char** argv) {
   const double continuous_ms = flags.GetDouble("continuous-interval-ms", 0.0);
   const auto snapshots = static_cast<std::int32_t>(flags.GetInt("snapshots", 6));
   const std::string faults_path = flags.GetString("faults", "");
+  const std::string checkpoint_out = flags.GetString("checkpoint-out", "");
+  const std::string restore_path = flags.GetString("restore", "");
+  const std::int64_t checkpoint_every =
+      flags.GetInt("checkpoint-every-events", 100000);
+  const std::int64_t crash_after = flags.GetInt("crash-after-events", 0);
+  const std::string journal_dir = flags.GetString("journal", "");
+  const bool resume = flags.GetBool("resume", false);
 
   if (!flags.errors().empty() || !flags.UnconsumedFlags().empty()) {
     for (const std::string& error : flags.errors()) {
@@ -189,13 +240,136 @@ int main(int argc, char** argv) {
   bool all_completed = true;
   bool audit_clean = true;
 
+  // --- checkpoint / restore: a dedicated single-rep serial ADDC path ----
+  if (!checkpoint_out.empty() || !restore_path.empty()) {
+    const bool unsupported =
+        algorithm != "addc" || reps != 1 || jobs != 1 || continuous_ms > 0.0 ||
+        !trace_path.empty() || !trace_out.empty() || !svg_path.empty() ||
+        !journal_dir.empty();
+    if (unsupported) {
+      std::cerr << "error: --checkpoint-out/--restore support exactly one "
+                   "serial ADDC repetition (--algorithm=addc --reps=1 "
+                   "--jobs=1) without --trace/--trace-out/--svg/"
+                   "--continuous-interval-ms/--journal\n";
+      return 2;
+    }
+    if (!checkpoint_out.empty() && checkpoint_every <= 0) {
+      std::cerr << "error: --checkpoint-every-events must be positive\n";
+      return 2;
+    }
+
+    const core::Scenario scenario(config, 0);
+    core::RunOptions options;
+    // The digest line below is the machine-checked restore contract, so the
+    // auditor (trace digest) and a registry (metrics digest) always attach —
+    // both are pure observers and part of the checkpoint's fingerprint.
+    core::AuditReport audit_report;
+    options.audit_report = &audit_report;
+    obs::MetricsRegistry metrics;
+    options.metrics = &metrics;
+    options.metrics_series_stride = metrics_stride;
+    faults::FaultReport fault_report;
+    if (!faults_path.empty()) {
+      options.faults = &fault_plan;
+      options.fault_report = &fault_report;
+    }
+    sim::FlightRecorder flight_recorder(flight_depth);
+    if (!flight_out.empty()) options.flight_recorder = &flight_recorder;
+
+    std::string restore_blob;
+    if (!restore_path.empty()) {
+      std::ifstream in(restore_path, std::ios::binary);
+      if (!in) {
+        std::cerr << "error: cannot read checkpoint " << restore_path << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      restore_blob = buffer.str();
+      options.restore_blob = &restore_blob;
+    }
+    if (!checkpoint_out.empty()) {
+      options.checkpoint_every_events = checkpoint_every;
+      options.checkpoint_sink = [&](const std::string& blob,
+                                    std::uint64_t events) {
+        if (crash_after > 0 &&
+            events >= static_cast<std::uint64_t>(crash_after)) {
+          // Crash-soak hook: die *before* persisting, so recovery resumes
+          // from the previous on-disk checkpoint — the worst honest crash.
+          std::raise(SIGKILL);
+        }
+        std::string error;
+        if (!harness::WriteFileAtomic(checkpoint_out, blob, &error)) {
+          std::cerr << "error: " << error << "\n";
+          std::exit(2);
+        }
+        if (!csv) {
+          std::cout << "checkpoint: " << checkpoint_out << " at event "
+                    << events << " (" << blob.size() << " bytes)\n";
+        }
+      };
+    }
+
+    const core::CollectionResult result = core::RunAddc(scenario, options);
+    all_completed = result.completed;
+    PrintResultRow(result, csv);
+    if (!csv && fault_report.injected_total() > 0) {
+      std::cout << "  faults: " << fault_report.Summary() << "; delivery "
+                << harness::FormatDouble(result.delivery_ratio, 4) << "\n";
+    }
+    audit_clean = audit_report.ok();
+    if (audit && !csv) {
+      std::cout << "  audit: " << audit_report.Summary() << "\n";
+      for (const std::string& violation : audit_report.first_violations) {
+        std::cout << "    violation: " << violation << "\n";
+      }
+    }
+    // The bit-identity witness: CI diffs this line between an uninterrupted
+    // run and a kill+resume chain.
+    std::cout << "digest: trace=" << std::hex << audit_report.trace_digest
+              << " metrics=" << metrics.Digest() << std::dec << "\n";
+    if (!metrics_out.empty() &&
+        !harness::WriteMetricsJson(metrics,
+                                   sim::FromMilliseconds(result.delay_ms),
+                                   metrics_out, std::cout)) {
+      return 2;
+    }
+    if (!flight_out.empty()) {
+      std::ostringstream dump;
+      flight_recorder.WriteDump(dump);
+      if (!WriteArtifactOrComplain(flight_out, dump.str())) return 2;
+      std::cout << "flight recorder: " << flight_recorder.size() << " of "
+                << flight_recorder.total_recorded()
+                << " recorded actions retained -> " << flight_out << "\n";
+    }
+    if (audit && !audit_clean) {
+      std::cerr << "audit: invariant violations detected\n";
+      return 1;
+    }
+    return all_completed ? 0 : 1;
+  }
+
+  if (!journal_dir.empty()) {
+    if (!metrics_out.empty() || continuous_ms > 0.0 || !trace_path.empty() ||
+        !trace_out.empty() || !flight_out.empty()) {
+      std::cerr << "error: --journal is incompatible with --metrics-out/"
+                   "--trace/--trace-out/--flight-recorder-out/"
+                   "--continuous-interval-ms\n";
+      return 2;
+    }
+  } else if (resume) {
+    std::cerr << "error: --resume requires --journal\n";
+    return 2;
+  }
+
   // Parallel standard path: every repetition is an independent cell (the
   // Scenario is a pure function of (config, rep)), so the cells run on a
   // ParallelRunner and the rows print afterwards in repetition order —
   // bit-identical to the serial loop below. Trace and continuous runs keep
-  // the serial path.
-  if (jobs != 1 && continuous_ms <= 0.0 && trace_path.empty() &&
-      trace_out.empty() && flight_out.empty()) {
+  // the serial path. A --journal run uses this engine at any jobs value so
+  // its completion records are per-cell regardless of parallelism.
+  if ((jobs != 1 || !journal_dir.empty()) && continuous_ms <= 0.0 &&
+      trace_path.empty() && trace_out.empty() && flight_out.empty()) {
     struct RepOutcome {
       double pcr = 0.0;
       bool has_addc = false;
@@ -211,7 +385,7 @@ int main(int argc, char** argv) {
     };
     std::vector<RepOutcome> outcomes(static_cast<std::size_t>(reps));
     const harness::ParallelRunner runner(jobs);
-    runner.ForEachIndex(reps, [&](std::int64_t rep) {
+    const auto run_rep = [&](std::int64_t rep) {
       RepOutcome& outcome = outcomes[static_cast<std::size_t>(rep)];
       const core::Scenario scenario(config, static_cast<std::uint64_t>(rep));
       outcome.pcr = scenario.pcr();
@@ -244,63 +418,136 @@ int main(int argc, char** argv) {
         outcome.has_coolest = true;
         outcome.coolest = core::RunCoolest(scenario, metric);
       }
-    });
-    if (!svg_path.empty()) {
-      const core::Scenario scenario(config, 0);
-      const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
-      std::ofstream out(svg_path);
-      if (!out) {
-        std::cerr << "error: cannot write " << svg_path << "\n";
-        return 2;
-      }
-      harness::SvgOptions svg_options;
-      svg_options.pcr_m = scenario.pcr();
-      harness::WriteSvg(out, scenario.secondary_graph(), &tree,
-                        scenario.pu_positions(), svg_options);
-      std::cout << "topology rendered to " << svg_path << "\n";
-    }
-    for (std::int32_t rep = 0; rep < reps; ++rep) {
+    };
+
+    // One repetition's output block plus the bits that feed the exit code.
+    // The same renderer serves direct printing and the journal payload, so
+    // a replayed repetition prints byte-identically to a fresh one.
+    struct RepBlock {
+      std::string text;
+      bool completed = true;
+      bool audit_ok = true;
+    };
+    const auto render_block = [&](std::int32_t rep) {
       const RepOutcome& outcome = outcomes[static_cast<std::size_t>(rep)];
+      RepBlock block;
+      std::ostringstream out;
       if (!csv) {
-        std::cout << "== rep " << rep << " (n=" << config.num_sus
-                  << ", N=" << config.num_pus << ", p_t=" << config.pu_activity
-                  << ", PCR=" << harness::FormatDouble(outcome.pcr, 2) << " m) ==\n";
+        out << "== rep " << rep << " (n=" << config.num_sus
+            << ", N=" << config.num_pus << ", p_t=" << config.pu_activity
+            << ", PCR=" << harness::FormatDouble(outcome.pcr, 2) << " m) ==\n";
       }
       if (outcome.has_addc) {
-        all_completed &= outcome.addc.completed;
-        PrintResultRow(outcome.addc, csv);
+        block.completed &= outcome.addc.completed;
+        PrintResultRow(outcome.addc, csv, out);
         // Plans whose compiled timeline is empty leave stdout untouched —
         // part of the empty-plan byte-identity contract.
         if (!csv && outcome.fault_report.injected_total() > 0) {
-          std::cout << "  faults: " << outcome.fault_report.Summary()
-                    << "; delivery "
-                    << harness::FormatDouble(outcome.addc.delivery_ratio, 4) << "\n";
+          out << "  faults: " << outcome.fault_report.Summary()
+              << "; delivery "
+              << harness::FormatDouble(outcome.addc.delivery_ratio, 4) << "\n";
         }
         if (audit) {
-          audit_clean &= outcome.audit_report.ok();
+          block.audit_ok &= outcome.audit_report.ok();
           if (!csv) {
-            std::cout << "  audit: " << outcome.audit_report.Summary() << "\n";
+            out << "  audit: " << outcome.audit_report.Summary() << "\n";
             for (const std::string& violation :
                  outcome.audit_report.first_violations) {
-              std::cout << "    violation: " << violation << "\n";
+              out << "    violation: " << violation << "\n";
             }
           }
           if (rep == 0) {
-            audit_clean &= outcome.determinism.identical;
+            block.audit_ok &= outcome.determinism.identical;
             if (!csv) {
-              std::cout << "  determinism: dual-run digests "
-                        << (outcome.determinism.identical ? "identical" : "DIVERGED")
-                        << " (" << std::hex << outcome.determinism.first_digest
-                        << " vs " << outcome.determinism.second_digest << std::dec
-                        << ")\n";
+              out << "  determinism: dual-run digests "
+                  << (outcome.determinism.identical ? "identical" : "DIVERGED")
+                  << " (" << std::hex << outcome.determinism.first_digest
+                  << " vs " << outcome.determinism.second_digest << std::dec
+                  << ")\n";
             }
           }
         }
       }
       if (outcome.has_coolest) {
-        all_completed &= outcome.coolest.completed;
-        PrintResultRow(outcome.coolest, csv);
+        block.completed &= outcome.coolest.completed;
+        PrintResultRow(outcome.coolest, csv, out);
       }
+      block.text = out.str();
+      return block;
+    };
+
+    std::vector<RepBlock> blocks(static_cast<std::size_t>(reps));
+    if (journal_dir.empty()) {
+      runner.ForEachIndex(reps, run_rep);
+      for (std::int32_t rep = 0; rep < reps; ++rep) {
+        blocks[static_cast<std::size_t>(rep)] = render_block(rep);
+      }
+    } else {
+      // The fingerprint pins every knob that shapes a cell's output: a
+      // journal from a different experiment reads as empty, never as
+      // replayable results.
+      std::ostringstream fp;
+      fp << "addc_sim v1 seed=" << config.seed << " n=" << config.num_sus
+         << " N=" << config.num_pus << " area=" << config.area_side
+         << " pt=" << config.pu_activity
+         << " burst=" << config.pu_mean_burst_slots
+         << " alpha=" << config.alpha << " c2=" << c2
+         << " scheduler=" << scheduler
+         << " fairness=" << config.fairness_wait
+         << " algorithm=" << algorithm << " metric=" << metric_name
+         << " reps=" << reps << " csv=" << csv << " audit=" << audit
+         << " faults=" << faults_path;
+      if (!resume) {
+        // A fresh (non-resume) journaled run starts from a clean slate so
+        // stale completions cannot mask cells that should re-run.
+        for (std::int32_t rep = 0; rep < reps; ++rep) {
+          std::remove((journal_dir + "/cell_" + std::to_string(rep) + ".rec")
+                          .c_str());
+        }
+      }
+      const harness::SweepJournal journal(journal_dir, fp.str());
+      const std::int64_t replayed = harness::RunJournaled(
+          runner, journal, reps,
+          [&](std::int64_t rep) {
+            run_rep(rep);
+            RepBlock block = render_block(static_cast<std::int32_t>(rep));
+            std::string payload =
+                std::string(block.completed ? "1" : "0") +
+                (block.audit_ok ? "1" : "0") + "\n" + block.text;
+            blocks[static_cast<std::size_t>(rep)] = std::move(block);
+            return payload;
+          },
+          [&](std::int64_t rep, const std::string& payload) {
+            RepBlock block;
+            if (payload.size() >= 3) {
+              block.completed = payload[0] == '1';
+              block.audit_ok = payload[1] == '1';
+              block.text = payload.substr(3);
+            }
+            blocks[static_cast<std::size_t>(rep)] = std::move(block);
+          });
+      if (!csv && replayed > 0) {
+        std::cout << "journal: replayed " << replayed << " of " << reps
+                  << " repetitions from " << journal_dir << "\n";
+      }
+    }
+
+    if (!svg_path.empty()) {
+      const core::Scenario scenario(config, 0);
+      const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+      std::ostringstream out;
+      harness::SvgOptions svg_options;
+      svg_options.pcr_m = scenario.pcr();
+      harness::WriteSvg(out, scenario.secondary_graph(), &tree,
+                        scenario.pu_positions(), svg_options);
+      if (!WriteArtifactOrComplain(svg_path, out.str())) return 2;
+      std::cout << "topology rendered to " << svg_path << "\n";
+    }
+    for (std::int32_t rep = 0; rep < reps; ++rep) {
+      const RepBlock& block = blocks[static_cast<std::size_t>(rep)];
+      std::cout << block.text;
+      all_completed &= block.completed;
+      audit_clean &= block.audit_ok;
     }
     if (!metrics_out.empty()) {
       obs::MetricsRegistry merged;
@@ -339,15 +586,12 @@ int main(int argc, char** argv) {
     const core::Scenario scenario(config, rep);
     if (!svg_path.empty() && rep == 0) {
       const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
-      std::ofstream out(svg_path);
-      if (!out) {
-        std::cerr << "error: cannot write " << svg_path << "\n";
-        return 2;
-      }
+      std::ostringstream out;
       harness::SvgOptions svg_options;
       svg_options.pcr_m = scenario.pcr();
       harness::WriteSvg(out, scenario.secondary_graph(), &tree,
                         scenario.pu_positions(), svg_options);
+      if (!WriteArtifactOrComplain(svg_path, out.str())) return 2;
       std::cout << "topology rendered to " << svg_path << "\n";
     }
     if (!csv) {
@@ -404,12 +648,9 @@ int main(int argc, char** argv) {
         }
         mac.StartSnapshotCollection();
         simulator.Run();
-        std::ofstream out(trace_path);
-        if (!out) {
-          std::cerr << "error: cannot write " << trace_path << "\n";
-          return 2;
-        }
+        std::ostringstream out;
         recorder.WriteCsv(out);
+        if (!WriteArtifactOrComplain(trace_path, out.str())) return 2;
         const auto summary = recorder.Summarize();
         std::cout << "ADDC trace: " << summary.attempts << " attempts, useful airtime "
                   << harness::FormatDouble(summary.useful_airtime_fraction, 3)
@@ -487,12 +728,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::cerr << "error: cannot write " << trace_out << "\n";
-      return 2;
-    }
+    std::ostringstream out;
     span_tracer.WriteChromeTrace(out);
+    if (!WriteArtifactOrComplain(trace_out, out.str())) return 2;
     std::cout << "lifecycle trace: " << trace_out << " ("
               << span_tracer.packets().size() << " packets, "
               << span_tracer.attempts().size() << " attempts)\n";
@@ -505,12 +743,9 @@ int main(int argc, char** argv) {
   }
   if (!flight_out.empty()) {
     harness::FoldFlightRecorderIntoProfiler(flight_recorder, flight_profiler);
-    std::ofstream out(flight_out, std::ios::binary);
-    if (!out) {
-      std::cerr << "error: cannot write " << flight_out << "\n";
-      return 2;
-    }
+    std::ostringstream out;
     flight_recorder.WriteDump(out);
+    if (!WriteArtifactOrComplain(flight_out, out.str())) return 2;
     std::cout << "flight recorder: " << flight_recorder.size() << " of "
               << flight_recorder.total_recorded()
               << " recorded actions retained -> " << flight_out << "\n";

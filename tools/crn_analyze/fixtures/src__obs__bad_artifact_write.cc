@@ -1,0 +1,17 @@
+// Fixture: fires [raw-artifact-write]. An exporter streaming metrics
+// straight into an std::ofstream: a crash (or the crash-recovery soak's
+// SIGKILL) between open and close leaves a truncated file on disk that a
+// resumed sweep then tries to parse. The required shape is render-to-string
+// plus harness::WriteFileAtomic, so the destination path only ever holds a
+// complete artifact.
+#include <fstream>
+#include <string>
+
+namespace crn::obs {
+
+void ExportSnapshot(const std::string& path, const std::string& rendered) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << rendered;
+}
+
+}  // namespace crn::obs

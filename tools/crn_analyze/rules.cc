@@ -270,6 +270,19 @@ std::vector<Finding> RunFileRules(const SourceFile& file) {
             "take an std::ostream / use an obs:: sink (src/harness/ is the "
             "I/O layer)");
       }
+      // A crash — or the crash-recovery soak's SIGKILL — mid-write leaves a
+      // truncated artifact that a resume then tries to parse. The sanctioned
+      // ofstream lives in harness/atomic_file.cc behind a justified
+      // crn-lint-ok marker; everything else renders to a string and lands it
+      // via rename(2). ContainsWord keeps ifstream (reads are torn-safe by
+      // construction: a validating reader rejects, it never corrupts) out.
+      if (ContainsWord(line, "ofstream") || ContainsCallOf(line, "fopen")) {
+        add(static_cast<int>(i), "raw-artifact-write",
+            "a direct file write can be torn by a crash mid-write; render "
+            "to a string and land it with harness::WriteFileAtomic "
+            "(harness/atomic_file.h) so readers only ever see complete "
+            "artifacts");
+      }
       if (ContainsWord(line, "float")) {
         add(static_cast<int>(i), "float-in-physics",
             "physics runs in double; float narrows results "

@@ -21,6 +21,12 @@
 //   lines of the call), so flight-recorder dumps, sched.* metrics, and
 //   crn_trace causal chains decode to meaningful names instead of
 //   "unnamed".
+//   raw-artifact-write — src/ code must not open files for writing
+//   directly (std::ofstream / fopen); artifacts render to a string and
+//   land through harness::WriteFileAtomic (harness/atomic_file.h) so a
+//   crash mid-write can never leave a truncated file for a resume or a
+//   concurrent reader to trip over. The helper's own ofstream carries the
+//   one justified crn-lint-ok suppression.
 #ifndef CRN_ANALYZE_RULES_H_
 #define CRN_ANALYZE_RULES_H_
 

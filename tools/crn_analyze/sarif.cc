@@ -31,6 +31,8 @@ const std::map<std::string, std::string>& RuleDescriptions() {
       {"unnamed-timer-kind",
        "src/mac Timer binds must name their event kind for the flight "
        "recorder"},
+      {"raw-artifact-write",
+       "src/ artifact writes must land through harness::WriteFileAtomic"},
       {"layering", "src/ includes must respect the layer DAG"},
       {"include-cycle", "src/ include graph must be acyclic"},
       {"determinism-taint",
