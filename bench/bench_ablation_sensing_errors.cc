@@ -21,7 +21,7 @@ crn::core::CollectionResult RunWithSensingErrors(const crn::core::Scenario& scen
                                                  double false_alarm,
                                                  double missed_detection) {
   using namespace crn;
-  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+  const graph::CdsTree& tree = scenario.collection_tree();
   std::vector<graph::NodeId> next_hop(tree.node_count(), scenario.sink());
   for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
     next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);

@@ -413,7 +413,9 @@ CollectionResult RunWithNextHops(const Scenario& scenario,
 }
 
 CollectionResult RunAddc(const Scenario& scenario, const RunOptions& options) {
-  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+  // The CDS tree ships with the scenario's prefab: runs on a shared prefab
+  // (sweep cells differing only in MAC/spectrum parameters) reuse one build.
+  const graph::CdsTree& tree = scenario.collection_tree();
   const auto n = tree.node_count();
   std::vector<graph::NodeId> next_hop(n, scenario.sink());
   for (graph::NodeId v = 0; v < n; ++v) {
@@ -497,7 +499,7 @@ ComparisonResult RunComparison(const ScenarioConfig& config, std::uint64_t repet
 ContinuousResult RunAddcContinuous(const Scenario& scenario, sim::TimeNs interval,
                                    std::int32_t snapshot_count) {
   const ScenarioConfig& config = scenario.config();
-  const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+  const graph::CdsTree& tree = scenario.collection_tree();
   std::vector<graph::NodeId> next_hop(tree.node_count(), scenario.sink());
   for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
     next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/check.h"
-#include "geom/deployment.h"
 
 namespace crn::core {
 
@@ -44,44 +43,23 @@ ScenarioConfig ScenarioConfig::ScaledDefaults(double scale) {
 }
 
 Scenario::Scenario(const ScenarioConfig& config, std::uint64_t repetition)
-    : config_(config),
-      repetition_(repetition),
-      area_(geom::Aabb::Square(config.area_side)) {
-  CRN_CHECK(config.num_sus > 0);
-  CRN_CHECK(config.num_pus >= 0);
-  CRN_CHECK(config.area_side > 0.0);
-  CRN_CHECK(config.su_radius > 0.0);
+    : Scenario(config, repetition, ScenarioPrefab::Build(config, repetition)) {}
 
+Scenario::Scenario(const ScenarioConfig& config, std::uint64_t repetition,
+                   std::shared_ptr<const ScenarioPrefab> prefab)
+    : config_(config), repetition_(repetition), prefab_(std::move(prefab)) {
+  CRN_CHECK(prefab_ != nullptr);
+  CRN_CHECK(prefab_->key == PrefabKey::Of(config, repetition))
+      << "prefab key mismatch: the supplied prefab was built for a different "
+      << "geometry than (config, repetition=" << repetition
+      << ") — sharing it would simulate the wrong deployment";
   kappa_ = Kappa(config.MakePcrParams(), config.c2_variant);
   pcr_ = kappa_ * config.su_radius;
-
-  const Rng root(config.seed);
-  Rng su_rng = root.Stream("su-deployment", repetition);
-  Rng pu_rng = root.Stream("pu-deployment", repetition);
-
-  // Resample the SU layout until the unit-disk graph is connected. At the
-  // paper's densities (~16 expected neighbors) a disconnected draw is rare;
-  // the attempt cap turns a mis-parameterized config into a clear error
-  // instead of a hang.
-  for (std::int32_t attempt = 0;; ++attempt) {
-    CRN_CHECK(attempt < config.max_deployment_attempts)
-        << "could not draw a connected secondary network in "
-        << config.max_deployment_attempts << " attempts; the configured "
-        << "density (n=" << config.num_sus << ", A=" << config.area()
-        << ", r=" << config.su_radius << ") is likely sub-critical";
-    su_positions_.clear();
-    su_positions_.push_back(area_.Center());  // base station
-    auto sus = geom::UniformDeployment(config.num_sus, area_, su_rng);
-    su_positions_.insert(su_positions_.end(), sus.begin(), sus.end());
-    if (geom::IsUnitDiskConnected(su_positions_, area_, config.su_radius)) break;
-  }
-  graph_ = std::make_unique<graph::UnitDiskGraph>(su_positions_, area_,
-                                                  config.su_radius);
-  pu_positions_ = geom::UniformDeployment(config.num_pus, area_, pu_rng);
 }
 
 pu::PrimaryNetwork Scenario::MakePrimaryNetwork() const {
-  return pu::PrimaryNetwork(config_.MakePrimaryConfig(), area_, pu_positions_);
+  return pu::PrimaryNetwork(config_.MakePrimaryConfig(), prefab_->area,
+                            prefab_->pu_positions);
 }
 
 Rng Scenario::MakeRunRng() const {

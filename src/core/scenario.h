@@ -11,7 +11,9 @@
 
 #include "common/rng.h"
 #include "core/pcr.h"
+#include "core/scenario_prefab.h"
 #include "geom/vec2.h"
+#include "graph/cds_tree.h"
 #include "graph/unit_disk_graph.h"
 #include "pu/primary_network.h"
 #include "sim/time.h"
@@ -93,24 +95,44 @@ struct ScenarioConfig {
   static ScenarioConfig ScaledDefaults(double scale = 0.25);
 };
 
-// One deployed instance. Deployment resamples SU positions until the
-// secondary unit-disk graph is connected (the paper's standing assumption);
-// PU positions need no such constraint.
+// One deployed instance. The geometry (positions, graph, CDS tree) lives in
+// an immutable ScenarioPrefab: the single-argument constructor builds a
+// private one (deployment resamples SU positions until the secondary
+// unit-disk graph is connected — the paper's standing assumption; PU
+// positions need no such constraint), while the prefab-taking constructor
+// shares one across scenarios that differ only in MAC/spectrum parameters
+// (see ScenarioPrefabCache). The derived quantities that do depend on those
+// parameters — κ and the PCR — stay per-Scenario.
 class Scenario {
  public:
   Scenario(const ScenarioConfig& config, std::uint64_t repetition);
+  // Shares `prefab` instead of deploying. CRN_CHECKs that the prefab's key
+  // matches PrefabKey::Of(config, repetition) — a mismatched prefab would
+  // silently simulate the wrong geometry.
+  Scenario(const ScenarioConfig& config, std::uint64_t repetition,
+           std::shared_ptr<const ScenarioPrefab> prefab);
 
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t repetition() const { return repetition_; }
-  [[nodiscard]] geom::Aabb area() const { return area_; }
+  [[nodiscard]] geom::Aabb area() const { return prefab_->area; }
   // Index 0 is the base station (area center); 1..n are SUs.
   [[nodiscard]] const std::vector<geom::Vec2>& su_positions() const {
-    return su_positions_;
+    return prefab_->su_positions;
   }
   [[nodiscard]] graph::NodeId sink() const { return 0; }
-  [[nodiscard]] const graph::UnitDiskGraph& secondary_graph() const { return *graph_; }
+  [[nodiscard]] const graph::UnitDiskGraph& secondary_graph() const {
+    return *prefab_->graph;
+  }
+  // CDS collection tree rooted at the sink (§IV-A) — prebuilt with the
+  // geometry so ADDC runs on shared prefabs never rebuild it.
+  [[nodiscard]] const graph::CdsTree& collection_tree() const {
+    return *prefab_->tree;
+  }
   [[nodiscard]] const std::vector<geom::Vec2>& pu_positions() const {
-    return pu_positions_;
+    return prefab_->pu_positions;
+  }
+  [[nodiscard]] const std::shared_ptr<const ScenarioPrefab>& prefab() const {
+    return prefab_;
   }
   [[nodiscard]] double pcr() const { return pcr_; }
   [[nodiscard]] double kappa() const { return kappa_; }
@@ -125,10 +147,7 @@ class Scenario {
  private:
   ScenarioConfig config_;
   std::uint64_t repetition_;
-  geom::Aabb area_;
-  std::vector<geom::Vec2> su_positions_;
-  std::vector<geom::Vec2> pu_positions_;
-  std::unique_ptr<graph::UnitDiskGraph> graph_;
+  std::shared_ptr<const ScenarioPrefab> prefab_;
   double pcr_ = 0.0;
   double kappa_ = 0.0;
 };

@@ -225,4 +225,23 @@ void CdsTree::Validate(const UnitDiskGraph& graph) const {
       << backbone_total;
 }
 
+std::uint64_t CdsTree::StructureDigest() const {
+  // Same FNV-1a fold as UnitDiskGraph::StructureDigest.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xFFU;
+      hash *= 0x100000001B3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(root_));
+  mix(static_cast<std::uint64_t>(parent_.size()));
+  for (std::size_t v = 0; v < parent_.size(); ++v) {
+    mix(static_cast<std::uint64_t>(role_[v]));
+    mix(static_cast<std::uint64_t>(parent_[v]));
+    mix(static_cast<std::uint64_t>(depth_[v]));
+  }
+  return hash;
+}
+
 }  // namespace crn::graph

@@ -75,6 +75,11 @@ class CdsTree {
   // on the first violated invariant.
   void Validate(const UnitDiskGraph& graph) const;
 
+  // Order-sensitive FNV-1a digest over roles, parents, and depths. Equal
+  // digests certify a bit-identical tree; the scenario-prefab cache's
+  // equivalence mode compares cached against freshly built trees with it.
+  [[nodiscard]] std::uint64_t StructureDigest() const;
+
  private:
   NodeId root_;
   std::vector<NodeRole> role_;

@@ -1,6 +1,7 @@
 #include "graph/unit_disk_graph.h"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 #include <utility>
 
@@ -65,6 +66,39 @@ bool UnitDiskGraph::IsConnected(NodeId root) const {
     }
   }
   return reached == n;
+}
+
+namespace {
+
+// Order-sensitive FNV-1a fold, byte-wise over 64-bit values — the same
+// construction as sim::TraceDigest, local because src/graph sits below
+// src/sim in the layering.
+struct FnvFold {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  void Mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xFFU;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t UnitDiskGraph::StructureDigest() const {
+  FnvFold fold;
+  fold.Mix(static_cast<std::uint64_t>(positions_.size()));
+  for (const geom::Vec2& p : positions_) {
+    fold.Mix(std::bit_cast<std::uint64_t>(p.x));
+    fold.Mix(std::bit_cast<std::uint64_t>(p.y));
+  }
+  for (const std::int32_t offset : offsets_) {
+    fold.Mix(static_cast<std::uint64_t>(offset));
+  }
+  for (const NodeId neighbor : adjacency_) {
+    fold.Mix(static_cast<std::uint64_t>(neighbor));
+  }
+  return fold.hash;
 }
 
 BfsLayering BreadthFirstLayering(const UnitDiskGraph& graph, NodeId root) {

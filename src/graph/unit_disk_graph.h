@@ -44,6 +44,12 @@ class UnitDiskGraph {
   // True when every node is reachable from `root`.
   [[nodiscard]] bool IsConnected(NodeId root = 0) const;
 
+  // Order-sensitive FNV-1a digest over the position bit patterns, the CSR
+  // offsets, and the adjacency list. Equal digests certify a bit-identical
+  // graph — the scenario-prefab cache's equivalence mode compares a cached
+  // graph against a freshly built one through this value.
+  [[nodiscard]] std::uint64_t StructureDigest() const;
+
  private:
   std::vector<geom::Vec2> positions_;
   geom::Aabb area_;

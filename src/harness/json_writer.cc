@@ -203,6 +203,18 @@ Json ToJson(const SweepResult& result) {
     }
     json["metrics"] = std::move(metrics);
   }
+  if (result.pool.tasks > 0) {
+    // Scheduling diagnostics from the fan-out engine. Kept out of "metrics"
+    // deliberately: steals depends on OS scheduling, so it must never enter
+    // the digest-compared registry state. bench_delta.py gates it here with
+    // the chunk count as its natural upper bound.
+    Json pool = Json::Object();
+    pool["tasks"] = result.pool.tasks;
+    pool["chunks"] = result.pool.chunks;
+    pool["steals"] = result.pool.steals;
+    pool["workers"] = static_cast<std::int64_t>(result.pool.workers);
+    json["pool"] = std::move(pool);
+  }
   return json;
 }
 

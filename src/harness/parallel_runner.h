@@ -1,12 +1,17 @@
-// Deterministic fan-out of independent experiment cells over a ThreadPool.
+// Deterministic fan-out of independent experiment cells.
 //
 // Every (sweep point × repetition × algorithm) cell of an experiment is an
-// independent simulation: each one builds its own Scenario and derives all
-// randomness from (config.seed, repetition), never from shared state. The
-// runner therefore only has to execute cells and let the caller reduce the
-// per-index results in a fixed order — the output is bit-identical at every
-// jobs value, which tests/harness/parallel_sweep_test.cc pins against the
-// inline (jobs = 1) engine via the auditor's trace digests.
+// independent simulation: each one builds (or shares, via the scenario-
+// prefab cache) its own Scenario and derives all randomness from
+// (config.seed, repetition), never from shared state. The runner therefore
+// only has to execute cells and let the caller reduce the per-index results
+// in a fixed order — the output is bit-identical at every jobs value, which
+// tests/harness/parallel_sweep_test.cc pins against the inline (jobs = 1)
+// engine via the auditor's trace digests.
+//
+// The default engine is the work-stealing executor (work_stealing.h); the
+// legacy mutex-FIFO ThreadPool engine is kept selectable so
+// bench_sweep_scaling can A/B the two on identical work.
 #ifndef CRN_HARNESS_PARALLEL_RUNNER_H_
 #define CRN_HARNESS_PARALLEL_RUNNER_H_
 
@@ -14,6 +19,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+
+#include "harness/work_stealing.h"
 
 namespace crn::harness {
 
@@ -27,10 +34,15 @@ class ParallelRunner {
  public:
   // `jobs` is taken through ResolveJobs(); a resolved value of 1 runs every
   // cell inline on the calling thread (the serial engine — no pool, no
-  // synchronization).
-  explicit ParallelRunner(std::int32_t jobs);
+  // synchronization). `grain` follows ResolveGrain() (work_stealing.h):
+  // >= 1 cells per chunk literally, 0 = auto; the ThreadPool engine
+  // ignores it (it submits per cell).
+  explicit ParallelRunner(std::int32_t jobs, std::int64_t grain = 0,
+                          ExecutionEngine engine = ExecutionEngine::kWorkStealing);
 
   [[nodiscard]] std::int32_t jobs() const { return jobs_; }
+  [[nodiscard]] std::int64_t grain() const { return grain_; }
+  [[nodiscard]] ExecutionEngine engine() const { return engine_; }
 
   // Runs fn(0) .. fn(count - 1), all indices exactly once. Parallel
   // execution order is unspecified; callers must write results only to
@@ -41,13 +53,19 @@ class ParallelRunner {
   // span "<phase>[i]" under `phase`, tagged with the worker that ran it.
   // Profiling is observation-only: it never changes scheduling, execution
   // order, or any result, and a null profiler costs one branch per cell.
-  void ForEachIndex(std::int64_t count,
-                    const std::function<void(std::int64_t)>& fn,
-                    RunProfiler* profiler = nullptr,
-                    const std::string& phase = "cells") const;
+  //
+  // Returns scheduling diagnostics (never digested: steals depend on OS
+  // scheduling). Under the ThreadPool engine, chunks == tasks and
+  // steals == 0 — every cell is its own submission.
+  WorkStealingStats ForEachIndex(std::int64_t count,
+                                 const std::function<void(std::int64_t)>& fn,
+                                 RunProfiler* profiler = nullptr,
+                                 const std::string& phase = "cells") const;
 
  private:
   std::int32_t jobs_;
+  std::int64_t grain_;
+  ExecutionEngine engine_;
 };
 
 // Wall-clock stopwatch for experiment timing (bench JSON, speedup

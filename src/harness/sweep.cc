@@ -56,18 +56,24 @@ SweepResult RunSweep(const SweepSpec& spec) {
       cells_per_point * static_cast<std::int64_t>(spec.points.size());
   std::vector<CellOutcome> cells(static_cast<std::size_t>(cell_count));
 
-  const ParallelRunner runner(spec.jobs);
-  runner.ForEachIndex(
+  // Geometry sharing across cells: the cache hands every cell whose
+  // (geometry key, rep) matches the same immutable prefab. Deployment is a
+  // pure function of (config, rep) either way, so cached and rebuilt
+  // geometry are bit-identical (verify_prefabs re-proves it per hit).
+  core::ScenarioPrefabCache prefab_cache(spec.verify_prefabs);
+  const ParallelRunner runner(spec.jobs, spec.grain, spec.engine);
+  sweep.pool = runner.ForEachIndex(
       cell_count,
       [&](std::int64_t index) {
         const auto point = static_cast<std::size_t>(index / cells_per_point);
         const std::int64_t rest = index % cells_per_point;
         const auto rep = static_cast<std::uint64_t>(rest / algorithms);
         const bool is_addc = spec.addc_only || rest % 2 == 0;
-        // Each cell deploys its own Scenario: deployment is a pure function
-        // of (config, rep), so ADDC and Coolest still see identical
-        // topologies without sharing any state across threads.
-        const core::Scenario scenario(spec.points[point].config, rep);
+        const core::ScenarioConfig& config = spec.points[point].config;
+        const core::Scenario scenario =
+            spec.prefab_cache
+                ? core::Scenario(config, rep, prefab_cache.Get(config, rep))
+                : core::Scenario(config, rep);
         CellOutcome& cell = cells[static_cast<std::size_t>(index)];
         if (is_addc) {
           core::RunOptions options;
@@ -140,6 +146,19 @@ SweepResult RunSweep(const SweepSpec& spec) {
     sweep.summaries.push_back(summary);
   }
   if (spec.collect_digests) sweep.trace_digest = sweep_digest;
+  if (spec.metrics != nullptr && spec.prefab_cache) {
+    // Deterministic at every jobs/grain value (misses = distinct keys, hits
+    // = requests - misses, bytes = Σ built prefabs), so safe to fold into
+    // the digest-compared registry. The scheduling-dependent pool.steals
+    // stays out — it reports through SweepResult.pool instead.
+    const core::ScenarioPrefabCache::Stats stats = prefab_cache.stats();
+    spec.metrics->GetCounter("prefab.hits").Add(stats.hits);
+    spec.metrics->GetCounter("prefab.misses").Add(stats.misses);
+    spec.metrics->GetCounter("prefab.bytes").Add(stats.bytes);
+    if (spec.verify_prefabs) {
+      spec.metrics->GetCounter("prefab.verified").Add(stats.verified);
+    }
+  }
   if (spec.metrics != nullptr) {
     // Counter/gauge state snapshot for the BENCH json "metrics" section.
     // Capture iterates sorted keys, so the pairs are already in the
@@ -190,6 +209,9 @@ constexpr const char* kBenchUsage =
   --scale=F           density-preserving scale factor, default 0.25 (CRN_SCALE)
   --reps=K            repetitions per point (CRN_REPS)
   --jobs=J            worker threads; 0 = hardware concurrency (CRN_JOBS)
+  --grain=G           cells per work-stealing chunk; 0 = auto, i.e.
+                      cells/(4*jobs) floored at 1 (CRN_GRAIN). Any grain is
+                      bit-identical; this only tunes scheduling granularity
   --seed=S            root scenario seed (CRN_SEED)
   --json-out=PATH     BENCH json path, default BENCH_<name>.json (CRN_JSON_OUT)
   --trace-out=PATH    Chrome trace-event JSON of harness wall-clock spans
@@ -220,6 +242,7 @@ BenchOptions ResolveBenchOptions(int argc, const char* const* argv) {
       flags.GetInt("reps", GetEnvInt("CRN_REPS", options.repetitions)));
   options.jobs =
       static_cast<std::int32_t>(flags.GetInt("jobs", GetEnvInt("CRN_JOBS", 0)));
+  options.grain = flags.GetInt("grain", GetEnvInt("CRN_GRAIN", 0));
   options.base.seed = static_cast<std::uint64_t>(flags.GetInt(
       "seed", GetEnvInt("CRN_SEED", static_cast<std::int64_t>(options.base.seed))));
   options.json_out = flags.GetString("json-out", GetEnv("CRN_JSON_OUT").value_or(""));

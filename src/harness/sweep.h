@@ -25,6 +25,7 @@
 #include "core/collection.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
+#include "harness/work_stealing.h"
 #include "obs/metrics.h"
 #include "routing/coolest.h"
 
@@ -73,6 +74,23 @@ struct SweepSpec {
   // (throughput benches) halve their cell count and keep wall_seconds
   // attributable to one algorithm. Coolest summary fields stay zero.
   bool addc_only = false;
+  // Cells per work-stealing chunk; 0 = auto (cells / (4 · jobs), floored at
+  // 1 — ResolveGrain in work_stealing.h). Any value yields bit-identical
+  // results; grain trades scheduling flexibility against claim traffic.
+  std::int64_t grain = 0;
+  // Execution engine (parallel_runner.h). The legacy ThreadPool engine is
+  // selectable only for A/B benchmarking — results are bit-identical.
+  ExecutionEngine engine = ExecutionEngine::kWorkStealing;
+  // Share deployment geometry (positions + graph + CDS tree) across cells
+  // whose geometry-determining parameters match (core/scenario_prefab.h):
+  // points varying only MAC/spectrum parameters skip the rebuild entirely.
+  // Off rebuilds per cell (the legacy behaviour, kept for A/B benches).
+  // Either way the simulated geometry is bit-identical.
+  bool prefab_cache = true;
+  // Equivalence mode: every prefab-cache hit is digest-checked against a
+  // freshly built prefab (cached ≡ rebuilt, CRN_CHECK). Forfeits the
+  // cache's speedup; used by tests and CI, not benches.
+  bool verify_prefabs = false;
 
   // Observability (both optional, both jobs-invariant):
   // `metrics` — every ADDC cell runs with its own MetricsRegistry; the
@@ -99,8 +117,14 @@ struct SweepResult {
   // Counter/gauge state of SweepSpec.metrics after the reduce, rendered as
   // (sorted key, value) pairs — the BENCH json "metrics" section. Empty
   // when no registry was attached; histograms are presentation-layer and
-  // stay out.
+  // stay out. Includes the deterministic prefab.{hits,misses,bytes}
+  // counters when the prefab cache was on and a registry was attached.
   std::vector<std::pair<std::string, std::int64_t>> metric_values;
+  // Scheduling diagnostics from the cell fan-out (the BENCH json "pool"
+  // section). tasks/chunks/workers are deterministic given (spec, jobs);
+  // steals depends on OS scheduling and is bounded by chunks — which is why
+  // these live here and never in the digest-compared metrics above.
+  WorkStealingStats pool;
 };
 
 SweepResult RunSweep(const SweepSpec& spec);
@@ -119,6 +143,8 @@ void RenderDelayTable(const SweepResult& result, std::ostream& out);
 //   --scale=F    / CRN_SCALE=F        density-preserving factor (def. 0.25);
 //   --reps=K     / CRN_REPS=K         repetition override;
 //   --jobs=J     / CRN_JOBS=J         worker threads (0 = hardware, def.);
+//   --grain=G    / CRN_GRAIN=G        cells per work-stealing chunk
+//                                     (0 = auto: cells/(4·jobs), min 1);
 //   --seed=S     / CRN_SEED=S         root scenario seed;
 //   --json-out=P / CRN_JSON_OUT=P     BENCH json path (def. BENCH_<name>.json);
 //   --trace-out=P / CRN_TRACE_OUT=P   Chrome trace (profiler spans) path.
@@ -126,8 +152,9 @@ struct BenchOptions {
   core::ScenarioConfig base;
   std::int32_t repetitions = 3;
   bool full_scale = false;
-  std::int32_t jobs = 0;  // 0 = auto (ResolveJobs)
-  std::string json_out;   // "" = default path
+  std::int32_t jobs = 0;   // 0 = auto (ResolveJobs)
+  std::int64_t grain = 0;  // 0 = auto (ResolveGrain)
+  std::string json_out;    // "" = default path
   std::string trace_out;  // "" = no trace emission
 };
 

@@ -1,6 +1,6 @@
 #include "harness/thread_pool.h"
 
-#include <stdexcept>
+#include "common/check.h"
 
 namespace crn::harness {
 
@@ -10,6 +10,12 @@ namespace {
 thread_local std::int32_t t_worker_index = 0;
 
 }  // namespace
+
+namespace internal {
+
+void SetCurrentWorkerIndex(std::int32_t index) { t_worker_index = index; }
+
+}  // namespace internal
 
 std::int32_t ThreadPool::current_worker_index() { return t_worker_index; }
 
@@ -27,16 +33,17 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 void ThreadPool::Enqueue(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (shutting_down_) {
-      throw std::runtime_error("ThreadPool::Submit after Shutdown");
-    }
+    CRN_CHECK(!shutting_down_)
+        << "ThreadPool::Submit after Shutdown(): the workers are draining "
+        << "and joining, so this job would never run — submit before "
+        << "Shutdown(), or use a fresh pool";
     queue_.push_back(std::move(job));
   }
   wake_.notify_one();
 }
 
 void ThreadPool::Worker(std::int32_t index) {
-  t_worker_index = index;
+  internal::SetCurrentWorkerIndex(index);
   for (;;) {
     std::function<void()> job;
     {

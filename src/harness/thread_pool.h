@@ -24,6 +24,13 @@
 
 namespace crn::harness {
 
+namespace internal {
+// Writes the calling thread's 1-based worker index (0 = not a worker).
+// Shared by ThreadPool and the work-stealing engine so profiler spans tag
+// the executing worker identically under either engine.
+void SetCurrentWorkerIndex(std::int32_t index);
+}  // namespace internal
+
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);
@@ -39,8 +46,10 @@ class ThreadPool {
   // as a stable Chrome-trace tid — it never feeds simulation state.
   [[nodiscard]] static std::int32_t current_worker_index();
 
-  // Enqueues `fn`; the future yields its return value or rethrows. Throws
-  // std::runtime_error when called after Shutdown().
+  // Enqueues `fn`; the future yields its return value or rethrows.
+  // Submitting after Shutdown() is a contract violation (CRN_CHECK): the
+  // pool's workers have been told to drain and join, so the job could never
+  // run — failing loudly beats a future that never resolves.
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
   std::future<R> Submit(F&& fn) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));

@@ -185,6 +185,119 @@ TEST(ParallelSweepTest, ProfilerIsObservationOnly) {
   EXPECT_EQ(cell_count, 8);
 }
 
+TEST(ParallelSweepTest, DigestsAndMetricsArePinnedAcrossJobsAndGrain) {
+  // The acceptance matrix for the work-stealing engine: trace digests,
+  // metric digests (including the prefab counters), and profiler phase
+  // counts must be identical at jobs ∈ {1, 2, 4, 8} and at every grain.
+  // jobs=1 is the inline serial reference; everything else must match it.
+  const auto run = [](std::int32_t jobs, std::int64_t grain,
+                      obs::MetricsRegistry* metrics,
+                      RunProfiler* profiler) {
+    SweepSpec spec = TinySpec(jobs);
+    spec.grain = grain;
+    spec.metrics = metrics;
+    spec.profiler = profiler;
+    return RunSweep(spec);
+  };
+  obs::MetricsRegistry reference_metrics;
+  RunProfiler reference_profiler;
+  const SweepResult reference =
+      run(1, 0, &reference_metrics, &reference_profiler);
+  ASSERT_NE(reference.trace_digest, 0u);
+
+  std::int64_t reference_cells = 0;
+  for (const RunProfiler::PhaseStats& stats :
+       reference_profiler.PhaseSummary()) {
+    if (stats.phase == "cells") reference_cells = stats.count;
+  }
+  EXPECT_EQ(reference_cells, 8);  // 2 points x 2 reps x 2 algorithms
+
+  for (const std::int32_t jobs : {2, 4, 8}) {
+    for (const std::int64_t grain :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{2},
+          std::int64_t{7}, std::int64_t{1 << 20}}) {
+      obs::MetricsRegistry metrics;
+      RunProfiler profiler;
+      const SweepResult result = run(jobs, grain, &metrics, &profiler);
+      EXPECT_EQ(result.trace_digest, reference.trace_digest)
+          << "jobs=" << jobs << " grain=" << grain;
+      EXPECT_EQ(metrics.Digest(), reference_metrics.Digest())
+          << "jobs=" << jobs << " grain=" << grain;
+      std::int64_t cells = 0;
+      for (const RunProfiler::PhaseStats& stats : profiler.PhaseSummary()) {
+        if (stats.phase == "cells") cells = stats.count;
+      }
+      EXPECT_EQ(cells, reference_cells)
+          << "jobs=" << jobs << " grain=" << grain;
+    }
+  }
+
+  // The prefab counters fold into the registry and are themselves
+  // jobs-invariant: 2 distinct (seed, rep) geometries serve all 8 cells.
+  EXPECT_EQ(reference_metrics.GetCounter("prefab.misses").value(), 2);
+  EXPECT_EQ(reference_metrics.GetCounter("prefab.hits").value(), 6);
+  EXPECT_GT(reference_metrics.GetCounter("prefab.bytes").value(), 0);
+}
+
+TEST(ParallelSweepTest, PrefabCacheDoesNotChangeAnyDigest) {
+  // Cache on (shared immutable prefabs) vs off (every cell deploys its own
+  // geometry, the pre-cache behaviour) must be bit-identical — the cache
+  // is a pure memoization of a deterministic build.
+  SweepSpec cached_spec = TinySpec(4);
+  SweepSpec rebuilt_spec = TinySpec(4);
+  rebuilt_spec.prefab_cache = false;
+  const SweepResult cached = RunSweep(cached_spec);
+  const SweepResult rebuilt = RunSweep(rebuilt_spec);
+  ASSERT_NE(cached.trace_digest, 0u);
+  EXPECT_EQ(cached.trace_digest, rebuilt.trace_digest);
+  ASSERT_EQ(cached.summaries.size(), rebuilt.summaries.size());
+  for (std::size_t i = 0; i < cached.summaries.size(); ++i) {
+    EXPECT_EQ(cached.summaries[i].addc_trace_digest,
+              rebuilt.summaries[i].addc_trace_digest);
+    ExpectStatsIdentical(cached.summaries[i].addc_delay_ms,
+                         rebuilt.summaries[i].addc_delay_ms);
+  }
+
+  // With the cache off, no prefab.* metrics may appear — the counters
+  // describe cache behaviour, not the sweep.
+  obs::MetricsRegistry metrics;
+  rebuilt_spec.metrics = &metrics;
+  RunSweep(rebuilt_spec);
+  for (const obs::SnapshotEntry& entry : metrics.Capture(0).entries) {
+    EXPECT_EQ(entry.key.rfind("prefab.", 0), std::string::npos) << entry.key;
+  }
+}
+
+TEST(ParallelSweepTest, VerifyPrefabsModeRebuildsAndMatchesEveryHit) {
+  // The digest-verified equivalence mode from the acceptance criteria:
+  // every cache hit rebuilds the geometry from scratch and CRN_CHECKs the
+  // GeometryDigest against the shared prefab, as a ctest.
+  obs::MetricsRegistry metrics;
+  SweepSpec spec = TinySpec(4);
+  spec.verify_prefabs = true;
+  spec.metrics = &metrics;
+  const SweepResult verified = RunSweep(spec);
+  const SweepResult plain = RunSweep(TinySpec(4));
+  EXPECT_EQ(verified.trace_digest, plain.trace_digest);
+  // 8 cells over 2 distinct geometries → 6 hits, each re-verified.
+  EXPECT_EQ(metrics.GetCounter("prefab.verified").value(), 6);
+}
+
+TEST(ParallelSweepTest, LegacyThreadPoolEngineMatchesWorkStealing) {
+  // The A/B contract bench_sweep_scaling relies on: both engines run the
+  // same cells and reduce in the same order, so their digests agree.
+  SweepSpec legacy_spec = TinySpec(4);
+  legacy_spec.engine = ExecutionEngine::kThreadPool;
+  const SweepResult legacy = RunSweep(legacy_spec);
+  const SweepResult stealing = RunSweep(TinySpec(4));
+  ASSERT_NE(legacy.trace_digest, 0u);
+  EXPECT_EQ(legacy.trace_digest, stealing.trace_digest);
+  // Scheduling diagnostics reflect each engine's dispatch shape.
+  EXPECT_EQ(legacy.pool.tasks, stealing.pool.tasks);
+  EXPECT_EQ(legacy.pool.chunks, legacy.pool.tasks);  // one submission per cell
+  EXPECT_EQ(legacy.pool.steals, 0);
+}
+
 TEST(ParallelSweepTest, DigestCollectionDoesNotChangeResults) {
   SweepSpec with_digests = TinySpec(1);
   with_digests.points.resize(1);

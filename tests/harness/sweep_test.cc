@@ -21,6 +21,7 @@ void ClearBenchEnv() {
   ::unsetenv("CRN_SCALE");
   ::unsetenv("CRN_REPS");
   ::unsetenv("CRN_JOBS");
+  ::unsetenv("CRN_GRAIN");
   ::unsetenv("CRN_SEED");
   ::unsetenv("CRN_JSON_OUT");
 }
@@ -135,6 +136,15 @@ TEST(BenchOptionsTest, FlagsOverrideEnvironment) {
   EXPECT_EQ(options.jobs, 3);
   EXPECT_EQ(options.base.seed, 42u);
   EXPECT_EQ(options.json_out, "out.json");
+  ClearBenchEnv();
+}
+
+TEST(BenchOptionsTest, GrainFlagAndEnvFallback) {
+  ClearBenchEnv();
+  EXPECT_EQ(Resolve({}).grain, 0) << "0 = auto (cells / (4 * jobs))";
+  ::setenv("CRN_GRAIN", "8", 1);
+  EXPECT_EQ(Resolve({}).grain, 8);
+  EXPECT_EQ(Resolve({"--grain=3"}).grain, 3) << "flag beats environment";
   ClearBenchEnv();
 }
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "harness/parallel_runner.h"
 
 namespace crn::harness {
@@ -50,10 +51,31 @@ TEST(ThreadPoolTest, ShutdownDrainsEveryQueuedJob) {
   EXPECT_EQ(done.load(), 100);
 }
 
-TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+TEST(ThreadPoolTest, SubmitAfterShutdownIsAContractViolation) {
   ThreadPool pool(1);
   pool.Shutdown();
-  EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
+  try {
+    pool.Submit([] {});
+    FAIL() << "expected Submit after Shutdown to CRN_CHECK-fail";
+  } catch (const ContractViolation& violation) {
+    // The message must tell the caller what happened and what to do.
+    EXPECT_NE(std::string(violation.what()).find("after Shutdown()"),
+              std::string::npos);
+    EXPECT_NE(std::string(violation.what()).find("fresh pool"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&done] { ++done; });
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a harmless no-op
+  EXPECT_EQ(done.load(), 16);
+  // The destructor runs Shutdown() a third time on scope exit.
 }
 
 TEST(ThreadPoolTest, ThreadCountMatchesRequest) {

@@ -1,0 +1,128 @@
+// Work-stealing engine contracts: exactly-once coverage under concurrent
+// owners and thieves, deterministic grain/chunk accounting, lowest-index
+// exception propagation, and a many-workers stress shape for the TSAN
+// preset (randomized victim order makes every interleaving fair game; the
+// per-chunk atomic claim is what TSAN must find sufficient).
+#include "harness/work_stealing.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace crn::harness {
+namespace {
+
+TEST(WorkStealingTest, ResolveGrainLiteralAndAuto) {
+  EXPECT_EQ(ResolveGrain(7, 1000, 4), 7);
+  EXPECT_EQ(ResolveGrain(1, 1000, 4), 1);
+  // Auto: count / (4 * workers), floored at 1.
+  EXPECT_EQ(ResolveGrain(0, 1000, 4), 62);
+  EXPECT_EQ(ResolveGrain(0, 8, 4), 1);
+  EXPECT_EQ(ResolveGrain(-3, 64, 2), 8);
+  EXPECT_EQ(ResolveGrain(0, 0, 4), 1);
+}
+
+TEST(WorkStealingTest, CoversEveryIndexExactlyOnce) {
+  for (const std::int32_t workers : {1, 2, 4, 8}) {
+    for (const std::int64_t grain : {std::int64_t{0}, std::int64_t{1},
+                                     std::int64_t{3}, std::int64_t{16},
+                                     std::int64_t{1000}}) {
+      for (const std::int64_t count :
+           {std::int64_t{0}, std::int64_t{1}, std::int64_t{37},
+            std::int64_t{256}}) {
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+        const WorkStealingStats stats = RunWorkStealing(
+            count, workers, grain, [&](std::int64_t i) {
+              hits[static_cast<std::size_t>(i)].fetch_add(1);
+            });
+        for (const auto& hit : hits) {
+          ASSERT_EQ(hit.load(), 1)
+              << "workers=" << workers << " grain=" << grain
+              << " count=" << count;
+        }
+        EXPECT_EQ(stats.tasks, count);
+      }
+    }
+  }
+}
+
+TEST(WorkStealingTest, ChunkAccountingIsDeterministic) {
+  const auto noop = [](std::int64_t) {};
+  WorkStealingStats stats = RunWorkStealing(100, 4, 10, noop);
+  EXPECT_EQ(stats.tasks, 100);
+  EXPECT_EQ(stats.chunks, 10);  // ceil(100 / 10)
+  EXPECT_EQ(stats.workers, 4);
+  stats = RunWorkStealing(101, 4, 10, noop);
+  EXPECT_EQ(stats.chunks, 11);
+  // Workers never exceed chunks.
+  stats = RunWorkStealing(6, 8, 2, noop);
+  EXPECT_EQ(stats.chunks, 3);
+  EXPECT_EQ(stats.workers, 3);
+  // Empty fan-out: nothing runs, nothing is materialized.
+  stats = RunWorkStealing(0, 8, 2, noop);
+  EXPECT_EQ(stats.tasks, 0);
+  EXPECT_EQ(stats.chunks, 0);
+}
+
+TEST(WorkStealingTest, SerialEngineStealsNothing) {
+  const WorkStealingStats stats =
+      RunWorkStealing(64, 1, 4, [](std::int64_t) {});
+  EXPECT_EQ(stats.workers, 1);
+  EXPECT_EQ(stats.steals, 0);
+}
+
+TEST(WorkStealingTest, StealsAreBoundedByChunks) {
+  // Slow first chunk forces the other workers to finish and steal.
+  const WorkStealingStats stats =
+      RunWorkStealing(512, 8, 1, [](std::int64_t i) {
+        if (i == 0) {
+          std::atomic<std::int64_t> spin{0};
+          while (spin.fetch_add(1) < 2'000'000) {
+          }
+        }
+      });
+  EXPECT_EQ(stats.chunks, 512);
+  EXPECT_GE(stats.steals, 0);
+  EXPECT_LE(stats.steals, stats.chunks);
+}
+
+TEST(WorkStealingTest, LowestIndexExceptionWinsAcrossStolenChunks) {
+  // grain=1 maximizes stealing; the failing indices straddle worker blocks.
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    RunWorkStealing(64, 8, 1, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+      if (i == 9 || i == 33 || i == 60) {
+        throw std::runtime_error("cell " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected RunWorkStealing to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "cell 9");
+  }
+  // The contract: every cell still ran despite the failures.
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+// Stress shape for the TSAN preset: many workers on tiny chunks, shared
+// accumulator via atomics, repeated so the randomized victim order visits
+// many interleavings. A claim bug shows up as a sum mismatch (double
+// execution) here, and as a data race under TSAN.
+TEST(WorkStealingStressTest, ManyProducersAndThievesKeepExactlyOnce) {
+  constexpr std::int64_t kCount = 2048;
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    const WorkStealingStats stats =
+        RunWorkStealing(kCount, 8, 1, [&](std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+    EXPECT_EQ(stats.tasks, kCount);
+    EXPECT_LE(stats.steals, stats.chunks);
+  }
+}
+
+}  // namespace
+}  // namespace crn::harness

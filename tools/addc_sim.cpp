@@ -16,6 +16,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/env.h"
 #include "core/collection.h"
 #include "core/scenario.h"
 #include "faults/fault_plan.h"
@@ -61,6 +62,11 @@ Execution:
   --jobs=INT              run repetitions in parallel (default 1 = serial;
                           0 = hardware concurrency). Output is bit-identical
                           to serial; trace and continuous runs stay serial.
+  --grain=INT             repetitions per work-stealing chunk (default 0 =
+                          auto, reps / (4 * jobs) floored at 1). Any value
+                          produces identical output — grain only trades
+                          scheduling overhead against steal balance. Env
+                          fallback: CRN_GRAIN.
   --continuous-interval-ms=F      run continuous collection (ADDC only)
   --snapshots=INT                 rounds for continuous mode (default 6)
   --faults=FILE           inject the fault plan in FILE into every ADDC run
@@ -196,6 +202,8 @@ int main(int argc, char** argv) {
 
   const auto reps = static_cast<std::int32_t>(flags.GetInt("reps", 1));
   const auto jobs = static_cast<std::int32_t>(flags.GetInt("jobs", 1));
+  const std::int64_t grain =
+      flags.GetInt("grain", crn::GetEnvInt("CRN_GRAIN", 0));
   const bool csv = flags.GetBool("csv", false);
   const bool audit = flags.GetBool("audit", false);
   const std::string trace_path = flags.GetString("trace", "");
@@ -384,7 +392,7 @@ int main(int argc, char** argv) {
       obs::MetricsRegistry metrics;
     };
     std::vector<RepOutcome> outcomes(static_cast<std::size_t>(reps));
-    const harness::ParallelRunner runner(jobs);
+    const harness::ParallelRunner runner(jobs, grain);
     const auto run_rep = [&](std::int64_t rep) {
       RepOutcome& outcome = outcomes[static_cast<std::size_t>(rep)];
       const core::Scenario scenario(config, static_cast<std::uint64_t>(rep));
@@ -534,7 +542,7 @@ int main(int argc, char** argv) {
 
     if (!svg_path.empty()) {
       const core::Scenario scenario(config, 0);
-      const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+      const graph::CdsTree& tree = scenario.collection_tree();
       std::ostringstream out;
       harness::SvgOptions svg_options;
       svg_options.pcr_m = scenario.pcr();
@@ -585,7 +593,7 @@ int main(int argc, char** argv) {
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     const core::Scenario scenario(config, rep);
     if (!svg_path.empty() && rep == 0) {
-      const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+      const graph::CdsTree& tree = scenario.collection_tree();
       std::ostringstream out;
       harness::SvgOptions svg_options;
       svg_options.pcr_m = scenario.pcr();
@@ -619,7 +627,7 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) {
         // Trace requested: re-run through the lower-level API with a
         // recorder attached (first repetition only).
-        const graph::CdsTree tree(scenario.secondary_graph(), scenario.sink());
+        const graph::CdsTree& tree = scenario.collection_tree();
         std::vector<graph::NodeId> next_hop(tree.node_count(), scenario.sink());
         for (graph::NodeId v = 0; v < tree.node_count(); ++v) {
           next_hop[v] = v == scenario.sink() ? scenario.sink() : tree.parent(v);

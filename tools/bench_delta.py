@@ -18,7 +18,14 @@ Checks, without any third-party dependency:
   * budget (--budget KEY, repeatable) — for every sweep title present in
     both files, current metrics[KEY] must not exceed
     baseline * (1 + --tolerance). Default budget: the cached engine's
-    geometry-term count, the quantity DESIGN.md §10 pins.
+    geometry-term count, the quantity DESIGN.md §10 pins. Keys spelled
+    "pool.<field>" resolve from the sweep's scheduling-diagnostics section
+    (tasks/chunks/steals/workers) instead of the metrics registry — steals
+    are scheduling-dependent, so they budget (upper-bound) rather than pin.
+  * exact (--exact KEY, repeatable) — like --budget but strict equality:
+    the key must match the baseline bit for bit on every shared title.
+    This is the gate for deterministic cache accounting (prefab.hits/
+    misses/bytes): any drift means the keying rule or the fold changed.
   * --verify-digests — every sweep whose title starts with "engine
     verification" or "scheduler verification" must carry the same
     addc_trace_digest on all its points (the cached-vs-direct and
@@ -131,6 +138,16 @@ def report_profile(baseline: dict, current: dict) -> None:
               f"({ratio:.2f}x, informational)")
 
 
+def metric_value(sweep: dict, key: str):
+    """Resolves a comparison key in one sweep section. "pool.<field>" keys
+    read the scheduling-diagnostics section WriteBenchJson emits next to
+    "metrics"; everything else reads the merged metrics registry."""
+    if key.startswith("pool."):
+        pool = sweep.get("pool", {})
+        return pool.get(key[len("pool."):]) if isinstance(pool, dict) else None
+    return sweep.get("metrics", {}).get(key)
+
+
 def check_budget(baseline: dict, current: dict, keys: list[str],
                  tolerance: float) -> list[str]:
     problems: list[str] = []
@@ -140,21 +157,20 @@ def check_budget(baseline: dict, current: dict, keys: list[str],
         base = base_sweeps.get(title)
         if base is None:
             continue
-        base_metrics = base.get("metrics", {})
-        metrics = sweep.get("metrics", {})
         for key in keys:
-            if key not in base_metrics:
+            base_value = metric_value(base, key)
+            if base_value is None:
                 continue
-            allowed = base_metrics[key] * (1.0 + tolerance)
-            value = metrics.get(key)
+            allowed = base_value * (1.0 + tolerance)
+            value = metric_value(sweep, key)
             if value is None:
                 problems.append(f"{title}: {key} missing from current run "
-                                f"(baseline {base_metrics[key]})")
+                                f"(baseline {base_value})")
                 continue
             compared += 1
             verdict = "OK" if value <= allowed else "REGRESSION"
             print(f"bench_delta: {title}: {key} {value} vs baseline "
-                  f"{base_metrics[key]} (budget {allowed:.0f}) {verdict}")
+                  f"{base_value} (budget {allowed:.0f}) {verdict}")
             if value > allowed:
                 problems.append(f"{title}: {key} {value} exceeds budget "
                                 f"{allowed:.0f}")
@@ -166,6 +182,39 @@ def check_budget(baseline: dict, current: dict, keys: list[str],
     if compared == 0:
         problems.append("no budget counter was compared — title or key "
                         "drift between baseline and current")
+    return problems
+
+
+def check_exact(baseline: dict, current: dict, keys: list[str]) -> list[str]:
+    """Deterministic keys (prefab.* cache accounting): strict equality on
+    every title the baseline carries the key for. A missing title or key on
+    the current side is itself a failure — the counters are supposed to be
+    exact functions of the pinned instance, so silence means the fold or
+    the bench shape changed."""
+    problems: list[str] = []
+    current_sweeps = sweeps_by_title(current)
+    compared = 0
+    for title, base in sweeps_by_title(baseline).items():
+        for key in keys:
+            base_value = metric_value(base, key)
+            if base_value is None:
+                continue
+            sweep = current_sweeps.get(title)
+            value = metric_value(sweep, key) if sweep is not None else None
+            if value is None:
+                problems.append(f"{title}: {key} missing from current run "
+                                f"(baseline {base_value})")
+                continue
+            compared += 1
+            verdict = "OK" if value == base_value else "MISMATCH"
+            print(f"bench_delta: {title}: {key} {value} vs baseline "
+                  f"{base_value} (exact) {verdict}")
+            if value != base_value:
+                problems.append(f"{title}: {key} {value} != baseline "
+                                f"{base_value} (exact match required)")
+    if compared == 0:
+        problems.append("--exact: no exact counter was compared — title or "
+                        "key drift between baseline and current")
     return problems
 
 
@@ -271,6 +320,10 @@ def main() -> int:
     parser.add_argument("--budget", action="append", default=[],
                         help="counter key that must not exceed the baseline "
                              f"(repeatable; default {DEFAULT_BUDGET[0]})")
+    parser.add_argument("--exact", action="append", default=[],
+                        help="counter key that must equal the baseline "
+                             "exactly on every shared title (repeatable; "
+                             "e.g. prefab.hits)")
     parser.add_argument("--tolerance", type=float, default=0.0,
                         help="fractional budget slack (default 0: the "
                              "counters are deterministic)")
@@ -290,6 +343,8 @@ def main() -> int:
     problems = check_budget(baseline, current,
                             arguments.budget or DEFAULT_BUDGET,
                             arguments.tolerance)
+    if arguments.exact:
+        problems += check_exact(baseline, current, arguments.exact)
     if arguments.verify_digests:
         problems += check_digests(current)
     if arguments.min_term_ratio > 0.0:

@@ -231,6 +231,7 @@ int RunSelfTest(const std::string& root) {
       {"src__mac__bad_raw_schedule.cc", "raw-schedule-in-mac"},
       {"src__mac__bad_unnamed_timer.cc", "unnamed-timer-kind"},
       {"src__obs__bad_artifact_write.cc", "raw-artifact-write"},
+      {"src__harness__bad_parallel_runner_alloc.cc", "hot-path-alloc"},
       {"src__core__clean_tokenizer.cc", ""},
   };
 

@@ -1,0 +1,30 @@
+// Analyzer fixture (logical path src/harness/bad_parallel_runner_alloc.cc):
+// the pre-work-stealing dispatch shape — a std::function constructed and a
+// task node heap-allocated for every cell of the fan-out —
+// [hot-path-alloc] must fire on the per-cell construction sites. Taking
+// the callback by const std::function& stays exempt (one object per
+// fan-out).
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace crn::harness {
+
+struct TaskNode {
+  std::int64_t index = 0;
+};
+
+inline void BadForEachIndex(std::int64_t count,
+                            const std::function<void(std::int64_t)>& fn) {
+  std::vector<std::function<void()>> queue;
+  std::vector<std::unique_ptr<TaskNode>> nodes;
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::function<void()> cell = [fn, i] { fn(i); };
+    queue.push_back(cell);
+    nodes.push_back(std::make_unique<TaskNode>());
+  }
+  for (const auto& cell : queue) cell();
+}
+
+}  // namespace crn::harness

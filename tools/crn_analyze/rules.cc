@@ -250,6 +250,40 @@ std::vector<Finding> RunFileRules(const SourceFile& file) {
               "flight-recorder dumps and sched.* metrics stay decodable");
         }
       }
+      // The experiment dispatch layer exists to run millions of cells: a
+      // std::function constructed, or a heap node allocated, per cell was
+      // exactly the overhead the work-stealing engine removed (chunks are
+      // pre-materialized into one flat array). Taking a caller's callback
+      // by const std::function& is fine — one object per fan-out, no
+      // per-cell construction — so reference parameters are exempt. The
+      // legacy ThreadPool's per-job queue is intentional (it is the A/B
+      // comparison baseline) and lives in the committed baseline file.
+      const bool in_dispatch =
+          StartsWith(logical_path, "src/harness/") &&
+          (logical_path.find("thread_pool") != std::string::npos ||
+           logical_path.find("work_stealing") != std::string::npos ||
+           logical_path.find("parallel_runner") != std::string::npos);
+      if (in_dispatch) {
+        const std::size_t fn_pos = line.find("std::function");
+        const bool fn_by_reference =
+            fn_pos != std::string::npos &&
+            line.find(">&", fn_pos) != std::string::npos;
+        // make_unique/make_shared match as words, not calls: the explicit
+        // template argument list (`make_shared<T>(...)`) puts `<` where a
+        // call matcher expects `(`.
+        const bool allocates = (fn_pos != std::string::npos &&
+                                !fn_by_reference) ||
+                               ContainsWord(line, "make_unique") ||
+                               ContainsWord(line, "make_shared") ||
+                               ContainsWord(line, "new");
+        if (allocates) {
+          add(static_cast<int>(i), "hot-path-alloc",
+              "per-cell allocation in the experiment dispatch layer; "
+              "pre-materialize work into flat arrays (work_stealing.h) or "
+              "take callbacks by const std::function& — one object per "
+              "fan-out, not per cell");
+        }
+      }
       const bool in_callback_layer =
           StartsWith(logical_path, "src/sim/") ||
           StartsWith(logical_path, "src/mac/") ||

@@ -21,6 +21,12 @@
 //   lines of the call), so flight-recorder dumps, sched.* metrics, and
 //   crn_trace causal chains decode to meaningful names instead of
 //   "unnamed".
+//   hot-path-alloc — the src/harness dispatch files (thread_pool,
+//   work_stealing, parallel_runner) must not construct std::function or
+//   heap-allocate (new / make_unique / make_shared) per cell; work is
+//   pre-materialized into flat arrays and callbacks travel by
+//   const std::function& (one object per fan-out). The legacy ThreadPool's
+//   per-job queue is baseline-justified as the A/B comparison engine.
 //   raw-artifact-write — src/ code must not open files for writing
 //   directly (std::ofstream / fopen); artifacts render to a string and
 //   land through harness::WriteFileAtomic (harness/atomic_file.h) so a

@@ -33,6 +33,9 @@ const std::map<std::string, std::string>& RuleDescriptions() {
        "recorder"},
       {"raw-artifact-write",
        "src/ artifact writes must land through harness::WriteFileAtomic"},
+      {"hot-path-alloc",
+       "no per-cell std::function/heap allocation in the harness dispatch "
+       "layer"},
       {"layering", "src/ includes must respect the layer DAG"},
       {"include-cycle", "src/ include graph must be acyclic"},
       {"determinism-taint",
